@@ -1,0 +1,108 @@
+package herdcats_bench
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles every command once into a temp dir and returns the
+// binary paths; the CLI tests below drive real invocations end to end.
+func buildTools(t *testing.T) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	out := map[string]string{}
+	for _, name := range []string{"herd", "diy", "litmus7", "mole", "cats-experiments"} {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, b)
+		}
+		out[name] = bin
+	}
+	return out
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	b, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", bin, args, err, b)
+	}
+	return string(b)
+}
+
+func TestCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skip binary builds")
+	}
+	tools := buildTools(t)
+
+	t.Run("herd", func(t *testing.T) {
+		out := run(t, tools["herd"], "-model", "power", "testdata/litmus/mp+lwsync+addr.litmus")
+		if !strings.Contains(out, "Forbidden") {
+			t.Errorf("herd output: %s", out)
+		}
+		out = run(t, tools["herd"], "-list-models")
+		for _, m := range []string{"power", "sc", "tso", "arm", "arm-llh", "cpp-ra"} {
+			if !strings.Contains(out, m) {
+				t.Errorf("missing model %s in: %s", m, out)
+			}
+		}
+		out = run(t, tools["herd"], "-cat", "testdata/cats/tso.cat", "testdata/litmus/sb.litmus")
+		if !strings.Contains(out, "Allowed") {
+			t.Errorf("sb should be TSO-allowed: %s", out)
+		}
+		out = run(t, tools["herd"], "-model", "power", "-explain", "testdata/litmus/sb+syncs.litmus")
+		if !strings.Contains(out, "propagation") {
+			t.Errorf("explain output: %s", out)
+		}
+		dotDir := t.TempDir()
+		run(t, tools["herd"], "-model", "power", "-dot", dotDir, "testdata/litmus/mp.litmus")
+		if _, err := os.Stat(filepath.Join(dotDir, "mp.dot")); err != nil {
+			t.Errorf("dot file not written: %v", err)
+		}
+	})
+
+	t.Run("diy", func(t *testing.T) {
+		out := run(t, tools["diy"], "-arch", "PPC", "-cycle", "SyncdWW Rfe DpAddrdR Fre")
+		if !strings.Contains(out, "lwzx") || !strings.Contains(out, "sync") {
+			t.Errorf("diy single-cycle output: %s", out)
+		}
+		dir := t.TempDir()
+		out = run(t, tools["diy"], "-arch", "ARM", "-minlen", "3", "-maxlen", "3", "-o", dir, "-max", "20")
+		files, _ := os.ReadDir(dir)
+		if len(files) != 20 {
+			t.Errorf("diy wrote %d files, want 20 (%s)", len(files), out)
+		}
+	})
+
+	t.Run("litmus7", func(t *testing.T) {
+		out := run(t, tools["litmus7"], "-machine", "power7", "testdata/litmus/mp+lwsync+addr.litmus")
+		if !strings.Contains(out, "power7") || !strings.Contains(out, "No") {
+			t.Errorf("litmus7 output: %s", out)
+		}
+		out = run(t, tools["litmus7"], "-list-machines")
+		if !strings.Contains(out, "tegra3") || !strings.Contains(out, "load-load-hazard") {
+			t.Errorf("machine list: %s", out)
+		}
+	})
+
+	t.Run("mole", func(t *testing.T) {
+		out := run(t, tools["mole"], "-builtin", "rcu")
+		if !strings.Contains(out, "mp") {
+			t.Errorf("mole rcu output: %s", out)
+		}
+	})
+
+	t.Run("cats-experiments", func(t *testing.T) {
+		out := run(t, tools["cats-experiments"], "-run", "table12")
+		if !strings.Contains(out, "RCU") || !strings.Contains(out, "true") {
+			t.Errorf("table12 output: %s", out)
+		}
+	})
+}

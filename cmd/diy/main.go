@@ -1,0 +1,95 @@
+// Command diy generates litmus tests from cycles of relaxations
+// (Sec. 8.1): either a single explicit cycle, or a whole corpus enumerated
+// over the architecture's standard edge pool.
+//
+// Usage:
+//
+//	diy -arch PPC -cycle "SyncdWW Rfe DpAddrdR Fre"
+//	diy -arch ARM -minlen 3 -maxlen 4 -o tests/ -max 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"herdcats/internal/diy"
+	"herdcats/internal/litmus"
+)
+
+func main() {
+	arch := flag.String("arch", "PPC", "target architecture: PPC, ARM or X86")
+	cycleStr := flag.String("cycle", "", "explicit cycle (edge names separated by spaces or '+')")
+	minLen := flag.Int("minlen", 3, "minimum cycle length for corpus enumeration")
+	maxLen := flag.Int("maxlen", 4, "maximum cycle length for corpus enumeration")
+	maxTests := flag.Int("max", 200, "maximum number of generated tests (0 = unbounded)")
+	outDir := flag.String("o", "", "directory to write .litmus files into (default: stdout)")
+	flag.Parse()
+
+	a := litmus.Arch(strings.ToUpper(*arch))
+	emit := func(t *litmus.Test) error {
+		if *outDir == "" {
+			fmt.Println(t)
+			return nil
+		}
+		name := strings.Map(func(r rune) rune {
+			if r == '/' || r == ' ' {
+				return '_'
+			}
+			return r
+		}, t.Name)
+		return os.WriteFile(filepath.Join(*outDir, name+".litmus"), []byte(t.String()), 0o644)
+	}
+
+	if *cycleStr != "" {
+		c, err := diy.ParseCycle(*cycleStr)
+		if err != nil {
+			fatal(err)
+		}
+		t, err := diy.Generate(a, c)
+		if err != nil {
+			fatal(err)
+		}
+		if err := emit(t); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var pool []diy.Edge
+	switch a {
+	case litmus.PPC:
+		pool = diy.PowerPool()
+	case litmus.ARM:
+		pool = diy.ARMPool()
+	case litmus.X86:
+		pool = diy.X86Pool()
+	default:
+		fatal(fmt.Errorf("unknown architecture %q", *arch))
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	count := 0
+	diy.Enumerate(pool, *minLen, *maxLen, func(c diy.Cycle) bool {
+		t, err := diy.Generate(a, c)
+		if err != nil {
+			return true
+		}
+		if err := emit(t); err != nil {
+			fatal(err)
+		}
+		count++
+		return *maxTests == 0 || count < *maxTests
+	})
+	fmt.Fprintf(os.Stderr, "diy: generated %d tests\n", count)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "diy:", err)
+	os.Exit(1)
+}

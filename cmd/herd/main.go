@@ -1,0 +1,192 @@
+// Command herd is the model-level simulator of Sec. 8.3: given a memory
+// model — a built-in one, or any model written in the cat language — and
+// litmus tests, it enumerates candidate executions and reports which final
+// states the model allows.
+//
+// Usage:
+//
+//	herd [-model power|sc|tso|arm|arm-llh|power-arm] test.litmus...
+//	herd -cat mymodel.cat test.litmus...
+//	herd -list-models
+//
+// "Given a specification of a model, the tool becomes a simulator for that
+// model."
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"herdcats/internal/cat"
+	"herdcats/internal/dot"
+	"herdcats/internal/exec"
+	"herdcats/internal/litmus"
+	"herdcats/internal/sim"
+)
+
+func main() {
+	model := flag.String("model", "power", "built-in cat model to simulate against")
+	catFile := flag.String("cat", "", "path to a user cat model file (overrides -model)")
+	list := flag.Bool("list-models", false, "list built-in models and exit")
+	verbose := flag.Bool("v", false, "print every reachable final state")
+	dotDir := flag.String("dot", "", "write a Graphviz diagram of each test's condition-witnessing execution into this directory")
+	explain := flag.Bool("explain", false, "for forbidden tests, print the violated checks and their witness cycles")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(cat.BuiltinNames(), "\n"))
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "herd: no litmus files given")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var checker sim.Checker
+	if *catFile != "" {
+		data, err := os.ReadFile(*catFile)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := cat.Compile(string(data))
+		if err != nil {
+			fatal(err)
+		}
+		checker = m
+	} else {
+		m, err := cat.Builtin(*model)
+		if err != nil {
+			fatal(err)
+		}
+		checker = m
+	}
+
+	exit := 0
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		test, err := litmus.Parse(string(data))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "herd: %s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		out, err := sim.Run(test, checker)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "herd: %s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		if *dotDir != "" {
+			if err := writeDot(*dotDir, test); err != nil {
+				fmt.Fprintf(os.Stderr, "herd: %s: %v\n", path, err)
+				exit = 1
+			}
+		}
+		if *verbose {
+			fmt.Print(out)
+		} else {
+			verdict := "Forbidden"
+			if out.Allowed() {
+				verdict = "Allowed"
+			}
+			fmt.Printf("%-40s %s  %-9s (%d/%d executions valid)\n",
+				test.Name, checker.Name(), verdict, out.Valid, out.Candidates)
+		}
+		if *explain && !out.Allowed() {
+			if err := explainTest(test, checker); err != nil {
+				fmt.Fprintf(os.Stderr, "herd: %s: %v\n", path, err)
+				exit = 1
+			}
+		}
+	}
+	os.Exit(exit)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "herd:", err)
+	os.Exit(1)
+}
+
+// explainTest prints, for the first candidate execution satisfying the
+// test's condition, the checks it violates and their witness cycles.
+func explainTest(test *litmus.Test, checker sim.Checker) error {
+	catModel, ok := checker.(*cat.Model)
+	if !ok {
+		return fmt.Errorf("-explain requires a cat model")
+	}
+	p, err := exec.Compile(test)
+	if err != nil {
+		return err
+	}
+	found := false
+	err = p.Enumerate(func(c *exec.Candidate) bool {
+		if test.Cond != nil && !test.Cond.Eval(c.State) {
+			return true
+		}
+		found = true
+		for _, v := range catModel.Explain(c.X) {
+			fmt.Printf("  %s (%s)", v.Check, v.Kind)
+			if len(v.Witness) > 1 {
+				fmt.Print(": ")
+				for i, id := range v.Witness {
+					if i > 0 {
+						fmt.Print(" -> ")
+					}
+					fmt.Print(c.X.Events[id])
+				}
+			} else if len(v.Witness) == 1 {
+				fmt.Printf(" at %s", c.X.Events[v.Witness[0]])
+			}
+			fmt.Println()
+		}
+		return false
+	})
+	if err != nil {
+		return err
+	}
+	if !found {
+		fmt.Println("  (no candidate execution reaches the condition at all)")
+	}
+	return nil
+}
+
+// writeDot renders the first candidate execution satisfying the test's
+// condition (the behaviour the test asks about) as a Graphviz file, in the
+// style of the paper's figures.
+func writeDot(dir string, test *litmus.Test) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	p, err := exec.Compile(test)
+	if err != nil {
+		return err
+	}
+	var rendered string
+	err = p.Enumerate(func(c *exec.Candidate) bool {
+		if test.Cond == nil || test.Cond.Eval(c.State) {
+			rendered = dot.Render(test.Name, c.X)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if rendered == "" {
+		return fmt.Errorf("no candidate execution satisfies the condition of %s", test.Name)
+	}
+	name := strings.Map(func(r rune) rune {
+		if r == '/' || r == ' ' {
+			return '_'
+		}
+		return r
+	}, test.Name)
+	return os.WriteFile(filepath.Join(dir, name+".dot"), []byte(rendered), 0o644)
+}

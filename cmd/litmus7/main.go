@@ -1,0 +1,98 @@
+// Command litmus7 runs litmus tests on the simulated hardware park
+// (Sec. 8.1): for each test and machine it prints the histogram of
+// observable final states and whether the final condition was hit,
+// mirroring the litmus tool's output on real Power and ARM machines.
+//
+// Usage:
+//
+//	litmus7 [-machine power7|tegra3|...|all] test.litmus...
+//	litmus7 -list-machines
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"herdcats/internal/hardware"
+	"herdcats/internal/litmus"
+)
+
+func main() {
+	machine := flag.String("machine", "all", "machine to run on, or \"all\"")
+	list := flag.Bool("list-machines", false, "list simulated machines and exit")
+	flag.Parse()
+
+	if *list {
+		for _, m := range hardware.Machines() {
+			bugs := ""
+			for _, b := range []hardware.Bug{
+				hardware.BugLoadLoadHazard, hardware.BugReadWriteHazard, hardware.BugObservation,
+			} {
+				if m.HasBug(b) {
+					bugs += " +" + string(b)
+				}
+			}
+			fmt.Printf("%-12s %-6s%s\n", m.Name, m.Arch, bugs)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "litmus7: no litmus files given")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var machines []hardware.Machine
+	if *machine == "all" {
+		machines = hardware.Machines()
+	} else {
+		m, ok := hardware.ByName(*machine)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "litmus7: unknown machine %q\n", *machine)
+			os.Exit(2)
+		}
+		machines = []hardware.Machine{m}
+	}
+
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		test, err := litmus.Parse(string(data))
+		if err != nil {
+			fatal(fmt.Errorf("%s: %v", path, err))
+		}
+		fmt.Printf("Test %s %s\n", test.Name, test.Quant)
+		for _, m := range machines {
+			if (test.Arch == litmus.PPC) != (m.Arch == hardware.Power) {
+				continue // dialect/machine family mismatch
+			}
+			obs, err := m.RunLitmus(test)
+			if err != nil {
+				fatal(err)
+			}
+			verdict := "No"
+			if obs.CondObserved {
+				verdict = "Ok"
+			}
+			fmt.Printf("  %-12s %-3s states:", m.Name, verdict)
+			keys := make([]string, 0, len(obs.States))
+			for k := range obs.States {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Printf(" [%s]", k)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "litmus7:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Command mole is the static analyser of Sec. 9: it explores C code for
+// the weak-memory idioms (static critical cycles and SC-per-location
+// cycles) it contains, reporting their litmus names and the axiom of the
+// model that rules each out.
+//
+// Usage:
+//
+//	mole file.c [more.c ...]
+//	mole -builtin rcu|pgsql|apache
+//	mole -synthetic 100 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"herdcats/internal/mole"
+)
+
+func main() {
+	builtin := flag.String("builtin", "", "analyse a built-in case study: rcu, pgsql or apache")
+	synthetic := flag.Int("synthetic", 0, "analyse N synthetic Debian-like units instead of files")
+	seed := flag.Int64("seed", 1, "seed for -synthetic")
+	instances := flag.Int("instances", 2, "thread instances per entry point")
+	flag.Parse()
+
+	switch {
+	case *builtin != "":
+		src, ok := map[string]string{
+			"rcu": mole.RCUSource, "pgsql": mole.PgSQLSource, "apache": mole.ApacheSource,
+		}[*builtin]
+		if !ok {
+			fatal(fmt.Errorf("unknown builtin %q", *builtin))
+		}
+		analyseUnits(*instances, src)
+	case *synthetic > 0:
+		analyseUnits(*instances, mole.SyntheticCorpus(*synthetic, *seed)...)
+	case flag.NArg() > 0:
+		var srcs []string
+		for _, path := range flag.Args() {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			srcs = append(srcs, string(data))
+		}
+		analyseUnits(*instances, srcs...)
+	default:
+		fmt.Fprintln(os.Stderr, "mole: nothing to analyse")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func analyseUnits(instances int, srcs ...string) {
+	totalName := map[string]int{}
+	totalAxiom := map[string]int{}
+	for _, src := range srcs {
+		p := mole.NewProgram()
+		if err := p.Add(src); err != nil {
+			fatal(err)
+		}
+		rep := mole.Analyze(p).FindCycles(instances)
+		if len(srcs) == 1 {
+			fmt.Print(mole.RenderReport(rep))
+			return
+		}
+		for n, c := range rep.ByName {
+			totalName[n] += c
+		}
+		for a, c := range rep.ByAxiom {
+			totalAxiom[a] += c
+		}
+	}
+	fmt.Printf("aggregated over %d units:\n", len(srcs))
+	printCounts(totalName)
+	fmt.Println("by axiom:")
+	printCounts(totalAxiom)
+}
+
+func printCounts(m map[string]int) {
+	type kv struct {
+		k string
+		v int
+	}
+	var rows []kv
+	for k, v := range m {
+		rows = append(rows, kv{k, v})
+	}
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			if rows[j].v > rows[i].v || (rows[j].v == rows[i].v && rows[j].k < rows[i].k) {
+				rows[i], rows[j] = rows[j], rows[i]
+			}
+		}
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-16s %6d\n", r.k, r.v)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mole:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module herdcats
+
+go 1.22

@@ -1,0 +1,278 @@
+// Package bmc implements bounded model checking of litmus tests under the
+// axiomatic models, in the spirit of the paper's CBMC experiments
+// (Sec. 8.4): the question "is the final condition reachable under model M"
+// is compiled to propositional satisfiability and handed to the CDCL
+// solver of package sat.
+//
+// The encoding is relational, mirroring the axiomatic model directly:
+// boolean variables choose a read-from map, per-location coherence orders
+// and one control-flow trace per thread; derived relations (fr, ppo, prop,
+// hb) are boolean circuits over event-pair variables; each axiom's
+// acyclicity check is encoded with an auxiliary strict total order.
+package bmc
+
+import (
+	"fmt"
+
+	"herdcats/internal/rel"
+	"herdcats/internal/sat"
+)
+
+// circuit is a constant-folding Tseitin builder over a SAT solver.
+type circuit struct {
+	s        *sat.Solver
+	trueLit  sat.Lit
+	falseLit sat.Lit
+	// Gate caches keep the instance small when the same subterm recurs.
+	andCache map[[2]sat.Lit]sat.Lit
+}
+
+func newCircuit(s *sat.Solver) *circuit {
+	t := sat.Lit(s.NewVar())
+	s.AddClause(t)
+	return &circuit{s: s, trueLit: t, falseLit: t.Neg(), andCache: map[[2]sat.Lit]sat.Lit{}}
+}
+
+func (c *circuit) constOf(b bool) sat.Lit {
+	if b {
+		return c.trueLit
+	}
+	return c.falseLit
+}
+
+func (c *circuit) isTrue(l sat.Lit) bool  { return l == c.trueLit }
+func (c *circuit) isFalse(l sat.Lit) bool { return l == c.falseLit }
+
+// and2 returns a literal equivalent to a ∧ b.
+func (c *circuit) and2(a, b sat.Lit) sat.Lit {
+	switch {
+	case c.isFalse(a) || c.isFalse(b):
+		return c.falseLit
+	case c.isTrue(a):
+		return b
+	case c.isTrue(b):
+		return a
+	case a == b:
+		return a
+	case a == b.Neg():
+		return c.falseLit
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if v, ok := c.andCache[[2]sat.Lit{a, b}]; ok {
+		return v
+	}
+	v := sat.Lit(c.s.NewVar())
+	c.s.AddClause(v.Neg(), a)
+	c.s.AddClause(v.Neg(), b)
+	c.s.AddClause(v, a.Neg(), b.Neg())
+	c.andCache[[2]sat.Lit{a, b}] = v
+	return v
+}
+
+// or returns a literal equivalent to the disjunction of ls.
+func (c *circuit) or(ls ...sat.Lit) sat.Lit {
+	var kept []sat.Lit
+	seen := map[sat.Lit]bool{}
+	for _, l := range ls {
+		if c.isTrue(l) {
+			return c.trueLit
+		}
+		if c.isFalse(l) || seen[l] {
+			continue
+		}
+		if seen[l.Neg()] {
+			return c.trueLit
+		}
+		seen[l] = true
+		kept = append(kept, l)
+	}
+	switch len(kept) {
+	case 0:
+		return c.falseLit
+	case 1:
+		return kept[0]
+	}
+	v := sat.Lit(c.s.NewVar())
+	for _, l := range kept {
+		c.s.AddClause(l.Neg(), v)
+	}
+	c.s.AddClause(append([]sat.Lit{v.Neg()}, kept...)...)
+	return v
+}
+
+func (c *circuit) not(l sat.Lit) sat.Lit { return l.Neg() }
+
+// --- Relation matrices -------------------------------------------------
+
+// relExpr is an m×m matrix of literals denoting a symbolic relation over
+// memory events.
+type relExpr [][]sat.Lit
+
+func (c *circuit) emptyRel(m int) relExpr {
+	r := make(relExpr, m)
+	for i := range r {
+		r[i] = make([]sat.Lit, m)
+		for j := range r[i] {
+			r[i][j] = c.falseLit
+		}
+	}
+	return r
+}
+
+// constRel embeds a concrete relation (over a subset of event indices
+// mapped by idx) as a constant matrix.
+func (c *circuit) constRel(m int, concrete rel.Rel, memID []int) relExpr {
+	r := c.emptyRel(m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if concrete.Has(memID[i], memID[j]) {
+				r[i][j] = c.trueLit
+			}
+		}
+	}
+	return r
+}
+
+func (c *circuit) union(a, b relExpr) relExpr {
+	m := len(a)
+	out := c.emptyRel(m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			out[i][j] = c.or(a[i][j], b[i][j])
+		}
+	}
+	return out
+}
+
+func (c *circuit) inter(a, b relExpr) relExpr {
+	m := len(a)
+	out := c.emptyRel(m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			out[i][j] = c.and2(a[i][j], b[i][j])
+		}
+	}
+	return out
+}
+
+func (c *circuit) seq(a, b relExpr) relExpr {
+	m := len(a)
+	out := c.emptyRel(m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			var terms []sat.Lit
+			for k := 0; k < m; k++ {
+				terms = append(terms, c.and2(a[i][k], b[k][j]))
+			}
+			out[i][j] = c.or(terms...)
+		}
+	}
+	return out
+}
+
+// restrict masks entries outside src×dst.
+func (c *circuit) restrict(a relExpr, src, dst func(int) bool) relExpr {
+	m := len(a)
+	out := c.emptyRel(m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if src(i) && dst(j) {
+				out[i][j] = a[i][j]
+			}
+		}
+	}
+	return out
+}
+
+// star computes the reflexive-transitive closure by repeated squaring.
+func (c *circuit) star(a relExpr) relExpr {
+	m := len(a)
+	s := c.emptyRel(m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			s[i][j] = a[i][j]
+		}
+		s[i][i] = c.trueLit
+	}
+	rounds := 1
+	for size := 1; size < m; size *= 2 {
+		rounds++
+	}
+	for r := 0; r < rounds; r++ {
+		s = c.seq(s, s)
+	}
+	return s
+}
+
+// equalRel asserts that two relations coincide (used in self-tests).
+func (c *circuit) equalRel(a, b relExpr) sat.Lit {
+	m := len(a)
+	var terms []sat.Lit
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			eq := c.or(c.and2(a[i][j], b[i][j]), c.and2(a[i][j].Neg(), b[i][j].Neg()))
+			terms = append(terms, eq.Neg())
+		}
+	}
+	return c.or(terms...).Neg()
+}
+
+// assertAcyclic encodes acyclic(R) with a fresh strict total order:
+// transitivity over every triple, plus R(i,j) → i<j and ¬R(i,i).
+func (c *circuit) assertAcyclic(r relExpr) {
+	m := len(r)
+	// ord[i][j] for i<j; ordLit gives the signed literal for "i before j".
+	ord := make([][]sat.Lit, m)
+	for i := range ord {
+		ord[i] = make([]sat.Lit, m)
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			v := sat.Lit(c.s.NewVar())
+			ord[i][j] = v
+			ord[j][i] = v.Neg()
+		}
+	}
+	ordLit := func(i, j int) sat.Lit { return ord[i][j] }
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i == j {
+				continue
+			}
+			for k := 0; k < m; k++ {
+				if k == i || k == j {
+					continue
+				}
+				// i<j ∧ j<k → i<k
+				c.s.AddClause(ordLit(i, j).Neg(), ordLit(j, k).Neg(), ordLit(i, k))
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		if !c.isFalse(r[i][i]) {
+			c.s.AddClause(r[i][i].Neg())
+		}
+		for j := 0; j < m; j++ {
+			if i == j || c.isFalse(r[i][j]) {
+				continue
+			}
+			c.s.AddClause(r[i][j].Neg(), ordLit(i, j))
+		}
+	}
+}
+
+// assertIrreflexive encodes irreflexive(R).
+func (c *circuit) assertIrreflexive(r relExpr) {
+	for i := range r {
+		if !c.isFalse(r[i][i]) {
+			c.s.AddClause(r[i][i].Neg())
+		}
+	}
+}
+
+// debugString is a development aid.
+func (r relExpr) debugString() string {
+	return fmt.Sprintf("relExpr(%d)", len(r))
+}

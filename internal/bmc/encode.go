@@ -1,0 +1,419 @@
+package bmc
+
+import (
+	"fmt"
+
+	"herdcats/internal/events"
+	"herdcats/internal/exec"
+	"herdcats/internal/litmus"
+	"herdcats/internal/sat"
+)
+
+// ModelID selects the memory model to encode.
+type ModelID uint8
+
+// Encodable models.
+const (
+	// SC is Fig. 21's Sequential Consistency.
+	SC ModelID = iota
+	// TSO is Fig. 21's Total Store Order.
+	TSO
+	// Power is the paper's Power model (Fig. 5 + 17 + 18 + 25), the
+	// "present model" row of Tab. XI.
+	Power
+	// PowerCAV is the multi-event-style strengthened Power model (our
+	// CAV 2012 stand-in; see package multi), the comparison row of
+	// Tab. XI. Its encoding carries the extra propagation-ordering term
+	// and a deeper fixpoint unrolling, hence larger formulas.
+	PowerCAV
+	// C11 is the mixed-access-type extension (models.C11): hbC is built
+	// from sb and the synchronises-with edges of the symbolic rf, masked
+	// by the static per-access memory orders.
+	C11
+)
+
+func (m ModelID) String() string {
+	switch m {
+	case SC:
+		return "SC"
+	case TSO:
+		return "TSO"
+	case Power:
+		return "Power"
+	case PowerCAV:
+		return "Power multi-event (CAV12)"
+	case C11:
+		return "C11"
+	}
+	return "?"
+}
+
+// Instance is an encoded reachability problem: is the test's final
+// condition observable in some model-valid execution?
+type Instance struct {
+	Model ModelID
+
+	s    *sat.Solver
+	c    *circuit
+	prog *exec.Program
+	asm  *exec.Assembled
+
+	traces [][]exec.Trace
+	sel    [][]sat.Lit // per-thread one-hot trace choice
+
+	memID []int       // skeleton event IDs of memory events (init writes first)
+	midx  map[int]int // inverse of memID
+	m     int
+
+	rfVar map[[2]int]sat.Lit // (writeIdx, readIdx) -> variable
+	coPos map[[2]int]sat.Lit // (w1Idx, w2Idx), w1<w2 by index, same loc
+
+	// Core symbolic relations.
+	rfRel, coRel, frRel relExpr
+}
+
+// Stats reports encoding size.
+func (in *Instance) Stats() (vars int, events int) {
+	return in.s.NumVars(), in.m
+}
+
+// Encode compiles the reachability of test's condition under the model.
+func Encode(test *litmus.Test, model ModelID) (*Instance, error) {
+	prog, err := exec.Compile(test)
+	if err != nil {
+		return nil, err
+	}
+	in := &Instance{
+		Model: model,
+		s:     sat.New(),
+		prog:  prog,
+		rfVar: map[[2]int]sat.Lit{},
+		coPos: map[[2]int]sat.Lit{},
+		midx:  map[int]int{},
+	}
+	in.c = newCircuit(in.s)
+
+	// Thread traces with a uniform control-flow skeleton.
+	var first []exec.Trace
+	for tid := range prog.Threads {
+		ts, err := prog.ThreadTraces(tid)
+		if err != nil {
+			return nil, err
+		}
+		if len(ts) == 0 {
+			return nil, fmt.Errorf("bmc: thread %d has no trace", tid)
+		}
+		for _, tr := range ts[1:] {
+			if err := sameSkeleton(ts[0], tr); err != nil {
+				return nil, fmt.Errorf("bmc: thread %d: %v", tid, err)
+			}
+		}
+		in.traces = append(in.traces, ts)
+		first = append(first, ts[0])
+	}
+	in.asm, err = prog.Assemble(first)
+	if err != nil {
+		return nil, err
+	}
+
+	// Memory events.
+	for _, e := range in.asm.X.Events {
+		if e.Kind == events.MemRead || e.Kind == events.MemWrite {
+			in.midx[e.ID] = len(in.memID)
+			in.memID = append(in.memID, e.ID)
+		}
+	}
+	in.m = len(in.memID)
+	if in.m > 24 {
+		return nil, fmt.Errorf("bmc: %d memory events exceeds encoding bound", in.m)
+	}
+
+	in.encodeSelectors()
+	in.encodeRF()
+	in.encodeCO()
+	in.buildCoreRels()
+	in.encodeModel()
+	if err := in.assertCondition(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// Solve decides reachability.
+func (in *Instance) Solve() bool { return in.s.Solve() }
+
+// sameSkeleton checks two traces have identical control flow and access
+// shape (values may differ).
+func sameSkeleton(a, b exec.Trace) error {
+	if len(a.Events) != len(b.Events) {
+		return fmt.Errorf("control-flow divergence (%d vs %d events)", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		ea, eb := a.Events[i], b.Events[i]
+		if ea.Kind != eb.Kind || ea.Loc != eb.Loc || ea.PC != eb.PC || ea.Fence != eb.Fence {
+			return fmt.Errorf("skeleton divergence at event %d (%v vs %v)", i, ea, eb)
+		}
+	}
+	return nil
+}
+
+// eventVal returns the value of memory event (by skeleton ID) under trace
+// ti of its thread; init writes are constant.
+func (in *Instance) eventVal(id, ti int) int {
+	t := in.asm.ThreadOf[id]
+	if t == events.InitTid {
+		return in.asm.X.Events[id].Val
+	}
+	return in.traces[t][ti].Events[in.asm.LocalIdx[id]].Val
+}
+
+func (in *Instance) isInit(id int) bool { return in.asm.ThreadOf[id] == events.InitTid }
+
+func (in *Instance) encodeSelectors() {
+	in.sel = make([][]sat.Lit, len(in.traces))
+	for t, ts := range in.traces {
+		lits := make([]sat.Lit, len(ts))
+		for i := range ts {
+			lits[i] = sat.Lit(in.s.NewVar())
+		}
+		in.sel[t] = lits
+		in.s.AddClause(lits...)
+		for i := 0; i < len(lits); i++ {
+			for j := i + 1; j < len(lits); j++ {
+				in.s.AddClause(lits[i].Neg(), lits[j].Neg())
+			}
+		}
+	}
+}
+
+// selOf returns the selector literals of the thread owning event id
+// (nil for init writes: their value is constant).
+func (in *Instance) selOf(id int) []sat.Lit {
+	t := in.asm.ThreadOf[id]
+	if t == events.InitTid {
+		return nil
+	}
+	return in.sel[t]
+}
+
+func (in *Instance) encodeRF() {
+	evs := in.asm.X.Events
+	for _, rID := range in.memID {
+		if evs[rID].Kind != events.MemRead {
+			continue
+		}
+		var cands []sat.Lit
+		for _, wID := range in.memID {
+			if evs[wID].Kind != events.MemWrite || evs[wID].Loc != evs[rID].Loc {
+				continue
+			}
+			v := sat.Lit(in.s.NewVar())
+			in.rfVar[[2]int{in.midx[wID], in.midx[rID]}] = v
+			cands = append(cands, v)
+			in.valueConsistency(v, wID, rID)
+		}
+		if len(cands) == 0 {
+			in.s.AddClause() // no writes at all: unsatisfiable
+			continue
+		}
+		in.s.AddClause(cands...)
+		for i := 0; i < len(cands); i++ {
+			for j := i + 1; j < len(cands); j++ {
+				in.s.AddClause(cands[i].Neg(), cands[j].Neg())
+			}
+		}
+	}
+}
+
+// valueConsistency forbids rf edges between trace choices with differing
+// values: rf ∧ sel(w-trace) ∧ sel(r-trace) is contradictory if the write's
+// value differs from the read's.
+func (in *Instance) valueConsistency(rf sat.Lit, wID, rID int) {
+	wSel, rSel := in.selOf(wID), in.selOf(rID)
+	wT, rT := in.asm.ThreadOf[wID], in.asm.ThreadOf[rID]
+	switch {
+	case wSel == nil && rSel == nil:
+		if in.eventVal(wID, 0) != in.eventVal(rID, 0) {
+			in.s.AddClause(rf.Neg())
+		}
+	case wSel == nil:
+		for i := range rSel {
+			if in.eventVal(wID, 0) != in.eventVal(rID, i) {
+				in.s.AddClause(rf.Neg(), rSel[i].Neg())
+			}
+		}
+	case rSel == nil:
+		for i := range wSel {
+			if in.eventVal(wID, i) != in.eventVal(rID, 0) {
+				in.s.AddClause(rf.Neg(), wSel[i].Neg())
+			}
+		}
+	case wT == rT:
+		for i := range wSel {
+			if in.eventVal(wID, i) != in.eventVal(rID, i) {
+				in.s.AddClause(rf.Neg(), wSel[i].Neg())
+			}
+		}
+	default:
+		for i := range wSel {
+			for j := range rSel {
+				if in.eventVal(wID, i) != in.eventVal(rID, j) {
+					in.s.AddClause(rf.Neg(), wSel[i].Neg(), rSel[j].Neg())
+				}
+			}
+		}
+	}
+}
+
+func (in *Instance) encodeCO() {
+	evs := in.asm.X.Events
+	// Variables for unordered same-location non-init write pairs.
+	for a := 0; a < in.m; a++ {
+		for b := a + 1; b < in.m; b++ {
+			ea, eb := evs[in.memID[a]], evs[in.memID[b]]
+			if ea.Kind != events.MemWrite || eb.Kind != events.MemWrite || ea.Loc != eb.Loc {
+				continue
+			}
+			if in.isInit(in.memID[a]) || in.isInit(in.memID[b]) {
+				continue // constants
+			}
+			in.coPos[[2]int{a, b}] = sat.Lit(in.s.NewVar())
+		}
+	}
+	// Transitivity per location.
+	for a := 0; a < in.m; a++ {
+		for b := 0; b < in.m; b++ {
+			for k := 0; k < in.m; k++ {
+				if a == b || b == k || a == k {
+					continue
+				}
+				ab, ok1 := in.coLitOK(a, b)
+				bk, ok2 := in.coLitOK(b, k)
+				ak, ok3 := in.coLitOK(a, k)
+				if !ok1 || !ok2 || !ok3 {
+					continue
+				}
+				if in.c.isFalse(ab) || in.c.isFalse(bk) || in.c.isTrue(ak) {
+					continue
+				}
+				if in.c.isTrue(ab) && in.c.isTrue(bk) && in.c.isFalse(ak) {
+					in.s.AddClause() // impossible: constants contradict
+					continue
+				}
+				var cl []sat.Lit
+				if !in.c.isTrue(ab) {
+					cl = append(cl, ab.Neg())
+				}
+				if !in.c.isTrue(bk) {
+					cl = append(cl, bk.Neg())
+				}
+				if !in.c.isFalse(ak) {
+					cl = append(cl, ak)
+				}
+				in.s.AddClause(cl...)
+			}
+		}
+	}
+}
+
+// coLitOK returns the literal for "write a is co-before write b" and
+// whether the pair is a same-location write pair at all.
+func (in *Instance) coLitOK(a, b int) (sat.Lit, bool) {
+	evs := in.asm.X.Events
+	ea, eb := evs[in.memID[a]], evs[in.memID[b]]
+	if ea.Kind != events.MemWrite || eb.Kind != events.MemWrite || ea.Loc != eb.Loc || a == b {
+		return in.c.falseLit, false
+	}
+	switch {
+	case in.isInit(in.memID[a]):
+		return in.c.trueLit, true
+	case in.isInit(in.memID[b]):
+		return in.c.falseLit, true
+	case a < b:
+		return in.coPos[[2]int{a, b}], true
+	default:
+		return in.coPos[[2]int{b, a}].Neg(), true
+	}
+}
+
+func (in *Instance) buildCoreRels() {
+	c := in.c
+	in.rfRel = c.emptyRel(in.m)
+	for k, v := range in.rfVar {
+		in.rfRel[k[0]][k[1]] = v
+	}
+	in.coRel = c.emptyRel(in.m)
+	for a := 0; a < in.m; a++ {
+		for b := 0; b < in.m; b++ {
+			if l, ok := in.coLitOK(a, b); ok {
+				in.coRel[a][b] = l
+			}
+		}
+	}
+	// fr(r, w2) = ∃w1. rf(w1, r) ∧ co(w1, w2).
+	in.frRel = c.emptyRel(in.m)
+	evs := in.asm.X.Events
+	for r := 0; r < in.m; r++ {
+		if evs[in.memID[r]].Kind != events.MemRead {
+			continue
+		}
+		for w2 := 0; w2 < in.m; w2++ {
+			if evs[in.memID[w2]].Kind != events.MemWrite || evs[in.memID[w2]].Loc != evs[in.memID[r]].Loc {
+				continue
+			}
+			var terms []sat.Lit
+			for w1 := 0; w1 < in.m; w1++ {
+				rf, okRF := in.rfVar[[2]int{w1, r}]
+				if !okRF {
+					continue
+				}
+				co, okCO := in.coLitOK(w1, w2)
+				if !okCO {
+					continue
+				}
+				terms = append(terms, c.and2(rf, co))
+			}
+			in.frRel[r][w2] = c.or(terms...)
+		}
+	}
+}
+
+// --- Direction and thread predicates ----------------------------------
+
+func (in *Instance) isRead(i int) bool {
+	return in.asm.X.Events[in.memID[i]].Kind == events.MemRead
+}
+
+func (in *Instance) isWrite(i int) bool {
+	return in.asm.X.Events[in.memID[i]].Kind == events.MemWrite
+}
+
+func (in *Instance) sameThread(i, j int) bool {
+	return in.asm.ThreadOf[in.memID[i]] == in.asm.ThreadOf[in.memID[j]]
+}
+
+// external masks a symbolic relation to cross-thread pairs; initial writes
+// count as external to everything (the paper's convention for rfe).
+func (in *Instance) external(r relExpr) relExpr {
+	out := in.c.emptyRel(in.m)
+	for i := 0; i < in.m; i++ {
+		for j := 0; j < in.m; j++ {
+			if in.isInit(in.memID[i]) || in.isInit(in.memID[j]) || !in.sameThread(i, j) {
+				out[i][j] = r[i][j]
+			}
+		}
+	}
+	return out
+}
+
+func (in *Instance) internal(r relExpr) relExpr {
+	out := in.c.emptyRel(in.m)
+	for i := 0; i < in.m; i++ {
+		for j := 0; j < in.m; j++ {
+			if !in.isInit(in.memID[i]) && !in.isInit(in.memID[j]) && in.sameThread(i, j) {
+				out[i][j] = r[i][j]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+// Package cases holds the three real-world concurrency case studies of the
+// paper's verification experiments (Sec. 8.4, Tab. XII): the Linux kernel's
+// Read-Copy-Update publication idiom (Fig. 40), the PostgreSQL latch
+// protocol (the pgsql-hackers WorkerSpi discussion the paper cites), and
+// the Apache HTTP server's queue idiom.
+//
+// Each case is distilled to the shared-memory communication at its heart,
+// expressed as a litmus test whose final condition is the *negation* of the
+// code's correctness property: the property holds iff the condition is
+// unreachable (~exists). Every case comes in a correct (fenced) and a buggy
+// (fence-free) variant, so that verification finds the bug in one and
+// proves the other.
+package cases
+
+import "herdcats/internal/litmus"
+
+// Case is one verification case study.
+type Case struct {
+	Name string
+	// Doc describes the original code and the distillation.
+	Doc string
+	// Source is the correct (fenced) variant; the property must hold.
+	Source string
+	// Buggy is the fence-free variant; the property must fail.
+	Buggy string
+}
+
+// Test parses the correct variant.
+func (c Case) Test() *litmus.Test { return litmus.MustParse(c.Source) }
+
+// BuggyTest parses the buggy variant.
+func (c Case) BuggyTest() *litmus.Test { return litmus.MustParse(c.Buggy) }
+
+// All returns the three case studies in the paper's order (Tab. XII).
+func All() []Case {
+	return []Case{PgSQL(), RCU(), Apache()}
+}
+
+// ByName returns a case study by name.
+func ByName(name string) (Case, bool) {
+	for _, c := range All() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Case{}, false
+}
+
+// PgSQL is the PostgreSQL worker-latch protocol: a worker writes its
+// result then sets the latch; the leader checks the latch then reads the
+// result. Without a barrier between the two writes, the leader can see the
+// latch set but a stale result — the bug discussed on pgsql-hackers.
+func PgSQL() Case {
+	return Case{
+		Name: "PgSQL",
+		Doc: "PostgreSQL latch protocol (worker sets result then latch; " +
+			"leader polls latch then reads result) — a message-passing " +
+			"idiom needing a lightweight fence on the worker and an " +
+			"address/control dependency or fence on the leader.",
+		Source: `PPC pgsql-latch
+"worker publishes result, sets latch; leader sees latch, reads result"
+{ 0:r1=result; 0:r2=latch; 1:r1=latch; 1:r2=result; }
+ P0 | P1 ;
+ li r4,1 | lwz r5,0(r1) ;
+ stw r4,0(r1) | sync ;
+ lwsync | lwz r6,0(r2) ;
+ li r4,1 | ;
+ stw r4,0(r2) | ;
+exists (1:r5=1 /\ 1:r6=0)`,
+		Buggy: `PPC pgsql-latch-buggy
+"the same protocol with no barriers: the stale read is reachable"
+{ 0:r1=result; 0:r2=latch; 1:r1=latch; 1:r2=result; }
+ P0 | P1 ;
+ li r4,1 | lwz r5,0(r1) ;
+ stw r4,0(r1) | lwz r6,0(r2) ;
+ li r4,1 | ;
+ stw r4,0(r2) | ;
+exists (1:r5=1 /\ 1:r6=0)`,
+	}
+}
+
+// RCU is the Read-Copy-Update publication idiom of Fig. 40: the updater
+// initialises the new structure then publishes the global pointer behind
+// lwsync (rcu_assign_pointer); the reader dereferences the pointer
+// (rcu_dereference), whose address dependency orders the reads.
+func RCU() Case {
+	return Case{
+		Name: "RCU",
+		Doc: "Linux RCU publication (Fig. 40): foo_update_a writes the new " +
+			"struct's field then lwsync-publishes gbl_foo; foo_get_a reads " +
+			"gbl_foo and dereferences it, an address dependency.",
+		Source: `PPC rcu-publish
+"rcu_assign_pointer / rcu_dereference pairing"
+{ 0:r1=data; 0:r2=gbl; 1:r1=gbl; 1:r3=data; }
+ P0 | P1 ;
+ li r4,1 | lwz r5,0(r1) ;
+ stw r4,0(r1) | xor r6,r5,r5 ;
+ lwsync | lwzx r7,r6,r3 ;
+ li r4,1 | ;
+ stw r4,0(r2) | ;
+exists (1:r5=1 /\ 1:r7=0)`,
+		Buggy: `PPC rcu-publish-buggy
+"publication without the lwsync of rcu_assign_pointer"
+{ 0:r1=data; 0:r2=gbl; 1:r1=gbl; 1:r3=data; }
+ P0 | P1 ;
+ li r4,1 | lwz r5,0(r1) ;
+ stw r4,0(r1) | xor r6,r5,r5 ;
+ li r4,1 | lwzx r7,r6,r3 ;
+ stw r4,0(r2) | ;
+exists (1:r5=1 /\ 1:r7=0)`,
+	}
+}
+
+// Apache is the worker-queue idiom extracted from the Apache HTTP server
+// (fdqueue): a producer pushes an entry and signals; consumers check the
+// not-empty flag before popping. The store-buffering shape between the
+// producer's push and the consumer's idle-check needs full fences.
+func Apache() Case {
+	return Case{
+		Name: "Apache",
+		Doc: "Apache fdqueue idiom: producer stores the entry and reads the " +
+			"idle-workers count; consumer stores its idle mark and reads " +
+			"the queue state — a store-buffering shape requiring full " +
+			"fences on both sides.",
+		Source: `PPC apache-queue
+"fdqueue push/pop handshake"
+{ 0:r1=queue; 0:r2=idle; 1:r1=idle; 1:r2=queue; }
+ P0 | P1 ;
+ li r4,1 | li r4,1 ;
+ stw r4,0(r1) | stw r4,0(r1) ;
+ sync | sync ;
+ lwz r5,0(r2) | lwz r5,0(r2) ;
+exists (0:r5=0 /\ 1:r5=0)`,
+		Buggy: `PPC apache-queue-buggy
+"the same handshake without fences: both sides can miss each other"
+{ 0:r1=queue; 0:r2=idle; 1:r1=idle; 1:r2=queue; }
+ P0 | P1 ;
+ li r4,1 | li r4,1 ;
+ stw r4,0(r1) | stw r4,0(r1) ;
+ lwz r5,0(r2) | lwz r5,0(r2) ;
+exists (0:r5=0 /\ 1:r5=0)`,
+	}
+}

@@ -1,0 +1,73 @@
+package cases_test
+
+import (
+	"testing"
+
+	"herdcats/internal/cases"
+	"herdcats/internal/litmus"
+	"herdcats/internal/models"
+	"herdcats/internal/sim"
+)
+
+func TestAllCasesParse(t *testing.T) {
+	cs := cases.All()
+	if len(cs) != 3 {
+		t.Fatalf("expected 3 case studies, got %d", len(cs))
+	}
+	for _, c := range cs {
+		if c.Doc == "" {
+			t.Errorf("%s: missing documentation", c.Name)
+		}
+		for _, test := range []*litmus.Test{c.Test(), c.BuggyTest()} {
+			if len(test.Threads) < 2 {
+				t.Errorf("%s: fewer than two threads", test.Name)
+			}
+		}
+	}
+}
+
+// TestCorrectVariantsSafe: under the Power model, the fenced variants'
+// violating states are unreachable, and the buggy ones are reachable —
+// the simulator-side counterpart of the Tab. XII verification.
+func TestCorrectVariantsSafe(t *testing.T) {
+	for _, c := range cases.All() {
+		ok, err := sim.Run(c.Test(), models.Power)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if ok.Allowed() {
+			t.Errorf("%s: fenced variant's violation reachable", c.Name)
+		}
+		bug, err := sim.Run(c.BuggyTest(), models.Power)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if !bug.Allowed() {
+			t.Errorf("%s: buggy variant's violation unreachable", c.Name)
+		}
+	}
+}
+
+// TestCasesSCSafe: even the buggy variants are safe under SC — the bugs
+// are weak-memory bugs, invisible to interleaving-based reasoning. This is
+// the paper's central motivation for hardware models.
+func TestCasesSCSafe(t *testing.T) {
+	for _, c := range cases.All() {
+		out, err := sim.Run(c.BuggyTest(), models.SC)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if out.Allowed() {
+			t.Errorf("%s: buggy variant already fails under SC — not a weak-memory bug", c.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := cases.ByName("RCU"); !ok {
+		t.Error("ByName(RCU) failed")
+	}
+	if _, ok := cases.ByName("Minix"); ok {
+		t.Error("ByName(Minix) succeeded")
+	}
+}

@@ -1,0 +1,398 @@
+package cat_test
+
+import (
+	"strings"
+	"testing"
+
+	"herdcats/internal/cat"
+	"herdcats/internal/catalog"
+	"herdcats/internal/core"
+	"herdcats/internal/exec"
+	"herdcats/internal/litmus"
+	"herdcats/internal/models"
+	"herdcats/internal/sim"
+)
+
+// TestCatMatchesNative is the key test of Sec. 8.3: the cat sources
+// (power.cat is Fig. 38 verbatim) compiled by our interpreter must agree
+// with the hand-written Go models on every candidate execution of every
+// catalogue test.
+func TestCatMatchesNative(t *testing.T) {
+	pairs := []struct {
+		catName string
+		native  models.Model
+	}{
+		{"sc", models.SC},
+		{"tso", models.TSO},
+		{"power", models.Power},
+		{"arm", models.ARM},
+		{"arm-llh", models.ARMllh},
+		{"power-arm", models.PowerARM},
+	}
+	for _, pair := range pairs {
+		pair := pair
+		t.Run(pair.catName, func(t *testing.T) {
+			m, err := cat.Builtin(pair.catName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range catalog.Tests() {
+				p, err := exec.Compile(e.Test())
+				if err != nil {
+					t.Fatalf("%s: %v", e.Name, err)
+				}
+				mismatches := 0
+				err = p.Enumerate(func(c *exec.Candidate) bool {
+					catRes := m.Check(c.X)
+					natRes := pair.native.Check(c.X)
+					if catRes.Valid != natRes.Valid {
+						mismatches++
+						t.Errorf("%s: cat %s = %v (failed %v), native %s = %v (failed %v)",
+							e.Name, pair.catName, catRes.Valid, catRes.FailedChecks,
+							pair.native.Name(), natRes.Valid, natRes.FailedChecks)
+						return mismatches < 3
+					}
+					return true
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestBuiltinVerdicts runs the whole catalogue against the cat models and
+// asserts the paper's verdicts (the cat analogue of TestFigureVerdicts).
+func TestBuiltinVerdicts(t *testing.T) {
+	catOf := map[string]string{
+		"SC": "sc", "TSO": "tso", "Power": "power",
+		"Power-ARM": "power-arm", "ARM": "arm", "ARM llh": "arm-llh",
+	}
+	for _, e := range catalog.Tests() {
+		for modelName, want := range e.Expect {
+			catName, ok := catOf[modelName]
+			if !ok {
+				continue // C++ R-A has no cat file
+			}
+			m, err := cat.Builtin(catName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := sim.Run(e.Test(), m)
+			if err != nil {
+				t.Fatalf("%s under %s: %v", e.Name, catName, err)
+			}
+			if out.Allowed() != want {
+				t.Errorf("%s under cat %s: allowed=%v want %v", e.Name, catName, out.Allowed(), want)
+			}
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"unterminated comment", "(* oops", "unterminated comment"},
+		{"unknown relation", "acyclic zarf", `undefined relation "zarf"`},
+		{"missing paren", "acyclic (po-loc|rf", "expected ')'"},
+		{"bad token", "acyclic po-loc @", "unexpected"},
+		{"let without name", "let = po", "expected binding name"},
+		{"let without eq", "let x po", "expected '='"},
+		{"unterminated string", "\"Power", "unterminated string"},
+		{"as without name", "acyclic po as ;", "expected check name"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := cat.Compile(c.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestModelName(t *testing.T) {
+	m := cat.MustCompile(`"My Model"` + "\nacyclic po-loc|rf|fr|co")
+	if m.Name() != "My Model" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	m = cat.MustCompile("acyclic po-loc|rf|fr|co")
+	if m.Name() != "cat-model" {
+		t.Errorf("default Name = %q", m.Name())
+	}
+}
+
+// TestOperatorSemantics exercises the evaluator's operators on a tiny
+// hand-made execution through a user-defined model.
+func TestOperatorSemantics(t *testing.T) {
+	// A model whose single check is violated exactly when there is an
+	// internal rf: "empty rfi".
+	m := cat.MustCompile(`"rfi-detector"` + "\nempty rfi as no-internal-rf")
+	entry, _ := catalog.ByName("mp+dmb+fri-rfi-ctrlisb")
+	p, err := exec.Compile(entry.Test())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawInternal := false
+	sawExternalOnly := false
+	err = p.Enumerate(func(c *exec.Candidate) bool {
+		res := m.Check(c.X)
+		if res.Valid == c.X.RFI.IsEmpty() {
+			if res.Valid {
+				sawExternalOnly = true
+			} else {
+				sawInternal = true
+			}
+			return true
+		}
+		t.Errorf("empty rfi check disagrees with RFI relation")
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawInternal || !sawExternalOnly {
+		t.Error("test did not exercise both rfi outcomes")
+	}
+}
+
+// TestRestrictors checks the direction restrictors via the TSO ppo
+// definition po \ WR(po).
+func TestRestrictors(t *testing.T) {
+	m := cat.MustCompile("acyclic WR(po)|rfe as silly")
+	entry, _ := catalog.ByName("sb")
+	p, err := exec.Compile(entry.Test())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	err = p.Enumerate(func(c *exec.Candidate) bool {
+		ran = true
+		po := c.X.PO.Restrict(c.X.M, c.X.M)
+		want := po.Restrict(c.X.W, c.X.R).Union(c.X.RFE).Acyclic()
+		if got := m.Check(c.X).Valid; got != want {
+			t.Errorf("WR(po)|rfe acyclic = %v, want %v", got, want)
+		}
+		return !t.Failed()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("no candidates")
+	}
+}
+
+func TestBuiltinNames(t *testing.T) {
+	names := cat.BuiltinNames()
+	want := []string{"arm", "arm-llh", "c11", "cpp-ra", "power", "power-arm", "sc", "tso"}
+	if len(names) != len(want) {
+		t.Fatalf("BuiltinNames = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("BuiltinNames = %v, want %v", names, want)
+		}
+	}
+	if _, err := cat.Builtin("nope"); err == nil {
+		t.Error("Builtin(nope) should fail")
+	}
+	src, err := cat.BuiltinSource("power")
+	if err != nil || !strings.Contains(src, "let ppo = RR(ii)|RW(ic)") {
+		t.Errorf("BuiltinSource(power) wrong: %v", err)
+	}
+}
+
+// TestCppRACat: the cat encoding of C++ R-A (with the HBVSMO weakening of
+// PROPAGATION, Sec. 4.8) agrees with the native model on every candidate
+// of the whole catalogue.
+func TestCppRACat(t *testing.T) {
+	m, err := cat.Builtin("cpp-ra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range catalog.Tests() {
+		p, err := exec.Compile(e.Test())
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		err = p.Enumerate(func(c *exec.Candidate) bool {
+			catRes := m.Check(c.X)
+			natRes := models.CppRA.Check(c.X)
+			if catRes.Valid != natRes.Valid {
+				t.Errorf("%s: cat cpp-ra=%v (failed %v), native=%v (failed %v)",
+					e.Name, catRes.Valid, catRes.FailedChecks, natRes.Valid, natRes.FailedChecks)
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLLHFilterModel reproduces footnote 12 of the paper: the model whose
+// single check is reflexive(po-loc;fr;rf) selects exactly the load-load
+// hazard behaviours — it "passes" (is valid) precisely on executions
+// containing a coRR violation.
+func TestLLHFilterModel(t *testing.T) {
+	m := cat.MustCompile(`"llh-filter"` + "\nreflexive po-loc;fr;rf as llh")
+	entry, _ := catalog.ByName("coRR")
+	p, err := exec.Compile(entry.Test())
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched, unmatched := 0, 0
+	err = p.Enumerate(func(c *exec.Candidate) bool {
+		// Ground truth: a candidate is an llh behaviour iff it violates
+		// strict SC PER LOCATION but passes with read-read pairs dropped.
+		strict := core.SCPerLocationHolds(c.X, core.Options{})
+		loose := core.SCPerLocationHolds(c.X, core.Options{AllowLoadLoadHazard: true})
+		isLLH := !strict && loose
+		if got := m.Check(c.X).Valid; got != isLLH {
+			t.Errorf("llh filter = %v, ground truth = %v", got, isLLH)
+			return false
+		}
+		if isLLH {
+			matched++
+		} else {
+			unmatched++
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matched == 0 || unmatched == 0 {
+		t.Errorf("filter did not discriminate: %d matched, %d unmatched", matched, unmatched)
+	}
+}
+
+// TestOperatorCoverage exercises the remaining cat operators: ?, ~, 0,
+// and the show directive.
+func TestOperatorCoverage(t *testing.T) {
+	m := cat.MustCompile(`"ops"
+show rf as readfrom
+let maybe = rf?
+let none = 0
+let everything = ~none
+acyclic none as trivially-empty
+irreflexive maybe & (po;po) as weird`)
+	entry, _ := catalog.ByName("mp")
+	p, err := exec.Compile(entry.Test())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	err = p.Enumerate(func(c *exec.Candidate) bool {
+		ran = true
+		res := m.Check(c.X)
+		// rf? is reflexive on memory events; po;po over two-instruction
+		// threads is empty beyond... just require the check machinery ran.
+		_ = res
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("no candidates")
+	}
+}
+
+// TestExplainWitness: on a forbidden execution the cat model's Explain
+// returns genuine witnesses for the violated checks.
+func TestExplainWitness(t *testing.T) {
+	m, err := cat.Builtin("sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, _ := catalog.ByName("sb")
+	p, err := exec.Compile(entry.Test())
+	if err != nil {
+		t.Fatal(err)
+	}
+	explained := false
+	err = p.Enumerate(func(c *exec.Candidate) bool {
+		if entry.Test().Cond.Eval(c.State) {
+			vs := m.Explain(c.X)
+			if len(vs) == 0 {
+				t.Error("no violations explained for the SC-forbidden sb state")
+				return false
+			}
+			for _, v := range vs {
+				if v.Kind == "acyclic" && len(v.Witness) < 2 {
+					t.Errorf("%s: witness too short: %v", v.Check, v.Witness)
+				}
+			}
+			explained = true
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !explained {
+		t.Fatal("condition state not enumerated")
+	}
+	// Valid executions yield no violations.
+	err = p.Enumerate(func(c *exec.Candidate) bool {
+		if m.Check(c.X).Valid {
+			if vs := m.Explain(c.X); len(vs) != 0 {
+				t.Errorf("valid execution explained: %v", vs)
+			}
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestC11Cat: the cat formulation of the mixed-access C11 model (using the
+// sw builtin) agrees with the native Go model on mixed-order tests.
+func TestC11Cat(t *testing.T) {
+	m, err := cat.Builtin("c11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := map[string]bool{ // source -> allowed?
+		`C catc11-mp-ra
+{ }
+ P0 | P1 ;
+ atomic_store_explicit(x, 1, relaxed) | r1 = atomic_load_explicit(y, acquire) ;
+ atomic_store_explicit(y, 1, release) | r2 = atomic_load_explicit(x, relaxed) ;
+exists (1:r1=1 /\ 1:r2=0)`: false,
+		`C catc11-mp-rlx
+{ }
+ P0 | P1 ;
+ atomic_store_explicit(x, 1, relaxed) | r1 = atomic_load_explicit(y, relaxed) ;
+ atomic_store_explicit(y, 1, relaxed) | r2 = atomic_load_explicit(x, relaxed) ;
+exists (1:r1=1 /\ 1:r2=0)`: true,
+	}
+	for src, want := range srcs {
+		test := litmus.MustParse(src)
+		out, err := sim.Run(test, m)
+		if err != nil {
+			t.Fatalf("%s: %v", test.Name, err)
+		}
+		if out.Allowed() != want {
+			t.Errorf("%s under cat c11: allowed=%v, want %v", test.Name, out.Allowed(), want)
+		}
+		native, err := sim.Run(test, models.C11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if native.Allowed() != out.Allowed() {
+			t.Errorf("%s: cat c11 and native C11 disagree", test.Name)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package cat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"herdcats/internal/events"
+)
+
+// TestCompileNeverPanics: Compile is total over arbitrary inputs.
+func TestCompileNeverPanics(t *testing.T) {
+	safe := func(src string) (panicked bool) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		_, _ = Compile(src)
+		return false
+	}
+	f := func(data []byte) bool { return !safe(string(data)) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Token-soup pass over the cat vocabulary.
+	tokens := []string{
+		"let", "rec", "and", "acyclic", "irreflexive", "empty", "as", "show",
+		"po", "rf", "fr", "co", "po-loc", "rfe", "fre", "|", "&", ";", "\\",
+		"+", "*", "?", "(", ")", "0", "~", "=", "x", "RR", "WW", "(*", "*)", "\"",
+		" ", "\n",
+	}
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 1000; i++ {
+		var src string
+		for k := 0; k < 1+rng.Intn(12); k++ {
+			src += tokens[rng.Intn(len(tokens))]
+		}
+		if safe(src) {
+			t.Fatalf("Compile panicked on %q", src)
+		}
+	}
+}
+
+// TestFixpointCap: a pathological recursive definition that keeps growing
+// must hit the iteration cap rather than loop forever. All cat operators
+// are monotone over a finite universe, so convergence is guaranteed; this
+// guards the panic path with a hand-made infinite generator via Complement,
+// which is NOT monotone — the evaluator must still terminate (by panicking
+// or converging), never hang.
+func TestFixpointNonMonotoneTerminates(t *testing.T) {
+	m, err := Compile("let rec r = ~r\nacyclic r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { recover() }() // a panic is acceptable; hanging is not
+	_ = m.Check(tinyExecution())
+}
+
+// tinyExecution builds a 2-event execution for evaluator tests.
+func tinyExecution() *events.Execution {
+	x := events.NewExecution(2)
+	x.Events = []events.Event{
+		{ID: 0, Tid: 0, PC: 0, Kind: events.MemWrite, Loc: "x", Val: 1},
+		{ID: 1, Tid: 0, PC: 1, Kind: events.MemRead, Loc: "x", Val: 1},
+	}
+	x.PO.Add(0, 1)
+	x.RF.Add(0, 1)
+	x.Derive()
+	return x
+}

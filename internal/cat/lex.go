@@ -1,0 +1,187 @@
+// Package cat implements the model-description language of herd (Fig. 38):
+// a concise relational DSL in which a memory model is a sequence of
+// definitions (let / let rec ... and ...) over built-in event relations,
+// and a set of validity checks (acyclic / irreflexive / empty). Given a
+// model source, Compile produces a Checker usable wherever the built-in Go
+// models are — "given a specification of a model, the tool becomes a
+// simulator for that model" (Sec. 8.3).
+package cat
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokLet
+	tokRec
+	tokAnd
+	tokAcyclic
+	tokIrreflexive
+	tokReflexive
+	tokEmpty
+	tokAs
+	tokShow // accepted and ignored (herd display directive)
+	tokEquals
+	tokBar       // |
+	tokAmp       // &
+	tokSemi      // ;
+	tokBackslash // \
+	tokPlus      // +
+	tokStar      // *
+	tokQuestion  // ?
+	tokLParen
+	tokRParen
+	tokZero   // 0, the empty relation
+	tokTilde  // ~ complement (rarely used; supported)
+	tokString // quoted model name
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int // byte offset, for error messages
+	line int
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	line   int
+	tokens []token
+}
+
+// isIdentRune allows '-' and '.' inside identifiers so that names like
+// po-loc, prop-base and dmb.st lex as single tokens, as in herd.
+func isIdentRune(r rune, first bool) bool {
+	if unicode.IsLetter(r) || r == '_' {
+		return true
+	}
+	if first {
+		return false
+	}
+	return unicode.IsDigit(r) || r == '-' || r == '.'
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '(' && strings.HasPrefix(l.src[l.pos:], "(*"):
+			if err := l.comment(); err != nil {
+				return nil, err
+			}
+		case c == '(':
+			l.emit(tokLParen, "(")
+		case c == ')':
+			l.emit(tokRParen, ")")
+		case c == '|':
+			l.emit(tokBar, "|")
+		case c == '&':
+			l.emit(tokAmp, "&")
+		case c == ';':
+			l.emit(tokSemi, ";")
+		case c == '\\':
+			l.emit(tokBackslash, "\\")
+		case c == '+':
+			l.emit(tokPlus, "+")
+		case c == '*':
+			l.emit(tokStar, "*")
+		case c == '?':
+			l.emit(tokQuestion, "?")
+		case c == '~':
+			l.emit(tokTilde, "~")
+		case c == '=':
+			l.emit(tokEquals, "=")
+		case c == '0':
+			l.emit(tokZero, "0")
+		case c == '"':
+			if err := l.quoted(); err != nil {
+				return nil, err
+			}
+		case isIdentRune(c, true):
+			l.ident()
+		default:
+			return nil, fmt.Errorf("cat: line %d: unexpected character %q", l.line, c)
+		}
+	}
+	l.tokens = append(l.tokens, token{kind: tokEOF, pos: l.pos, line: l.line})
+	return l.tokens, nil
+}
+
+func (l *lexer) emit(k tokKind, text string) {
+	l.tokens = append(l.tokens, token{kind: k, text: text, pos: l.pos, line: l.line})
+	l.pos += len(text)
+}
+
+func (l *lexer) comment() error {
+	depth := 0
+	start := l.line
+	for l.pos < len(l.src) {
+		if strings.HasPrefix(l.src[l.pos:], "(*") {
+			depth++
+			l.pos += 2
+			continue
+		}
+		if strings.HasPrefix(l.src[l.pos:], "*)") {
+			depth--
+			l.pos += 2
+			if depth == 0 {
+				return nil
+			}
+			continue
+		}
+		if l.src[l.pos] == '\n' {
+			l.line++
+		}
+		l.pos++
+	}
+	return fmt.Errorf("cat: unterminated comment opened on line %d", start)
+}
+
+func (l *lexer) quoted() error {
+	end := strings.IndexByte(l.src[l.pos+1:], '"')
+	if end < 0 {
+		return fmt.Errorf("cat: line %d: unterminated string", l.line)
+	}
+	text := l.src[l.pos+1 : l.pos+1+end]
+	l.tokens = append(l.tokens, token{kind: tokString, text: text, pos: l.pos, line: l.line})
+	l.pos += end + 2
+	return nil
+}
+
+var keywords = map[string]tokKind{
+	"let":         tokLet,
+	"rec":         tokRec,
+	"and":         tokAnd,
+	"acyclic":     tokAcyclic,
+	"irreflexive": tokIrreflexive,
+	"reflexive":   tokReflexive,
+	"empty":       tokEmpty,
+	"as":          tokAs,
+	"show":        tokShow,
+}
+
+func (l *lexer) ident() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentRune(rune(l.src[l.pos]), l.pos == start) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	if k, ok := keywords[text]; ok {
+		l.tokens = append(l.tokens, token{kind: k, text: text, pos: start, line: l.line})
+		return
+	}
+	l.tokens = append(l.tokens, token{kind: tokIdent, text: text, pos: start, line: l.line})
+}

@@ -1,0 +1,77 @@
+package catalog_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"herdcats/internal/catalog"
+	"herdcats/internal/litmus"
+)
+
+func TestEntriesWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range catalog.Tests() {
+		if seen[e.Name] {
+			t.Errorf("duplicate catalogue entry %q", e.Name)
+		}
+		seen[e.Name] = true
+		test, err := litmus.Parse(e.Source)
+		if err != nil {
+			t.Errorf("%s: parse: %v", e.Name, err)
+			continue
+		}
+		if test.Name != e.Name {
+			t.Errorf("entry %q declares litmus name %q", e.Name, test.Name)
+		}
+		if e.Figure == "" {
+			t.Errorf("%s: missing figure reference", e.Name)
+		}
+		if len(e.Expect) == 0 {
+			t.Errorf("%s: no expected verdicts", e.Name)
+		}
+	}
+	if len(seen) < 50 {
+		t.Errorf("catalogue has only %d entries", len(seen))
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := catalog.ByName("mp"); !ok {
+		t.Error("ByName(mp) failed")
+	}
+	if _, ok := catalog.ByName("nonexistent"); ok {
+		t.Error("ByName(nonexistent) succeeded")
+	}
+}
+
+// TestTestdataInSync: every catalogue entry exists as a .litmus file under
+// testdata and parses to the same test. Run with CATALOG_UPDATE=1 to
+// regenerate the files after editing the catalogue.
+func TestTestdataInSync(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "litmus")
+	update := os.Getenv("CATALOG_UPDATE") == "1"
+	for _, e := range catalog.Tests() {
+		name := strings.NewReplacer("/", "_", " ", "_").Replace(e.Name)
+		path := filepath.Join(dir, name+".litmus")
+		if update {
+			if err := os.WriteFile(path, []byte(e.Source+"\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("%s: %v (run with CATALOG_UPDATE=1 to regenerate)", e.Name, err)
+			continue
+		}
+		test, err := litmus.Parse(string(data))
+		if err != nil {
+			t.Errorf("%s: file does not parse: %v", e.Name, err)
+			continue
+		}
+		if test.Name != e.Name {
+			t.Errorf("%s: file holds test %q", e.Name, test.Name)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"herdcats/internal/events"
+)
+
+// Violation is one axiom failure with a witness: the events forming the
+// cycle (for acyclicity axioms) or the reflexive chain (for OBSERVATION).
+type Violation struct {
+	Axiom   Axiom
+	Witness []int // event IDs, each related to the next, last to first
+}
+
+// Explain re-checks an execution and returns a witness for every violated
+// axiom — the cycles herd shows when it tells you *why* a behaviour is
+// forbidden. For valid executions it returns nil.
+func Explain(arch Architecture, x *events.Execution, opts Options) []Violation {
+	var out []Violation
+
+	poloc := x.POLoc
+	if opts.AllowLoadLoadHazard {
+		poloc = poloc.Diff(poloc.Restrict(x.R, x.R))
+	}
+	if w := poloc.Union(x.Com).CycleWitness(); w != nil {
+		out = append(out, Violation{Axiom: SCPerLocation, Witness: w})
+	}
+
+	ppo := arch.PPO(x)
+	fences := arch.Fences(x)
+	hb := HB(x, ppo, fences)
+	if !opts.SkipNoThinAir {
+		if w := hb.CycleWitness(); w != nil {
+			out = append(out, Violation{Axiom: NoThinAir, Witness: w})
+		}
+	}
+
+	prop := arch.Prop(x, ppo, fences)
+	obs := x.FRE.Seq(prop).Seq(hb.Star())
+	for i := 0; i < x.N(); i++ {
+		if obs.Has(i, i) {
+			out = append(out, Violation{Axiom: Observation, Witness: []int{i}})
+			break
+		}
+	}
+
+	if opts.WeakPropagation {
+		pc := prop.Seq(x.CO)
+		for i := 0; i < x.N(); i++ {
+			if pc.Has(i, i) {
+				out = append(out, Violation{Axiom: Propagation, Witness: []int{i}})
+				break
+			}
+		}
+	} else if w := x.CO.Union(prop).CycleWitness(); w != nil {
+		out = append(out, Violation{Axiom: Propagation, Witness: w})
+	}
+	return out
+}
+
+// FormatViolations renders witnesses with the execution's event labels.
+func FormatViolations(x *events.Execution, vs []Violation) string {
+	var b strings.Builder
+	for _, v := range vs {
+		fmt.Fprintf(&b, "%s violated", v.Axiom)
+		if len(v.Witness) == 1 {
+			fmt.Fprintf(&b, " (reflexive at %s)", x.Events[v.Witness[0]])
+		} else if len(v.Witness) > 1 {
+			b.WriteString(": cycle ")
+			for i, id := range v.Witness {
+				if i > 0 {
+					b.WriteString(" -> ")
+				}
+				b.WriteString(x.Events[id].String())
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

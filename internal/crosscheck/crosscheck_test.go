@@ -1,0 +1,178 @@
+// Package crosscheck_test validates that every engine in the repository
+// agrees with every other on a generated corpus (not just the catalogue):
+// the native Go models, the cat interpreter, the intermediate operational
+// machine (Thm. 7.1) and the SAT-based model checker all implement the
+// same mathematical object.
+package crosscheck_test
+
+import (
+	"testing"
+
+	"herdcats/internal/bmc"
+	"herdcats/internal/cat"
+	"herdcats/internal/diy"
+	"herdcats/internal/exec"
+	"herdcats/internal/litmus"
+	"herdcats/internal/machine"
+	"herdcats/internal/models"
+	"herdcats/internal/sim"
+)
+
+// corpus builds a deterministic sample of generated Power tests: every
+// length-3 cycle plus a slice of length-4 ones.
+func corpus(t *testing.T, max4 int) []*litmus.Test {
+	t.Helper()
+	var tests []*litmus.Test
+	count4 := 0
+	diy.Enumerate(diy.PowerPool(), 3, 4, func(c diy.Cycle) bool {
+		test, err := diy.Generate(litmus.PPC, c)
+		if err != nil {
+			return true
+		}
+		if len(c) == 4 {
+			count4++
+			if count4%11 != 0 || count4/11 > max4 {
+				return true // sample the length-4 space
+			}
+		}
+		tests = append(tests, test)
+		return true
+	})
+	if len(tests) < 100 {
+		t.Fatalf("corpus too small: %d", len(tests))
+	}
+	return tests
+}
+
+// TestAllGeneratedSCForbidden: diy cycles are critical cycles — minimal SC
+// violations — so no generated test's condition is SC-observable.
+func TestAllGeneratedSCForbidden(t *testing.T) {
+	for _, test := range corpus(t, 80) {
+		out, err := sim.Run(test, models.SC)
+		if err != nil {
+			t.Fatalf("%s: %v", test.Name, err)
+		}
+		if out.Allowed() {
+			t.Errorf("%s: observable under SC\n%s", test.Name, test)
+		}
+	}
+}
+
+// TestCatAgreesOnCorpus: the Fig. 38 cat model equals the native Power
+// model on every candidate execution of the corpus.
+func TestCatAgreesOnCorpus(t *testing.T) {
+	catPower, err := cat.Builtin("power")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, test := range corpus(t, 40) {
+		p, err := exec.Compile(test)
+		if err != nil {
+			t.Fatalf("%s: %v", test.Name, err)
+		}
+		err = p.Enumerate(func(c *exec.Candidate) bool {
+			if catPower.Check(c.X).Valid != models.Power.Check(c.X).Valid {
+				t.Errorf("%s: cat and native Power disagree", test.Name)
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMachineAgreesOnCorpus extends the Thm. 7.1 equivalence check beyond
+// the catalogue: operational acceptance equals axiomatic validity on every
+// candidate execution of the sampled corpus.
+func TestMachineAgreesOnCorpus(t *testing.T) {
+	for _, test := range corpus(t, 25) {
+		p, err := exec.Compile(test)
+		if err != nil {
+			t.Fatalf("%s: %v", test.Name, err)
+		}
+		err = p.Enumerate(func(c *exec.Candidate) bool {
+			m, err := machine.New(models.Power.Arch, c.X)
+			if err != nil {
+				t.Fatalf("%s: %v", test.Name, err)
+			}
+			ax := models.Power.Check(c.X).Valid
+			if m.Accepts() != ax {
+				t.Errorf("%s: machine=%v axioms=%v", test.Name, m.Accepts(), ax)
+				return false
+			}
+			// And for valid executions, the Lemma 7.3 path is accepted.
+			if ax {
+				path, ok := m.ConstructPath()
+				if !ok || !m.AcceptsPath(path) {
+					t.Errorf("%s: constructed path rejected", test.Name)
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBMCAgreesOnCorpus: SAT reachability equals simulator observability
+// under SC, TSO and Power on the sampled corpus.
+func TestBMCAgreesOnCorpus(t *testing.T) {
+	for _, test := range corpus(t, 20) {
+		for _, id := range []bmc.ModelID{bmc.SC, bmc.TSO, bmc.Power} {
+			inst, err := bmc.Encode(test, id)
+			if err != nil {
+				t.Fatalf("%s: %v", test.Name, err)
+			}
+			var m models.Model
+			switch id {
+			case bmc.SC:
+				m = models.SC
+			case bmc.TSO:
+				m = models.TSO
+			default:
+				m = models.Power
+			}
+			out, err := sim.Run(test, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if inst.Solve() != out.Allowed() {
+				t.Errorf("%s under %s: BMC disagrees with simulator", test.Name, id)
+			}
+		}
+	}
+}
+
+// TestModelMonotonicityOnCorpus: SC-valid executions stay valid under the
+// weaker models, per candidate.
+func TestModelMonotonicityOnCorpus(t *testing.T) {
+	for _, test := range corpus(t, 40) {
+		p, err := exec.Compile(test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = p.Enumerate(func(c *exec.Candidate) bool {
+			if models.SC.Check(c.X).Valid {
+				for _, m := range []models.Model{models.TSO, models.Power, models.PowerStatic} {
+					if !m.Check(c.X).Valid {
+						t.Errorf("%s: SC-valid but invalid under %s", test.Name, m.Name())
+						return false
+					}
+				}
+			}
+			// The static ppo is weaker than the full one.
+			if models.Power.Check(c.X).Valid && !models.PowerStatic.Check(c.X).Valid {
+				t.Errorf("%s: full Power valid but nodetour invalid", test.Name)
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package diy_test
+
+import (
+	"strings"
+	"testing"
+
+	"herdcats/internal/diy"
+	"herdcats/internal/events"
+	"herdcats/internal/litmus"
+	"herdcats/internal/models"
+	"herdcats/internal/sim"
+)
+
+// Shorthand edge constructors for tests.
+func rfe() diy.Edge { return diy.Edge{Kind: diy.Rfe, Src: diy.W, Dst: diy.R} }
+func fre() diy.Edge { return diy.Edge{Kind: diy.Fre, Src: diy.R, Dst: diy.W} }
+func wse() diy.Edge { return diy.Edge{Kind: diy.Wse, Src: diy.W, Dst: diy.W} }
+func po(s, d diy.Dir) diy.Edge {
+	return diy.Edge{Kind: diy.Po, Src: s, Dst: d}
+}
+func fenced(k events.FenceKind, s, d diy.Dir) diy.Edge {
+	return diy.Edge{Kind: diy.Fenced, Src: s, Dst: d, Fence: k}
+}
+func dep(k diy.DepKind, d diy.Dir) diy.Edge {
+	return diy.Edge{Kind: diy.Dep, Src: diy.R, Dst: d, Dep: k}
+}
+
+func verdict(t *testing.T, test *litmus.Test, m sim.Checker) bool {
+	t.Helper()
+	out, err := sim.Run(test, m)
+	if err != nil {
+		t.Fatalf("%s: %v", test.Name, err)
+	}
+	return out.Allowed()
+}
+
+// TestGeneratedFamilies reproduces the classic patterns as diy cycles and
+// checks their model verdicts match the hand-written catalogue versions.
+func TestGeneratedFamilies(t *testing.T) {
+	cases := []struct {
+		name  string
+		arch  litmus.Arch
+		cycle diy.Cycle
+		model sim.Checker
+		want  bool // condition observable?
+	}{
+		{"mp-cycle", litmus.PPC,
+			diy.Cycle{po(diy.W, diy.W), rfe(), po(diy.R, diy.R), fre()},
+			models.Power, true},
+		{"mp+lwsync+addr-cycle", litmus.PPC,
+			diy.Cycle{fenced(events.FenceLwsync, diy.W, diy.W), rfe(), dep(diy.DepAddr, diy.R), fre()},
+			models.Power, false},
+		{"mp+syncs-cycle", litmus.PPC,
+			diy.Cycle{fenced(events.FenceSync, diy.W, diy.W), rfe(), fenced(events.FenceSync, diy.R, diy.R), fre()},
+			models.Power, false},
+		{"sb-cycle", litmus.PPC,
+			diy.Cycle{po(diy.W, diy.R), fre(), po(diy.W, diy.R), fre()},
+			models.Power, true},
+		{"sb+syncs-cycle", litmus.PPC,
+			diy.Cycle{fenced(events.FenceSync, diy.W, diy.R), fre(), fenced(events.FenceSync, diy.W, diy.R), fre()},
+			models.Power, false},
+		{"2+2w+lwsyncs-cycle", litmus.PPC,
+			diy.Cycle{fenced(events.FenceLwsync, diy.W, diy.W), wse(), fenced(events.FenceLwsync, diy.W, diy.W), wse()},
+			models.Power, false},
+		{"2+2w-cycle", litmus.PPC,
+			diy.Cycle{po(diy.W, diy.W), wse(), po(diy.W, diy.W), wse()},
+			models.Power, true},
+		{"lb+addrs-cycle", litmus.PPC,
+			diy.Cycle{dep(diy.DepAddr, diy.W), rfe(), dep(diy.DepAddr, diy.W), rfe()},
+			models.Power, false},
+		{"lb-cycle", litmus.PPC,
+			diy.Cycle{po(diy.R, diy.W), rfe(), po(diy.R, diy.W), rfe()},
+			models.Power, true},
+		{"wrc+lwsync+addr-cycle", litmus.PPC,
+			diy.Cycle{rfe(), fenced(events.FenceLwsync, diy.R, diy.W), rfe(), dep(diy.DepAddr, diy.R), fre()},
+			models.Power, false},
+		{"iriw+syncs-cycle", litmus.PPC,
+			diy.Cycle{rfe(), fenced(events.FenceSync, diy.R, diy.R), fre(), rfe(), fenced(events.FenceSync, diy.R, diy.R), fre()},
+			models.Power, false},
+		{"iriw+lwsyncs-cycle", litmus.PPC,
+			diy.Cycle{rfe(), fenced(events.FenceLwsync, diy.R, diy.R), fre(), rfe(), fenced(events.FenceLwsync, diy.R, diy.R), fre()},
+			models.Power, true},
+		{"mp+dmbs-cycle", litmus.ARM,
+			diy.Cycle{fenced(events.FenceDMB, diy.W, diy.W), rfe(), fenced(events.FenceDMB, diy.R, diy.R), fre()},
+			models.ARM, false},
+		{"sb-x86-cycle", litmus.X86,
+			diy.Cycle{po(diy.W, diy.R), fre(), po(diy.W, diy.R), fre()},
+			models.TSO, true},
+		{"sb+mfences-x86-cycle", litmus.X86,
+			diy.Cycle{fenced(events.FenceMFence, diy.W, diy.R), fre(), fenced(events.FenceMFence, diy.W, diy.R), fre()},
+			models.TSO, false},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			test, err := diy.Generate(c.arch, c.cycle)
+			if err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+			if got := verdict(t, test, c.model); got != c.want {
+				t.Errorf("%s under %s: allowed=%v, want %v\ntest:\n%s",
+					test.Name, c.model.Name(), got, c.want, test)
+			}
+			// Every generated test must be SC-forbidden: diy cycles are
+			// critical cycles, i.e. minimal SC violations (Sec. 9).
+			if verdict(t, test, models.SC) {
+				t.Errorf("%s: generated critical cycle observable under SC\n%s", test.Name, test)
+			}
+		})
+	}
+}
+
+func TestCycleValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		cycle diy.Cycle
+	}{
+		{"direction mismatch", diy.Cycle{rfe(), rfe()}},
+		{"no external edge", diy.Cycle{po(diy.W, diy.R), po(diy.R, diy.W)}},
+		{"short", diy.Cycle{rfe()}},
+		{"bad rfe", diy.Cycle{{Kind: diy.Rfe, Src: diy.R, Dst: diy.R}, po(diy.R, diy.R)}},
+		{"data to read", diy.Cycle{{Kind: diy.Dep, Src: diy.R, Dst: diy.R, Dep: diy.DepData}, rfe()}},
+	}
+	for _, c := range cases {
+		if err := c.cycle.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestRejects(t *testing.T) {
+	// Rfe immediately followed by Fre back into the same write is
+	// coherence-contradictory and must be rejected.
+	_, err := diy.Generate(litmus.PPC, diy.Cycle{rfe(), fre()})
+	if err == nil {
+		t.Error("expected rejection of Rfe;Fre length-2 cycle")
+	}
+	// x86 has no dependency idioms.
+	_, err = diy.Generate(litmus.X86, diy.Cycle{dep(diy.DepAddr, diy.W), rfe(), po(diy.R, diy.W), rfe()})
+	if err == nil {
+		t.Error("expected rejection of deps on x86")
+	}
+	// Power fences are not in the x86 dialect.
+	_, err = diy.Generate(litmus.X86, diy.Cycle{fenced(events.FenceSync, diy.W, diy.R), fre(), po(diy.W, diy.R), fre()})
+	if err == nil {
+		t.Error("expected rejection of sync on x86")
+	}
+}
+
+func TestEnumerateCorpus(t *testing.T) {
+	pool := []diy.Edge{rfe(), fre(), wse(), po(diy.W, diy.W), po(diy.R, diy.R), po(diy.W, diy.R), po(diy.R, diy.W),
+		fenced(events.FenceSync, diy.W, diy.W), fenced(events.FenceLwsync, diy.W, diy.W)}
+	count := 0
+	generated := 0
+	diy.Enumerate(pool, 3, 4, func(c diy.Cycle) bool {
+		count++
+		test, err := diy.Generate(litmus.PPC, c)
+		if err != nil {
+			if _, ok := err.(diy.ErrReject); !ok {
+				t.Fatalf("%s: %v", c.Name(), err)
+			}
+			return true
+		}
+		generated++
+		if _, err := sim.Run(test, models.Power); err != nil {
+			t.Fatalf("%s: simulation failed: %v\n%s", c.Name(), err, test)
+		}
+		return generated < 60 // keep the unit test fast
+	})
+	if count < 50 {
+		t.Errorf("enumerated only %d cycles", count)
+	}
+	if generated < 40 {
+		t.Errorf("generated only %d tests", generated)
+	}
+}
+
+func TestCanonicalDedup(t *testing.T) {
+	// The same cycle must not be yielded twice under rotation.
+	pool := []diy.Edge{rfe(), fre(), po(diy.W, diy.W), po(diy.R, diy.R)}
+	seen := map[string]bool{}
+	diy.Enumerate(pool, 4, 4, func(c diy.Cycle) bool {
+		test, err := diy.Generate(litmus.PPC, c)
+		if err != nil {
+			return true
+		}
+		key := canonicalTestKey(test)
+		if seen[key] {
+			t.Errorf("duplicate test body generated: %s", c.Name())
+		}
+		seen[key] = true
+		return true
+	})
+	if len(seen) == 0 {
+		t.Fatal("nothing generated")
+	}
+}
+
+func canonicalTestKey(test *litmus.Test) string {
+	var b strings.Builder
+	for _, th := range test.Threads {
+		b.WriteString(strings.Join(th, ";"))
+		b.WriteString("||")
+	}
+	return b.String()
+}
+
+func TestParseEdge(t *testing.T) {
+	cases := []struct {
+		in   string
+		want diy.Edge
+	}{
+		{"Rfe", rfe()},
+		{"Fre", fre()},
+		{"Wse", wse()},
+		{"PodWR", po(diy.W, diy.R)},
+		{"PosRR", diy.Edge{Kind: diy.Po, Src: diy.R, Dst: diy.R, SameLoc: true}},
+		{"SyncdWW", fenced(events.FenceSync, diy.W, diy.W)},
+		{"LwSyncdRW", fenced(events.FenceLwsync, diy.R, diy.W)},
+		{"DMBdWR", fenced(events.FenceDMB, diy.W, diy.R)},
+		{"DMBSTdWW", fenced(events.FenceDMBST, diy.W, diy.W)},
+		{"MFencedWR", fenced(events.FenceMFence, diy.W, diy.R)},
+		{"DpAddrdR", dep(diy.DepAddr, diy.R)},
+		{"DpDatadW", dep(diy.DepData, diy.W)},
+		{"DpCtrldW", dep(diy.DepCtrl, diy.W)},
+		{"DpCtrlFencedR", dep(diy.DepCtrlFence, diy.R)},
+	}
+	for _, c := range cases {
+		got, err := diy.ParseEdge(c.in)
+		if err != nil {
+			t.Errorf("%s: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: got %+v, want %+v", c.in, got, c.want)
+		}
+		// Round trip through the edge's own name.
+		back, err := diy.ParseEdge(got.String())
+		if err != nil || back != got {
+			t.Errorf("%s: name round-trip failed (%q, %v)", c.in, got.String(), err)
+		}
+	}
+	for _, bad := range []string{"", "Xyz", "PodXY", "Po", "DpAddr", "DpFoodR", "SyncxWW"} {
+		if _, err := diy.ParseEdge(bad); err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestParseCycle(t *testing.T) {
+	c, err := diy.ParseCycle("SyncdWW+Rfe+DpAddrdR+Fre")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "SyncdWW+Rfe+DpAddrdR+Fre" {
+		t.Errorf("cycle name = %q", c.Name())
+	}
+	if _, err := diy.ParseCycle("Rfe Rfe"); err == nil {
+		t.Error("expected direction-mismatch error")
+	}
+}

@@ -1,0 +1,243 @@
+// Package diy generates litmus tests from cycles of relaxations, following
+// the diy tool the paper uses for its hardware campaigns (Sec. 8.1): "this
+// tool generates litmus tests, i.e. very small programs in x86, Power or
+// ARM assembly code, with specified initial and final states".
+//
+// A cycle is a sequence of edges; each edge either crosses threads through
+// a communication (Rfe, Fre, Wse) or stays inside a thread (program order,
+// optionally decorated with a fence or a dependency). Walking the cycle
+// assigns threads, locations and values, and produces a litmus test whose
+// final condition observes exactly the cycle — a critical cycle in the
+// sense of Sec. 9.
+package diy
+
+import (
+	"fmt"
+	"strings"
+
+	"herdcats/internal/events"
+	"herdcats/internal/litmus"
+)
+
+// Dir is the direction of an access: read or write.
+type Dir uint8
+
+// Access directions.
+const (
+	R Dir = iota
+	W
+)
+
+func (d Dir) String() string {
+	if d == R {
+		return "R"
+	}
+	return "W"
+}
+
+// EdgeKind distinguishes communication edges from program-order edges.
+type EdgeKind uint8
+
+// Edge kinds.
+const (
+	// Rfe: external read-from; Src must be W, Dst R, same location.
+	Rfe EdgeKind = iota
+	// Fre: external from-read; Src must be R, Dst W, same location.
+	Fre
+	// Wse: external write serialisation (coe); both ends W, same location.
+	Wse
+	// Po: plain program order between two accesses of the same thread.
+	Po
+	// Fenced: program order with a fence in between.
+	Fenced
+	// Dep: program order with a dependency (Src must be R).
+	Dep
+)
+
+// DepKind refines Dep edges.
+type DepKind uint8
+
+// Dependency kinds (Fig. 22).
+const (
+	DepNone DepKind = iota
+	DepAddr
+	DepData // target must be W
+	DepCtrl
+	DepCtrlFence // ctrl + control fence (isync/isb); target usually R
+)
+
+func (d DepKind) String() string {
+	switch d {
+	case DepAddr:
+		return "Addr"
+	case DepData:
+		return "Data"
+	case DepCtrl:
+		return "Ctrl"
+	case DepCtrlFence:
+		return "CtrlFence"
+	}
+	return "?"
+}
+
+// Edge is one step of a cycle, from an access of direction Src to an
+// access of direction Dst.
+type Edge struct {
+	Kind     EdgeKind
+	Src, Dst Dir
+	// SameLoc applies to Po/Fenced/Dep edges: whether both ends access the
+	// same location ("Pos" in diy parlance) or different ones ("Pod").
+	SameLoc bool
+	// Fence is the barrier of Fenced edges.
+	Fence events.FenceKind
+	// Dep is the dependency of Dep edges.
+	Dep DepKind
+}
+
+// External reports whether the edge crosses a thread boundary.
+func (e Edge) External() bool {
+	return e.Kind == Rfe || e.Kind == Fre || e.Kind == Wse
+}
+
+// String renders the edge in diy's naming style, e.g. "PodWR", "SyncdWW",
+// "DpAddrdR", "Rfe".
+func (e Edge) String() string {
+	sl := "d"
+	if e.SameLoc {
+		sl = "s"
+	}
+	switch e.Kind {
+	case Rfe:
+		return "Rfe"
+	case Fre:
+		return "Fre"
+	case Wse:
+		return "Wse"
+	case Po:
+		return fmt.Sprintf("Po%s%s%s", sl, e.Src, e.Dst)
+	case Fenced:
+		return fmt.Sprintf("%s%s%s%s", fenceToken(e.Fence), sl, e.Src, e.Dst)
+	case Dep:
+		return fmt.Sprintf("Dp%s%s%s", e.Dep, sl, e.Dst)
+	}
+	return "?"
+}
+
+func fenceToken(k events.FenceKind) string {
+	switch k {
+	case events.FenceSync:
+		return "Sync"
+	case events.FenceLwsync:
+		return "LwSync"
+	case events.FenceEieio:
+		return "Eieio"
+	case events.FenceDMB:
+		return "DMB"
+	case events.FenceDSB:
+		return "DSB"
+	case events.FenceDMBST:
+		return "DMBST"
+	case events.FenceDSBST:
+		return "DSBST"
+	case events.FenceMFence:
+		return "MFence"
+	}
+	return "Fence"
+}
+
+// Validate checks the edge's internal consistency.
+func (e Edge) Validate() error {
+	switch e.Kind {
+	case Rfe:
+		if e.Src != W || e.Dst != R {
+			return fmt.Errorf("diy: Rfe must be W->R")
+		}
+	case Fre:
+		if e.Src != R || e.Dst != W {
+			return fmt.Errorf("diy: Fre must be R->W")
+		}
+	case Wse:
+		if e.Src != W || e.Dst != W {
+			return fmt.Errorf("diy: Wse must be W->W")
+		}
+	case Dep:
+		if e.Src != R {
+			return fmt.Errorf("diy: dependencies start at a read")
+		}
+		if e.Dep == DepData && e.Dst != W {
+			return fmt.Errorf("diy: data dependencies target a write")
+		}
+		if e.Dep == DepNone {
+			return fmt.Errorf("diy: Dep edge without a dependency kind")
+		}
+	case Fenced:
+		if e.Fence == events.FenceNone {
+			return fmt.Errorf("diy: Fenced edge without a fence")
+		}
+	}
+	return nil
+}
+
+// Cycle is a sequence of edges; edge i links node i to node i+1 (mod n).
+type Cycle []Edge
+
+// Name renders the diy-style name of the cycle.
+func (c Cycle) Name() string {
+	parts := make([]string, len(c))
+	for i, e := range c {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, "+")
+}
+
+// Validate checks that the cycle is well-formed: directions agree at every
+// node, at least one edge is external, and consecutive external edges do
+// not leave an empty thread.
+func (c Cycle) Validate() error {
+	if len(c) < 2 {
+		return fmt.Errorf("diy: cycle needs at least two edges")
+	}
+	ext := false
+	for i, e := range c {
+		if err := e.Validate(); err != nil {
+			return err
+		}
+		next := c[(i+1)%len(c)]
+		if e.Dst != next.Src {
+			return fmt.Errorf("diy: edge %d (%s) ends %s but edge %d (%s) starts %s",
+				i, e, e.Dst, (i+1)%len(c), next, next.Src)
+		}
+		if e.External() {
+			ext = true
+		}
+	}
+	if !ext {
+		return fmt.Errorf("diy: cycle has no external communication")
+	}
+	return nil
+}
+
+// ErrReject marks cycles the generator cannot (or refuses to) realise,
+// e.g. when location assignment does not close.
+type ErrReject struct{ Reason string }
+
+func (e ErrReject) Error() string { return "diy: rejected: " + e.Reason }
+
+// fenceDialect reports whether a fence belongs to an architecture.
+func fenceDialect(arch litmus.Arch, k events.FenceKind) bool {
+	switch arch {
+	case litmus.PPC:
+		switch k {
+		case events.FenceSync, events.FenceLwsync, events.FenceEieio, events.FenceIsync:
+			return true
+		}
+	case litmus.ARM:
+		switch k {
+		case events.FenceDMB, events.FenceDSB, events.FenceDMBST, events.FenceDSBST, events.FenceISB:
+			return true
+		}
+	case litmus.X86:
+		return k == events.FenceMFence
+	}
+	return false
+}

@@ -1,0 +1,575 @@
+package diy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"herdcats/internal/events"
+	"herdcats/internal/litmus"
+)
+
+// node is one access of the cycle after layout.
+type node struct {
+	idx    int
+	dir    Dir
+	thread int
+	loc    int // location class
+	val    int // value written (writes) or expected (reads); -1 = unconstrained
+}
+
+// Generate realises a cycle as a litmus test in the given dialect.
+// It returns an ErrReject for cycles that cannot be laid out (no external
+// edge, locations not closing, unsupported dialect features).
+func Generate(arch litmus.Arch, c Cycle) (*litmus.Test, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	for _, e := range c {
+		if e.Kind == Fenced && !fenceDialect(arch, e.Fence) {
+			return nil, ErrReject{fmt.Sprintf("fence %s not in dialect %s", e.Fence, arch)}
+		}
+		if e.Kind == Dep && arch == litmus.X86 {
+			return nil, ErrReject{"x86 dialect has no dependency idioms"}
+		}
+	}
+
+	// Rotate so that the last edge is external: node 0 starts a thread.
+	rot := -1
+	for i := len(c) - 1; i >= 0; i-- {
+		if c[i].External() {
+			rot = i
+			break
+		}
+	}
+	cc := append(append(Cycle{}, c[rot+1:]...), c[:rot+1]...)
+
+	n := len(cc)
+	nodes := make([]node, n)
+	for i := range nodes {
+		nodes[i] = node{idx: i, dir: cc[i].Src, val: -1}
+	}
+
+	// Threads: contiguous runs split at external edges.
+	tid := 0
+	for i, e := range cc {
+		nodes[i].thread = tid
+		if e.External() {
+			tid++
+		}
+	}
+	nthreads := tid // last edge is external, so the count is exact
+
+	// Locations: union-find over same-location constraints.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if parent[i] != i {
+			parent[i] = find(parent[i])
+		}
+		return parent[i]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for i, e := range cc {
+		j := (i + 1) % n
+		if e.External() || e.SameLoc {
+			union(i, j)
+		}
+	}
+	// Different-location edges must indeed cross classes.
+	for i, e := range cc {
+		j := (i + 1) % n
+		if !e.External() && !e.SameLoc && find(i) == find(j) {
+			return nil, ErrReject{"location assignment does not close (Pod edge within one location)"}
+		}
+	}
+	locID := map[int]int{}
+	for i := range nodes {
+		root := find(i)
+		if _, ok := locID[root]; !ok {
+			locID[root] = len(locID)
+		}
+		nodes[i].loc = locID[root]
+	}
+	nlocs := len(locID)
+
+	// Per-location coherence constraints and values.
+	// Order constraints between writes of one location:
+	//   Wse(w1,w2)            : w1 < w2
+	//   Rfe(w0,r) & Fre(r,w1) : w0 < w1
+	type locInfo struct {
+		writes []int
+		before [][2]int // pairs (w1, w2) with w1 co-before w2
+	}
+	locs := make([]locInfo, nlocs)
+	rfOf := map[int]int{}  // read node -> source write node (Rfe)
+	freOf := map[int]int{} // read node -> target write node (Fre)
+	for i := range nodes {
+		if nodes[i].dir == W {
+			li := nodes[i].loc
+			locs[li].writes = append(locs[li].writes, i)
+		}
+	}
+	for i, e := range cc {
+		j := (i + 1) % n
+		switch e.Kind {
+		case Wse:
+			locs[nodes[i].loc].before = append(locs[nodes[i].loc].before, [2]int{i, j})
+		case Rfe:
+			rfOf[j] = i
+		case Fre:
+			freOf[i] = j
+		}
+	}
+	for r, w := range freOf {
+		if w0, ok := rfOf[r]; ok {
+			locs[nodes[r].loc].before = append(locs[nodes[r].loc].before, [2]int{w0, w})
+		}
+	}
+	// Topologically order each location's writes and assign values 1..k.
+	for li := range locs {
+		info := &locs[li]
+		if len(info.writes) > 3 {
+			return nil, ErrReject{"more than three writes to one location"}
+		}
+		order, ok := topoWrites(info.writes, info.before)
+		if !ok {
+			return nil, ErrReject{"cyclic coherence constraints within one location"}
+		}
+		info.writes = order
+		for v, w := range order {
+			nodes[w].val = v + 1
+		}
+	}
+	// Read expectations.
+	for i := range nodes {
+		if nodes[i].dir != R {
+			continue
+		}
+		if w, ok := rfOf[i]; ok {
+			nodes[i].val = nodes[w].val
+			continue
+		}
+		if w, ok := freOf[i]; ok {
+			// Read from the co-predecessor of w (or the initial state).
+			nodes[i].val = 0
+			ws := locs[nodes[i].loc].writes
+			for k, cand := range ws {
+				if cand == w && k > 0 {
+					nodes[i].val = nodes[ws[k-1]].val
+				}
+			}
+		}
+	}
+
+	// Code generation.
+	g := &codegen{arch: arch, nthreads: nthreads, nlocs: nlocs}
+	g.init()
+	var condAtoms []litmus.Cond
+	for t := 0; t < nthreads; t++ {
+		var prevReadReg string
+		for i := range nodes {
+			if nodes[i].thread != t {
+				continue
+			}
+			// In-thread decoration comes from the edge *into* this node.
+			prev := cc[(i-1+n)%n]
+			dep := DepNone
+			if !prev.External() && nodes[(i-1+n)%n].thread == t {
+				switch prev.Kind {
+				case Fenced:
+					g.fence(t, prev.Fence)
+				case Dep:
+					dep = prev.Dep
+				}
+			}
+			if dep != DepNone && prevReadReg == "" {
+				return nil, ErrReject{"dependency edge without a preceding read"}
+			}
+			if nodes[i].dir == R {
+				reg, err := g.read(t, nodes[i].loc, dep, prevReadReg)
+				if err != nil {
+					return nil, err
+				}
+				prevReadReg = reg
+				if nodes[i].val >= 0 {
+					condAtoms = append(condAtoms, &litmus.AtomReg{
+						Key: litmus.RegKey{Tid: t, Reg: reg},
+						Val: litmus.Value{Int: nodes[i].val},
+					})
+				}
+			} else {
+				if err := g.write(t, nodes[i].loc, nodes[i].val, dep, prevReadReg); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Final values for multi-write locations pin the coherence order.
+	for li := range locs {
+		if len(locs[li].writes) >= 2 {
+			last := locs[li].writes[len(locs[li].writes)-1]
+			condAtoms = append(condAtoms, &litmus.AtomMem{
+				Loc: locName(li),
+				Val: litmus.Value{Int: nodes[last].val},
+			})
+		}
+	}
+	if len(condAtoms) == 0 {
+		return nil, ErrReject{"cycle yields no observable condition"}
+	}
+	cond := condAtoms[0]
+	for _, a := range condAtoms[1:] {
+		cond = &litmus.And{L: cond, R: a}
+	}
+
+	test := &litmus.Test{
+		Arch:    arch,
+		Name:    c.Name(),
+		Doc:     "generated by diy from cycle " + c.Name(),
+		RegInit: g.regInit,
+		MemInit: map[string]litmus.Value{},
+		Threads: g.threads,
+		Quant:   litmus.Exists,
+		Cond:    cond,
+	}
+	for li := 0; li < nlocs; li++ {
+		test.Locations = append(test.Locations, locName(li))
+	}
+	sort.Strings(test.Locations)
+	return test, nil
+}
+
+func topoWrites(writes []int, before [][2]int) ([]int, bool) {
+	order := append([]int(nil), writes...)
+	sort.Ints(order)
+	// Small n: repeatedly pick a write with no unplaced predecessor.
+	var out []int
+	placed := map[int]bool{}
+	for len(out) < len(order) {
+		progress := false
+		for _, w := range order {
+			if placed[w] {
+				continue
+			}
+			ready := true
+			for _, b := range before {
+				if b[1] == w && !placed[b[0]] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				out = append(out, w)
+				placed[w] = true
+				progress = true
+			}
+		}
+		if !progress {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+func locName(i int) string {
+	names := []string{"x", "y", "z", "w", "a", "b", "c", "d"}
+	if i < len(names) {
+		return names[i]
+	}
+	return fmt.Sprintf("v%d", i)
+}
+
+// codegen emits per-thread assembly.
+type codegen struct {
+	arch     litmus.Arch
+	nthreads int
+	nlocs    int
+	threads  [][]string
+	regInit  map[litmus.RegKey]litmus.Value
+	regNext  []int // per-thread next free register number
+	labels   int
+}
+
+func (g *codegen) init() {
+	g.threads = make([][]string, g.nthreads)
+	g.regInit = map[litmus.RegKey]litmus.Value{}
+	g.regNext = make([]int, g.nthreads)
+	for t := range g.regNext {
+		g.regNext[t] = 1
+	}
+}
+
+func (g *codegen) emit(t int, line string) {
+	g.threads[t] = append(g.threads[t], line)
+}
+
+func (g *codegen) fresh(t int) string {
+	r := fmt.Sprintf("r%d", g.regNext[t])
+	g.regNext[t]++
+	return r
+}
+
+// addrReg returns a register holding the address of loc in thread t,
+// allocating and initialising it on first use.
+func (g *codegen) addrReg(t, loc int) string {
+	name := locName(loc)
+	for k, v := range g.regInit {
+		if k.Tid == t && v.Loc == name {
+			return k.Reg
+		}
+	}
+	r := g.fresh(t)
+	g.regInit[litmus.RegKey{Tid: t, Reg: r}] = litmus.Value{Loc: name}
+	return r
+}
+
+func (g *codegen) fence(t int, k events.FenceKind) {
+	switch k {
+	case events.FenceDMBST:
+		g.emit(t, "dmb st")
+	case events.FenceDSBST:
+		g.emit(t, "dsb st")
+	default:
+		g.emit(t, string(k))
+	}
+}
+
+// ctrlPrefix emits the compare-branch-label prelude of a control
+// dependency from src, optionally followed by a control fence.
+func (g *codegen) ctrlPrefix(t int, src string, cfence bool) {
+	label := fmt.Sprintf("LC%02d", g.labels)
+	g.labels++
+	switch g.arch {
+	case litmus.PPC:
+		g.emit(t, fmt.Sprintf("cmpwi %s,0", src))
+		g.emit(t, "bne "+label)
+		g.emit(t, label+":")
+		if cfence {
+			g.emit(t, "isync")
+		}
+	case litmus.ARM:
+		g.emit(t, fmt.Sprintf("cmp %s,#0", src))
+		g.emit(t, "bne "+label)
+		g.emit(t, label+":")
+		if cfence {
+			g.emit(t, "isb")
+		}
+	}
+}
+
+// read emits a load and returns the value register.
+func (g *codegen) read(t, loc int, dep DepKind, prevReg string) (string, error) {
+	switch dep {
+	case DepCtrl:
+		g.ctrlPrefix(t, prevReg, false)
+	case DepCtrlFence:
+		g.ctrlPrefix(t, prevReg, true)
+	case DepData:
+		return "", ErrReject{"data dependency cannot target a read"}
+	}
+	val := g.fresh(t)
+	switch g.arch {
+	case litmus.PPC:
+		if dep == DepAddr {
+			tmp := g.fresh(t)
+			g.emit(t, fmt.Sprintf("xor %s,%s,%s", tmp, prevReg, prevReg))
+			g.emit(t, fmt.Sprintf("lwzx %s,%s,%s", val, tmp, g.addrReg(t, loc)))
+		} else {
+			g.emit(t, fmt.Sprintf("lwz %s,0(%s)", val, g.addrReg(t, loc)))
+		}
+	case litmus.ARM:
+		if dep == DepAddr {
+			tmp := g.fresh(t)
+			g.emit(t, fmt.Sprintf("eor %s,%s,%s", tmp, prevReg, prevReg))
+			g.emit(t, fmt.Sprintf("ldr %s,[%s,%s]", val, tmp, g.addrReg(t, loc)))
+		} else {
+			g.emit(t, fmt.Sprintf("ldr %s,[%s]", val, g.addrReg(t, loc)))
+		}
+	case litmus.X86:
+		g.emit(t, fmt.Sprintf("MOV %s,[%s]", val, locName(loc)))
+	}
+	return val, nil
+}
+
+// write emits a store of value v.
+func (g *codegen) write(t, loc, v int, dep DepKind, prevReg string) error {
+	switch dep {
+	case DepCtrl:
+		g.ctrlPrefix(t, prevReg, false)
+	case DepCtrlFence:
+		g.ctrlPrefix(t, prevReg, true)
+	}
+	switch g.arch {
+	case litmus.PPC:
+		switch dep {
+		case DepAddr:
+			tmp := g.fresh(t)
+			val := g.fresh(t)
+			g.emit(t, fmt.Sprintf("xor %s,%s,%s", tmp, prevReg, prevReg))
+			g.emit(t, fmt.Sprintf("li %s,%d", val, v))
+			g.emit(t, fmt.Sprintf("stwx %s,%s,%s", val, tmp, g.addrReg(t, loc)))
+		case DepData:
+			tmp := g.fresh(t)
+			val := g.fresh(t)
+			g.emit(t, fmt.Sprintf("xor %s,%s,%s", tmp, prevReg, prevReg))
+			g.emit(t, fmt.Sprintf("addi %s,%s,%d", val, tmp, v))
+			g.emit(t, fmt.Sprintf("stw %s,0(%s)", val, g.addrReg(t, loc)))
+		default:
+			val := g.fresh(t)
+			g.emit(t, fmt.Sprintf("li %s,%d", val, v))
+			g.emit(t, fmt.Sprintf("stw %s,0(%s)", val, g.addrReg(t, loc)))
+		}
+	case litmus.ARM:
+		switch dep {
+		case DepAddr:
+			tmp := g.fresh(t)
+			val := g.fresh(t)
+			g.emit(t, fmt.Sprintf("eor %s,%s,%s", tmp, prevReg, prevReg))
+			g.emit(t, fmt.Sprintf("mov %s,#%d", val, v))
+			g.emit(t, fmt.Sprintf("str %s,[%s,%s]", val, tmp, g.addrReg(t, loc)))
+		case DepData:
+			tmp := g.fresh(t)
+			val := g.fresh(t)
+			g.emit(t, fmt.Sprintf("eor %s,%s,%s", tmp, prevReg, prevReg))
+			g.emit(t, fmt.Sprintf("add %s,%s,#%d", val, tmp, v))
+			g.emit(t, fmt.Sprintf("str %s,[%s]", val, g.addrReg(t, loc)))
+		default:
+			val := g.fresh(t)
+			g.emit(t, fmt.Sprintf("mov %s,#%d", val, v))
+			g.emit(t, fmt.Sprintf("str %s,[%s]", val, g.addrReg(t, loc)))
+		}
+	case litmus.X86:
+		g.emit(t, fmt.Sprintf("MOV [%s],$%d", locName(loc), v))
+	}
+	return nil
+}
+
+// --- Corpus enumeration ----------------------------------------------------
+
+// Enumerate yields every valid cycle of length minLen..maxLen over the edge
+// pool, deduplicated up to rotation, in a deterministic order.
+func Enumerate(pool []Edge, minLen, maxLen int, yield func(Cycle) bool) {
+	seen := map[string]bool{}
+	var cur Cycle
+	var rec func() bool
+	rec = func() bool {
+		if len(cur) >= minLen && cur[len(cur)-1].Dst == cur[0].Src {
+			if c := canonical(cur); !seen[c] {
+				seen[c] = true
+				if cur.Validate() == nil {
+					cp := append(Cycle{}, cur...)
+					if !yield(cp) {
+						return false
+					}
+				}
+			}
+		}
+		if len(cur) == maxLen {
+			return true
+		}
+		for _, e := range pool {
+			if len(cur) > 0 && cur[len(cur)-1].Dst != e.Src {
+				continue
+			}
+			cur = append(cur, e)
+			if !rec() {
+				return false
+			}
+			cur = cur[:len(cur)-1]
+		}
+		return true
+	}
+	for _, e := range pool {
+		cur = append(cur[:0], e)
+		if !rec() {
+			return
+		}
+		cur = cur[:0]
+	}
+}
+
+// canonical returns the lexicographically smallest rotation of the cycle's
+// edge names, identifying rotated duplicates.
+func canonical(c Cycle) string {
+	names := make([]string, len(c))
+	for i, e := range c {
+		names[i] = e.String()
+	}
+	best := ""
+	for r := 0; r < len(names); r++ {
+		rotated := strings.Join(append(append([]string{}, names[r:]...), names[:r]...), "+")
+		if best == "" || rotated < best {
+			best = rotated
+		}
+	}
+	return best
+}
+
+// PowerPool is a standard edge pool for Power corpora (Sec. 8.1: "tests
+// illustrating various features of the hardware, e.g. lb, mp, sb, and
+// their variations with dependencies and barriers").
+func PowerPool() []Edge {
+	var pool []Edge
+	pool = append(pool, Edge{Kind: Rfe, Src: W, Dst: R})
+	pool = append(pool, Edge{Kind: Fre, Src: R, Dst: W})
+	pool = append(pool, Edge{Kind: Wse, Src: W, Dst: W})
+	for _, s := range []Dir{R, W} {
+		for _, d := range []Dir{R, W} {
+			pool = append(pool, Edge{Kind: Po, Src: s, Dst: d})
+			pool = append(pool, Edge{Kind: Po, Src: s, Dst: d, SameLoc: true})
+			pool = append(pool, Edge{Kind: Fenced, Src: s, Dst: d, Fence: events.FenceSync})
+			pool = append(pool, Edge{Kind: Fenced, Src: s, Dst: d, Fence: events.FenceLwsync})
+		}
+	}
+	pool = append(pool,
+		Edge{Kind: Dep, Src: R, Dst: R, Dep: DepAddr},
+		Edge{Kind: Dep, Src: R, Dst: W, Dep: DepAddr},
+		Edge{Kind: Dep, Src: R, Dst: W, Dep: DepData},
+		Edge{Kind: Dep, Src: R, Dst: W, Dep: DepCtrl},
+		Edge{Kind: Dep, Src: R, Dst: R, Dep: DepCtrlFence},
+	)
+	return pool
+}
+
+// ARMPool is the ARM analogue of PowerPool.
+func ARMPool() []Edge {
+	var pool []Edge
+	pool = append(pool, Edge{Kind: Rfe, Src: W, Dst: R})
+	pool = append(pool, Edge{Kind: Fre, Src: R, Dst: W})
+	pool = append(pool, Edge{Kind: Wse, Src: W, Dst: W})
+	for _, s := range []Dir{R, W} {
+		for _, d := range []Dir{R, W} {
+			pool = append(pool, Edge{Kind: Po, Src: s, Dst: d})
+			pool = append(pool, Edge{Kind: Po, Src: s, Dst: d, SameLoc: true})
+			pool = append(pool, Edge{Kind: Fenced, Src: s, Dst: d, Fence: events.FenceDMB})
+		}
+	}
+	pool = append(pool,
+		Edge{Kind: Fenced, Src: W, Dst: W, Fence: events.FenceDMBST},
+		Edge{Kind: Dep, Src: R, Dst: R, Dep: DepAddr},
+		Edge{Kind: Dep, Src: R, Dst: W, Dep: DepAddr},
+		Edge{Kind: Dep, Src: R, Dst: W, Dep: DepData},
+		Edge{Kind: Dep, Src: R, Dst: W, Dep: DepCtrl},
+		Edge{Kind: Dep, Src: R, Dst: R, Dep: DepCtrlFence},
+	)
+	return pool
+}
+
+// X86Pool is the x86/TSO edge pool.
+func X86Pool() []Edge {
+	var pool []Edge
+	pool = append(pool, Edge{Kind: Rfe, Src: W, Dst: R})
+	pool = append(pool, Edge{Kind: Fre, Src: R, Dst: W})
+	pool = append(pool, Edge{Kind: Wse, Src: W, Dst: W})
+	for _, s := range []Dir{R, W} {
+		for _, d := range []Dir{R, W} {
+			pool = append(pool, Edge{Kind: Po, Src: s, Dst: d})
+		}
+	}
+	pool = append(pool, Edge{Kind: Fenced, Src: W, Dst: R, Fence: events.FenceMFence})
+	return pool
+}

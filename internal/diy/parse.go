@@ -1,0 +1,145 @@
+package diy
+
+import (
+	"fmt"
+	"strings"
+
+	"herdcats/internal/events"
+)
+
+// ParseEdge parses one edge name in diy's syntax: "Rfe", "Fre", "Wse",
+// "PodWR", "PosRR", "SyncdWW", "LwSyncsRW", "DMBdWR", "MFencedWR",
+// "DpAddrdR", "DpDatadW", "DpCtrldW", "DpCtrlFencedR", ...
+func ParseEdge(s string) (Edge, error) {
+	switch s {
+	case "Rfe":
+		return Edge{Kind: Rfe, Src: W, Dst: R}, nil
+	case "Fre":
+		return Edge{Kind: Fre, Src: R, Dst: W}, nil
+	case "Wse", "Coe":
+		return Edge{Kind: Wse, Src: W, Dst: W}, nil
+	}
+	if rest, ok := cutPrefix(s, "Dp"); ok {
+		return parseDepEdge(rest)
+	}
+	if rest, ok := cutPrefix(s, "Po"); ok {
+		return parsePoEdge(Edge{Kind: Po}, rest)
+	}
+	// Longest prefixes first (DMBST before DMB).
+	for _, p := range []struct {
+		prefix string
+		fence  events.FenceKind
+	}{
+		{"LwSync", events.FenceLwsync},
+		{"Sync", events.FenceSync},
+		{"Eieio", events.FenceEieio},
+		{"DMBST", events.FenceDMBST},
+		{"DSBST", events.FenceDSBST},
+		{"DMB", events.FenceDMB},
+		{"DSB", events.FenceDSB},
+		{"MFence", events.FenceMFence},
+	} {
+		if rest, ok := cutPrefix(s, p.prefix); ok {
+			return parsePoEdge(Edge{Kind: Fenced, Fence: p.fence}, rest)
+		}
+	}
+	return Edge{}, fmt.Errorf("diy: unknown edge %q", s)
+}
+
+func cutPrefix(s, prefix string) (string, bool) {
+	if strings.HasPrefix(s, prefix) {
+		return s[len(prefix):], true
+	}
+	return s, false
+}
+
+// parsePoEdge parses the "<s|d><SrcDir><DstDir>" suffix.
+func parsePoEdge(e Edge, rest string) (Edge, error) {
+	if len(rest) != 3 {
+		return Edge{}, fmt.Errorf("diy: bad po edge suffix %q (want e.g. dWR)", rest)
+	}
+	switch rest[0] {
+	case 's':
+		e.SameLoc = true
+	case 'd':
+	default:
+		return Edge{}, fmt.Errorf("diy: bad location tag %q (want s or d)", rest[:1])
+	}
+	src, err := parseDir(rest[1])
+	if err != nil {
+		return Edge{}, err
+	}
+	dst, err := parseDir(rest[2])
+	if err != nil {
+		return Edge{}, err
+	}
+	e.Src, e.Dst = src, dst
+	return e, nil
+}
+
+// parseDepEdge parses "Addr|Data|Ctrl|CtrlFence" + "<s|d><DstDir>".
+func parseDepEdge(rest string) (Edge, error) {
+	e := Edge{Kind: Dep, Src: R}
+	// Longest prefix first: CtrlFence before Ctrl.
+	for _, p := range []struct {
+		prefix string
+		dep    DepKind
+	}{
+		{"CtrlFence", DepCtrlFence},
+		{"Ctrl", DepCtrl},
+		{"Addr", DepAddr},
+		{"Data", DepData},
+	} {
+		if r, ok := cutPrefix(rest, p.prefix); ok {
+			e.Dep = p.dep
+			rest = r
+			break
+		}
+	}
+	if e.Dep == DepNone {
+		return Edge{}, fmt.Errorf("diy: bad dependency edge %q", rest)
+	}
+	if len(rest) != 2 {
+		return Edge{}, fmt.Errorf("diy: bad dependency suffix %q (want e.g. dR)", rest)
+	}
+	if rest[0] == 's' {
+		e.SameLoc = true
+	} else if rest[0] != 'd' {
+		return Edge{}, fmt.Errorf("diy: bad location tag %q", rest[:1])
+	}
+	dst, err := parseDir(rest[1])
+	if err != nil {
+		return Edge{}, err
+	}
+	e.Dst = dst
+	return e, nil
+}
+
+func parseDir(b byte) (Dir, error) {
+	switch b {
+	case 'R':
+		return R, nil
+	case 'W':
+		return W, nil
+	}
+	return 0, fmt.Errorf("diy: bad direction %q (want R or W)", string(b))
+}
+
+// ParseCycle parses a whitespace- or '+'-separated list of edge names.
+func ParseCycle(s string) (Cycle, error) {
+	fields := strings.FieldsFunc(s, func(r rune) bool {
+		return r == ' ' || r == '+' || r == ',' || r == '\t'
+	})
+	var c Cycle
+	for _, f := range fields {
+		e, err := ParseEdge(f)
+		if err != nil {
+			return nil, err
+		}
+		c = append(c, e)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,178 @@
+// Package dot renders candidate executions as Graphviz digraphs in the
+// style of the paper's figures: one column per thread, events labelled
+// "a: Wx=1", and communication edges (rf, co, fr) alongside program order
+// and the derived dependency and fence relations. This is herd's
+// diagram-producing role (the figures of Sec. 4 are precisely these
+// drawings).
+package dot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"herdcats/internal/events"
+	"herdcats/internal/rel"
+)
+
+// edgeStyle describes how one relation is drawn.
+type edgeStyle struct {
+	label string
+	color string
+	rel   rel.Rel
+}
+
+// Render produces a Graphviz source for the execution's memory events.
+func Render(name string, x *events.Execution) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", sanitize(name))
+	b.WriteString("  rankdir=TB;\n  node [shape=plaintext, fontname=\"monospace\"];\n")
+
+	// Group memory events (and fences) per thread, in program order.
+	byThread := map[int][]int{}
+	for _, e := range x.Events {
+		if e.IsMem() || e.Kind == events.Fence {
+			byThread[e.Tid] = append(byThread[e.Tid], e.ID)
+		}
+	}
+	var tids []int
+	for tid := range byThread {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+
+	names := eventNames(x)
+	for _, tid := range tids {
+		ids := byThread[tid]
+		sort.Slice(ids, func(i, j int) bool { return x.Events[ids[i]].PC < x.Events[ids[j]].PC })
+		if tid == events.InitTid {
+			for _, id := range ids {
+				fmt.Fprintf(&b, "  e%d [label=%q, fontcolor=gray];\n", id, eventLabel(names, x.Events[id]))
+			}
+			continue
+		}
+		fmt.Fprintf(&b, "  subgraph cluster_T%d {\n    label=\"T%d\";\n    color=lightgrey;\n", tid, tid)
+		for _, id := range ids {
+			fmt.Fprintf(&b, "    e%d [label=%q];\n", id, eventLabel(names, x.Events[id]))
+		}
+		// Invisible chain to stack the thread's events vertically.
+		for i := 0; i+1 < len(ids); i++ {
+			fmt.Fprintf(&b, "    e%d -> e%d [style=invis];\n", ids[i], ids[i+1])
+		}
+		b.WriteString("  }\n")
+	}
+
+	styles := []edgeStyle{
+		{"po", "black", poAdjacent(x)},
+		{"rf", "red", x.MemRF()},
+		{"co", "blue", coAdjacent(x)},
+		{"fr", "darkorange", x.FR},
+		{"addr", "darkgreen", x.Addr},
+		{"data", "darkgreen", x.Data},
+		{"ctrl", "darkgreen", x.Ctrl},
+	}
+	for _, s := range styles {
+		for _, p := range s.rel.Pairs() {
+			if s.label == "po" && x.Events[p[0]].Tid == x.Events[p[1]].Tid {
+				// po shown only between adjacent memory events; fences
+				// appear as nodes, so skip pairs spanning a fence node.
+				fmt.Fprintf(&b, "  e%d -> e%d [label=%q, color=%s];\n", p[0], p[1], s.label, s.color)
+				continue
+			}
+			fmt.Fprintf(&b, "  e%d -> e%d [label=%q, color=%s, constraint=false];\n",
+				p[0], p[1], s.label, s.color)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// poAdjacent keeps only immediate-successor po pairs among the drawn
+// events (memory and fences), so the figure shows a chain, not a clique.
+func poAdjacent(x *events.Execution) rel.Rel {
+	out := rel.New(x.N())
+	drawn := func(e events.Event) bool { return e.IsMem() || e.Kind == events.Fence }
+	for i := 0; i < x.N(); i++ {
+		if !drawn(x.Events[i]) {
+			continue
+		}
+		// Find the closest drawn po-successor.
+		best := -1
+		for j := 0; j < x.N(); j++ {
+			if !drawn(x.Events[j]) || !x.PO.Has(i, j) {
+				continue
+			}
+			if best < 0 || x.Events[j].PC < x.Events[best].PC {
+				best = j
+			}
+		}
+		if best >= 0 {
+			out.Add(i, best)
+		}
+	}
+	return out
+}
+
+// coAdjacent keeps only immediate coherence successors.
+func coAdjacent(x *events.Execution) rel.Rel {
+	out := rel.New(x.N())
+	for _, p := range x.CO.Pairs() {
+		direct := true
+		for k := 0; k < x.N(); k++ {
+			if k != p[0] && k != p[1] && x.CO.Has(p[0], k) && x.CO.Has(k, p[1]) {
+				direct = false
+				break
+			}
+		}
+		if direct {
+			out.Add(p[0], p[1])
+		}
+	}
+	return out
+}
+
+// eventNames assigns the paper's letters a, b, c... to the non-initial
+// memory events in (thread, po) order.
+func eventNames(x *events.Execution) map[int]string {
+	var ids []int
+	for _, e := range x.Events {
+		if e.IsMem() && !e.IsInit() {
+			ids = append(ids, e.ID)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := x.Events[ids[i]], x.Events[ids[j]]
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		return a.PC < b.PC
+	})
+	names := map[int]string{}
+	for i, id := range ids {
+		names[id] = string(rune('a' + i%26))
+	}
+	return names
+}
+
+func eventLabel(names map[int]string, e events.Event) string {
+	if e.Kind == events.Fence {
+		return string(e.Fence)
+	}
+	dir := "R"
+	if e.Kind == events.MemWrite {
+		dir = "W"
+	}
+	if e.IsInit() {
+		return fmt.Sprintf("init: %s%s=%d", dir, e.Loc, e.Val)
+	}
+	return fmt.Sprintf("%s: %s%s=%d", names[e.ID], dir, e.Loc, e.Val)
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '"' || r == '\n' {
+			return '_'
+		}
+		return r
+	}, s)
+}

@@ -1,0 +1,94 @@
+package dot_test
+
+import (
+	"strings"
+	"testing"
+
+	"herdcats/internal/catalog"
+	"herdcats/internal/dot"
+	"herdcats/internal/exec"
+	"herdcats/internal/litmus"
+	"herdcats/internal/models"
+)
+
+func TestRenderMP(t *testing.T) {
+	e, _ := catalog.ByName("mp")
+	p, err := exec.Compile(e.Test())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src string
+	err = p.Enumerate(func(c *exec.Candidate) bool {
+		// Render the forbidden-under-SC data-flow (the paper's Fig. 4).
+		if !models.SC.Check(c.X).Valid {
+			src = dot.Render("mp", c.X)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src == "" {
+		t.Fatal("no forbidden candidate found")
+	}
+	for _, want := range []string{
+		"digraph", "cluster_T0", "cluster_T1",
+		`label="rf"`, `label="fr"`, `label="po"`,
+		"Wx=1", "Wy=1", "Ry=1", "Rx=0",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("dot output missing %q:\n%s", want, src)
+		}
+	}
+	// Exactly one co edge pair drawn per location chain (init -> store).
+	if n := strings.Count(src, `label="co"`); n != 2 {
+		t.Errorf("co edges = %d, want 2 (one per location)", n)
+	}
+}
+
+func TestRenderFences(t *testing.T) {
+	src := `PPC fenced
+{ 0:r1=x; 0:r2=y; }
+ P0 ;
+ li r4,1 ;
+ stw r4,0(r1) ;
+ lwsync ;
+ li r4,1 ;
+ stw r4,0(r2) ;
+exists (x=1)`
+	p, err := exec.Compile(litmus.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out string
+	err = p.Enumerate(func(c *exec.Candidate) bool {
+		out = dot.Render("fenced", c.X)
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "lwsync") {
+		t.Errorf("fence node missing:\n%s", out)
+	}
+}
+
+func TestRenderDeps(t *testing.T) {
+	e, _ := catalog.ByName("mp+lwsync+addr")
+	p, err := exec.Compile(e.Test())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out string
+	err = p.Enumerate(func(c *exec.Candidate) bool {
+		out = dot.Render(e.Name, c.X)
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `label="addr"`) {
+		t.Errorf("addr edge missing:\n%s", out)
+	}
+}

@@ -1,0 +1,379 @@
+package events
+
+import (
+	"fmt"
+	"strings"
+
+	"herdcats/internal/rel"
+)
+
+// Kind classifies an event's action.
+type Kind uint8
+
+const (
+	// MemRead is a read from a memory location (Rx=v).
+	MemRead Kind = iota
+	// MemWrite is a write to a memory location (Wx=v).
+	MemWrite
+	// RegRead is a read from a register (Rr1=v).
+	RegRead
+	// RegWrite is a write to a register (Wr1=v).
+	RegWrite
+	// Branch is a branching decision being made.
+	Branch
+	// Fence is a memory barrier; its flavour is Event.Fence.
+	Fence
+)
+
+// String returns a one-letter tag for the kind.
+func (k Kind) String() string {
+	switch k {
+	case MemRead:
+		return "R"
+	case MemWrite:
+		return "W"
+	case RegRead:
+		return "Rreg"
+	case RegWrite:
+		return "Wreg"
+	case Branch:
+		return "branch"
+	case Fence:
+		return "fence"
+	}
+	return "?"
+}
+
+// FenceKind names a barrier flavour. The set is the union of the
+// architectures modelled in the paper (Fig. 17 and Sec. 4.7).
+type FenceKind string
+
+// Fence flavours used by the models of the paper.
+const (
+	FenceNone   FenceKind = ""
+	FenceSync   FenceKind = "sync"   // Power full fence
+	FenceLwsync FenceKind = "lwsync" // Power lightweight fence
+	FenceIsync  FenceKind = "isync"  // Power control fence
+	FenceEieio  FenceKind = "eieio"  // Power write-write barrier
+	FenceDMB    FenceKind = "dmb"    // ARM full fence
+	FenceDSB    FenceKind = "dsb"    // ARM full fence
+	FenceISB    FenceKind = "isb"    // ARM control fence
+	FenceDMBST  FenceKind = "dmb.st" // ARM write-write barrier
+	FenceDSBST  FenceKind = "dsb.st" // ARM write-write barrier
+	FenceMFence FenceKind = "mfence" // TSO full fence
+)
+
+// MemOrder is a C11 memory-order annotation on an access — the Sec. 4.9
+// extension ("types of events"): the paper handles one access type per
+// model; the C dialect lifts that, carrying relaxed/acquire/release/seq_cst
+// per access.
+type MemOrder uint8
+
+// C11 memory orders (the release-acquire fragment plus relaxed; seq_cst is
+// treated as release-and-acquire, its synchronising part).
+const (
+	OrderPlain MemOrder = iota // non-atomic / assembly access
+	OrderRelaxed
+	OrderAcquire
+	OrderRelease
+	OrderAcqRel
+	OrderSeqCst
+)
+
+// Acquires reports whether a read with this order synchronises.
+func (o MemOrder) Acquires() bool {
+	return o == OrderAcquire || o == OrderAcqRel || o == OrderSeqCst
+}
+
+// Releases reports whether a write with this order synchronises.
+func (o MemOrder) Releases() bool {
+	return o == OrderRelease || o == OrderAcqRel || o == OrderSeqCst
+}
+
+// String names the order as in C11 source.
+func (o MemOrder) String() string {
+	switch o {
+	case OrderRelaxed:
+		return "relaxed"
+	case OrderAcquire:
+		return "acquire"
+	case OrderRelease:
+		return "release"
+	case OrderAcqRel:
+		return "acq_rel"
+	case OrderSeqCst:
+		return "seq_cst"
+	}
+	return "plain"
+}
+
+// InitTid is the pseudo-thread holding the initial writes. By convention
+// (Sec. 3) every location has a fictitious initial write that is co-before
+// every other write to that location.
+const InitTid = -1
+
+// Event is one action of a candidate execution. Events are identified by a
+// dense ID (their index in Execution.Events).
+type Event struct {
+	ID    int
+	Tid   int // thread, or InitTid for initial writes
+	PC    int // instruction index within the thread (po position)
+	Kind  Kind
+	Loc   string    // memory location (MemRead/MemWrite) or register name (RegRead/RegWrite)
+	Val   int       // value read or written
+	Fence FenceKind // for Kind == Fence
+	Order MemOrder  // C11 memory order (OrderPlain for assembly dialects)
+}
+
+// IsMem reports whether the event is a memory access.
+func (e Event) IsMem() bool { return e.Kind == MemRead || e.Kind == MemWrite }
+
+// IsInit reports whether the event is a fictitious initial write.
+func (e Event) IsInit() bool { return e.Tid == InitTid }
+
+// String renders an event in the paper's style, e.g. "a: Wx=1".
+func (e Event) String() string {
+	name := fmt.Sprintf("e%d", e.ID)
+	switch e.Kind {
+	case MemRead, RegRead:
+		return fmt.Sprintf("%s: R%s=%d", name, e.Loc, e.Val)
+	case MemWrite, RegWrite:
+		return fmt.Sprintf("%s: W%s=%d", name, e.Loc, e.Val)
+	case Branch:
+		return name + ": branch"
+	case Fence:
+		return fmt.Sprintf("%s: %s", name, e.Fence)
+	}
+	return name + ": ?"
+}
+
+// Execution is a candidate execution: a set of events plus the execution
+// relations po, rf, co (Sec. 4.1), the intra-instruction causality iico and
+// the register read-from used to derive dependencies (Sec. 5).
+//
+// After populating the base fields, call Derive to compute every derived
+// relation. Architectures (ppo, fences, prop) consume the derived fields.
+type Execution struct {
+	Events []Event
+
+	// Base relations, over all events.
+	PO       rel.Rel // program order: same thread, increasing PC (inter-instruction)
+	IICO     rel.Rel // intra-instruction causality order
+	IICOAddr rel.Rel // iico edges entering a memory access through its address port
+	IICOData rel.Rel // iico edges entering a memory write through its value port
+	RFReg    rel.Rel // register read-from (deterministic per thread)
+	RF       rel.Rel // memory read-from (chosen by the enumerator)
+	CO       rel.Rel // coherence: per-location total order of writes
+
+	// Event sets (filled by Derive).
+	All, R, W, M, B, RegEvents rel.Set
+
+	// Derived relations (filled by Derive).
+	POLoc      rel.Rel // po ∩ same location, over memory events
+	FR         rel.Rel // from-read: rf⁻¹ ; co
+	Com        rel.Rel // co ∪ rf ∪ fr (memory events)
+	SW         rel.Rel // synchronises-with: release-write -> acquire-read rf edges
+	RFE, RFI   rel.Rel
+	COE, COI   rel.Rel
+	FRE, FRI   rel.Rel
+	Addr       rel.Rel               // address dependencies (Fig. 22)
+	Data       rel.Rel               // data dependencies
+	Ctrl       rel.Rel               // control dependencies
+	CtrlCfence map[FenceKind]rel.Rel // ctrl+cfence per control-fence flavour
+	FenceRel   map[FenceKind]rel.Rel // memory pairs separated by the given fence
+}
+
+// NewExecution returns an execution shell over n events with empty relations.
+func NewExecution(n int) *Execution {
+	return &Execution{
+		PO:       rel.New(n),
+		IICO:     rel.New(n),
+		IICOAddr: rel.New(n),
+		IICOData: rel.New(n),
+		RFReg:    rel.New(n),
+		RF:       rel.New(n),
+		CO:       rel.New(n),
+	}
+}
+
+// N returns the number of events.
+func (x *Execution) N() int { return len(x.Events) }
+
+// MemRF returns rf restricted to memory events.
+func (x *Execution) MemRF() rel.Rel { return x.RF.Restrict(x.W, x.R) }
+
+// Derive computes every derived relation and set. It must be called after
+// Events, PO, IICO, IICOAddr, IICOData, RFReg, RF and CO are populated,
+// and before the execution is handed to a model.
+func (x *Execution) Derive() {
+	n := x.N()
+	x.All = rel.FullSet(n)
+	x.R = rel.NewSet(n)
+	x.W = rel.NewSet(n)
+	x.B = rel.NewSet(n)
+	x.RegEvents = rel.NewSet(n)
+	fenceEvents := map[FenceKind][]int{}
+	for _, e := range x.Events {
+		switch e.Kind {
+		case MemRead:
+			x.R.Add(e.ID)
+		case MemWrite:
+			x.W.Add(e.ID)
+		case RegRead, RegWrite:
+			x.RegEvents.Add(e.ID)
+		case Branch:
+			x.B.Add(e.ID)
+		case Fence:
+			fenceEvents[e.Fence] = append(fenceEvents[e.Fence], e.ID)
+		}
+	}
+	x.M = x.R.Union(x.W)
+
+	// po-loc: same-location memory pairs in program order.
+	x.POLoc = rel.New(n)
+	for _, p := range x.PO.Restrict(x.M, x.M).Pairs() {
+		if x.Events[p[0]].Loc == x.Events[p[1]].Loc {
+			x.POLoc.Add(p[0], p[1])
+		}
+	}
+
+	// fr = rf⁻¹ ; co (memory only).
+	memRF := x.MemRF()
+	x.FR = memRF.Inverse().Seq(x.CO)
+	x.Com = x.CO.Union(memRF).Union(x.FR)
+
+	// synchronises-with: rf edges from releasing writes to acquiring reads
+	// (the C11 extension; empty for assembly dialects).
+	x.SW = rel.New(n)
+	for _, p := range memRF.Pairs() {
+		if x.Events[p[0]].Order.Releases() && x.Events[p[1]].Order.Acquires() {
+			x.SW.Add(p[0], p[1])
+		}
+	}
+
+	// Internal/external splits.
+	x.RFE, x.RFI = x.split(memRF)
+	x.COE, x.COI = x.split(x.CO)
+	x.FRE, x.FRI = x.split(x.FR)
+
+	// Fence relations: memory pairs (e1,e2) with a fence of the given kind
+	// in between in program order.
+	x.FenceRel = map[FenceKind]rel.Rel{}
+	for kind, evs := range fenceEvents {
+		fr := rel.New(n)
+		for _, f := range evs {
+			before := rel.NewSet(n)
+			after := rel.NewSet(n)
+			for m := 0; m < n; m++ {
+				if !x.M.Has(m) {
+					continue
+				}
+				if x.PO.Has(m, f) {
+					before.Add(m)
+				}
+				if x.PO.Has(f, m) {
+					after.Add(m)
+				}
+			}
+			fr = fr.Union(rel.Cross(before, after))
+		}
+		x.FenceRel[kind] = fr
+	}
+
+	x.deriveDependencies()
+}
+
+// Fences returns the fence relation for the given kind (empty if unused).
+func (x *Execution) Fences(kind FenceKind) rel.Rel {
+	if r, ok := x.FenceRel[kind]; ok {
+		return r
+	}
+	return rel.New(x.N())
+}
+
+// split partitions a relation into external (distinct threads) and
+// internal (same thread) parts, in that order.
+func (x *Execution) split(r rel.Rel) (external, internal rel.Rel) {
+	external = rel.New(x.N())
+	internal = rel.New(x.N())
+	for _, p := range r.Pairs() {
+		a, b := x.Events[p[0]], x.Events[p[1]]
+		if a.Tid == b.Tid {
+			internal.Add(p[0], p[1])
+		} else {
+			external.Add(p[0], p[1])
+		}
+	}
+	return external, internal
+}
+
+// deriveDependencies computes addr, data, ctrl and ctrl+cfence per Fig. 22:
+// each is a register data-flow chain dd-reg = (rf-reg ∪ iico)+ starting at a
+// memory read, never passing through a memory access, and classified by the
+// port its last edge enters (address port, value port, or a branch).
+func (x *Execution) deriveDependencies() {
+	n := x.N()
+	g := x.RFReg.Union(x.IICO)
+	// Chains whose intermediate nodes are register events: an edge may start
+	// anywhere but must end at a register event to be continued.
+	toReg := g.RestrictRange(x.RegEvents)
+	chains := toReg.Plus().Union(toReg) // paths a → reg-event
+	// dd-reg from a memory read r to a final edge target t:
+	// either a single edge r→t, or r →(chains)→ q →(g)→ t.
+	dd := g.Union(chains.Seq(g))
+
+	// addr/data are dd-reg chains whose final edge enters the target through
+	// the address (resp. value) port.
+	x.Addr = chains.Seq(x.IICOAddr).Restrict(x.R, x.M)
+	x.Data = chains.Seq(x.IICOData).Restrict(x.R, x.W)
+
+	// ctrl: dd-reg into a branch event, then po to a later memory event.
+	intoBranch := dd.Restrict(x.R, x.B)
+	x.Ctrl = intoBranch.Seq(x.PO).Restrict(x.R, x.M)
+
+	// ctrl+cfence: dd-reg into a branch b, a control fence f po-after b,
+	// memory events po-after f. Computed per control-fence flavour.
+	x.CtrlCfence = map[FenceKind]rel.Rel{}
+	for _, kind := range []FenceKind{FenceIsync, FenceISB} {
+		out := rel.New(n)
+		for _, e := range x.Events {
+			if e.Kind != Fence || e.Fence != kind {
+				continue
+			}
+			// branch → fence → memory access
+			branchBefore := rel.NewSet(n)
+			memAfter := rel.NewSet(n)
+			for m := 0; m < n; m++ {
+				if x.B.Has(m) && x.PO.Has(m, e.ID) {
+					branchBefore.Add(m)
+				}
+				if x.M.Has(m) && x.PO.Has(e.ID, m) {
+					memAfter.Add(m)
+				}
+			}
+			step := rel.Cross(branchBefore, memAfter)
+			out = out.Union(intoBranch.Seq(step))
+		}
+		x.CtrlCfence[kind] = out.Restrict(x.R, x.M)
+	}
+}
+
+// CtrlCfenceAll returns the union of ctrl+cfence over all control-fence
+// flavours (isync on Power, isb on ARM).
+func (x *Execution) CtrlCfenceAll() rel.Rel {
+	out := rel.New(x.N())
+	for _, r := range x.CtrlCfence {
+		out = out.Union(r)
+	}
+	return out
+}
+
+// String renders the execution's events and communications for debugging.
+func (x *Execution) String() string {
+	var b strings.Builder
+	for _, e := range x.Events {
+		fmt.Fprintf(&b, "T%d %s\n", e.Tid, e)
+	}
+	fmt.Fprintf(&b, "rf: %v\nco: %v\n", x.MemRF(), x.CO)
+	return b.String()
+}

@@ -1,0 +1,152 @@
+package events
+
+import (
+	"testing"
+)
+
+// buildMP constructs the message-passing execution of Fig. 4 by hand:
+// T0: a=Wx=1, b=Wy=1; T1: c=Ry=1, d=Rx=0; plus initial writes.
+// rf: init_x→d, b→c; co: init_x→a, init_y→b.
+func buildMP() *Execution {
+	x := NewExecution(6)
+	x.Events = []Event{
+		{ID: 0, Tid: InitTid, PC: -1, Kind: MemWrite, Loc: "x", Val: 0},
+		{ID: 1, Tid: InitTid, PC: -1, Kind: MemWrite, Loc: "y", Val: 0},
+		{ID: 2, Tid: 0, PC: 0, Kind: MemWrite, Loc: "x", Val: 1},
+		{ID: 3, Tid: 0, PC: 1, Kind: MemWrite, Loc: "y", Val: 1},
+		{ID: 4, Tid: 1, PC: 0, Kind: MemRead, Loc: "y", Val: 1},
+		{ID: 5, Tid: 1, PC: 1, Kind: MemRead, Loc: "x", Val: 0},
+	}
+	x.PO.Add(2, 3)
+	x.PO.Add(4, 5)
+	x.RF.Add(3, 4) // b -> c
+	x.RF.Add(0, 5) // init_x -> d
+	x.CO.Add(0, 2)
+	x.CO.Add(1, 3)
+	x.Derive()
+	return x
+}
+
+func TestDeriveSets(t *testing.T) {
+	x := buildMP()
+	if x.W.Card() != 4 || x.R.Card() != 2 || x.M.Card() != 6 {
+		t.Errorf("sets: W=%d R=%d M=%d", x.W.Card(), x.R.Card(), x.M.Card())
+	}
+}
+
+func TestDeriveFR(t *testing.T) {
+	x := buildMP()
+	// d reads init_x which is co-before a: fr(d, a).
+	if !x.FR.Has(5, 2) {
+		t.Errorf("fr(d,a) missing: %v", x.FR)
+	}
+	if x.FR.Card() != 1 {
+		t.Errorf("fr = %v, want exactly one edge", x.FR)
+	}
+	// fre vs fri: d and a are on different threads.
+	if !x.FRE.Has(5, 2) || !x.FRI.IsEmpty() {
+		t.Error("fr external/internal split wrong")
+	}
+}
+
+func TestDeriveRFSplit(t *testing.T) {
+	x := buildMP()
+	if !x.RFE.Has(3, 4) {
+		t.Error("rfe(b,c) missing")
+	}
+	// The initial write belongs to no thread: its rf counts as external.
+	if !x.RFE.Has(0, 5) {
+		t.Error("rf from the initial write should be external")
+	}
+	if !x.RFI.IsEmpty() {
+		t.Errorf("rfi should be empty: %v", x.RFI)
+	}
+}
+
+func TestDerivePOLoc(t *testing.T) {
+	x := buildMP()
+	if !x.POLoc.IsEmpty() {
+		t.Errorf("mp has no same-location po pairs: %v", x.POLoc)
+	}
+	// Add a same-location pair and re-derive.
+	x2 := NewExecution(2)
+	x2.Events = []Event{
+		{ID: 0, Tid: 0, PC: 0, Kind: MemWrite, Loc: "x", Val: 1},
+		{ID: 1, Tid: 0, PC: 1, Kind: MemRead, Loc: "x", Val: 1},
+	}
+	x2.PO.Add(0, 1)
+	x2.RF.Add(0, 1)
+	x2.Derive()
+	if !x2.POLoc.Has(0, 1) {
+		t.Error("po-loc missing")
+	}
+	if !x2.RFI.Has(0, 1) {
+		t.Error("internal rf missing")
+	}
+}
+
+func TestFenceRelation(t *testing.T) {
+	// W f W: the fence relates the two memory accesses across it.
+	x := NewExecution(3)
+	x.Events = []Event{
+		{ID: 0, Tid: 0, PC: 0, Kind: MemWrite, Loc: "x", Val: 1},
+		{ID: 1, Tid: 0, PC: 1, Kind: Fence, Fence: FenceLwsync},
+		{ID: 2, Tid: 0, PC: 2, Kind: MemWrite, Loc: "y", Val: 1},
+	}
+	x.PO.Add(0, 1)
+	x.PO.Add(0, 2)
+	x.PO.Add(1, 2)
+	x.Derive()
+	lw := x.Fences(FenceLwsync)
+	if !lw.Has(0, 2) || lw.Card() != 1 {
+		t.Errorf("lwsync relation = %v", lw)
+	}
+	if !x.Fences(FenceSync).IsEmpty() {
+		t.Error("sync relation should be empty")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want string
+	}{
+		{Event{ID: 1, Kind: MemWrite, Loc: "x", Val: 1}, "e1: Wx=1"},
+		{Event{ID: 2, Kind: MemRead, Loc: "y", Val: 0}, "e2: Ry=0"},
+		{Event{ID: 3, Kind: Branch}, "e3: branch"},
+		{Event{ID: 4, Kind: Fence, Fence: FenceSync}, "e4: sync"},
+		{Event{ID: 5, Kind: RegWrite, Loc: "r1", Val: 2}, "e5: Wr1=2"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestIsMemIsInit(t *testing.T) {
+	if !(Event{Kind: MemRead}).IsMem() || (Event{Kind: RegRead}).IsMem() {
+		t.Error("IsMem wrong")
+	}
+	if !(Event{Tid: InitTid}).IsInit() || (Event{Tid: 0}).IsInit() {
+		t.Error("IsInit wrong")
+	}
+}
+
+func TestCtrlCfenceAllEmpty(t *testing.T) {
+	x := buildMP()
+	if !x.CtrlCfenceAll().IsEmpty() {
+		t.Error("mp has no ctrl+cfence")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		MemRead: "R", MemWrite: "W", RegRead: "Rreg", RegWrite: "Wreg",
+		Branch: "branch", Fence: "fence",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,536 @@
+// Package exec enumerates the candidate executions of a litmus test,
+// following the three-stage recipe of Sec. 3 of the paper:
+//
+//  1. control-flow semantics: each thread's instructions are executed
+//     concretely (package isa), one trace per assignment of values to its
+//     memory reads, yielding events, iico and register read-from;
+//  2. data-flow semantics: every read-from map (each read paired with a
+//     same-location same-value write, possibly the initial write) and every
+//     per-location coherence order are enumerated;
+//  3. the resulting (E, po, rf, co) tuples are the candidate executions,
+//     handed to a constraint specification (package core) for validation.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"herdcats/internal/events"
+	"herdcats/internal/isa"
+	"herdcats/internal/litmus"
+)
+
+// addrBase is the integer encoding of the first location's address.
+// Locations are consecutive; litmus data values are small, so there is no
+// overlap in practice (enforced in Compile).
+const addrBase = 0x1000
+
+// Candidate is one candidate execution with its observable final state.
+type Candidate struct {
+	X     *events.Execution
+	State *litmus.State
+}
+
+// Program is a compiled litmus test, ready for enumeration.
+type Program struct {
+	Test    *litmus.Test
+	Threads [][]isa.Instr
+	locs    []string       // sorted location names
+	locIdx  map[string]int // name -> index
+	domain  []int          // read-value domain
+}
+
+// Compile parses the threads of a test and prepares the value domain.
+func Compile(t *litmus.Test) (*Program, error) {
+	p := &Program{Test: t, locs: t.Locations, locIdx: map[string]int{}}
+	for i, l := range t.Locations {
+		p.locIdx[l] = i
+	}
+	for tid, lines := range t.Threads {
+		instrs, err := isa.ParseThread(t.Arch, lines)
+		if err != nil {
+			return nil, fmt.Errorf("exec: thread %d: %v", tid, err)
+		}
+		p.Threads = append(p.Threads, instrs)
+	}
+	p.domain = p.valueDomain()
+	for _, v := range p.domain {
+		if v >= addrBase && v < addrBase+len(p.locs) && !p.isAddrDomain() {
+			return nil, fmt.Errorf("exec: data value %d collides with address encoding", v)
+		}
+	}
+	return p, nil
+}
+
+// encode turns a litmus value into its integer encoding.
+func (p *Program) encode(v litmus.Value) (int, error) {
+	if v.Loc == "" {
+		return v.Int, nil
+	}
+	idx, ok := p.locIdx[v.Loc]
+	if !ok {
+		return 0, fmt.Errorf("exec: unknown location %q", v.Loc)
+	}
+	return addrBase + idx, nil
+}
+
+// Decode turns an encoded integer back into a litmus value.
+func (p *Program) Decode(v int) litmus.Value {
+	if v >= addrBase && v < addrBase+len(p.locs) {
+		return litmus.Value{Loc: p.locs[v-addrBase]}
+	}
+	return litmus.Value{Int: v}
+}
+
+// Encode turns a litmus value into its integer encoding (see Decode).
+func (p *Program) Encode(v litmus.Value) (int, error) { return p.encode(v) }
+
+// InitValue returns the encoded initial value of a location.
+func (p *Program) InitValue(loc string) (int, error) {
+	return p.encode(p.Test.MemInit[loc])
+}
+
+func (p *Program) locOf(addr int) (string, bool) {
+	if addr >= addrBase && addr < addrBase+len(p.locs) {
+		return p.locs[addr-addrBase], true
+	}
+	return "", false
+}
+
+// isAddrDomain reports whether addresses can flow into memory (a location
+// initially holds an address), in which case reads may observe addresses.
+func (p *Program) isAddrDomain() bool {
+	for _, v := range p.Test.MemInit {
+		if v.Loc != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// valueDomain computes the set of values a memory read can plausibly
+// return: initial values, stored immediates, condition constants, closed
+// under the arithmetic the program performs (bounded).
+func (p *Program) valueDomain() []int {
+	set := map[int]bool{0: true}
+	addInt := func(v int) { set[v] = true }
+	for _, th := range p.Threads {
+		for _, in := range th {
+			switch in.Op {
+			case isa.OpLi, isa.OpStoreAI, isa.OpAddi:
+				addInt(in.Imm)
+			}
+		}
+	}
+	for _, v := range p.Test.MemInit {
+		if enc, err := p.encode(v); err == nil {
+			addInt(enc)
+		}
+	}
+	for _, v := range p.Test.RegInit {
+		if v.Loc == "" {
+			addInt(v.Int)
+		}
+	}
+	if p.Test.Cond != nil {
+		addCondInts(p.Test.Cond, p, set)
+	}
+	// Close under the operations the program actually uses, capped.
+	ops := map[isa.Op]bool{}
+	for _, th := range p.Threads {
+		for _, in := range th {
+			ops[in.Op] = true
+		}
+	}
+	const maxDomain = 64
+	for round := 0; round < 4; round++ {
+		vals := keys(set)
+		if len(set) > maxDomain {
+			break
+		}
+		for _, a := range vals {
+			for _, b := range vals {
+				if ops[isa.OpAdd] {
+					addInt(a + b)
+				}
+				if ops[isa.OpXor] {
+					addInt(a ^ b)
+				}
+				if ops[isa.OpAnd] {
+					addInt(a & b)
+				}
+				if len(set) > maxDomain {
+					break
+				}
+			}
+		}
+	}
+	out := keys(set)
+	sort.Ints(out)
+	// Drop address-range values unless addresses can be stored to memory.
+	if !p.isAddrDomain() {
+		filtered := out[:0]
+		for _, v := range out {
+			if v < addrBase || v >= addrBase+len(p.locs) {
+				filtered = append(filtered, v)
+			}
+		}
+		out = filtered
+	}
+	return out
+}
+
+func addCondInts(c litmus.Cond, p *Program, set map[int]bool) {
+	switch c := c.(type) {
+	case *litmus.AtomReg:
+		if enc, err := p.encode(c.Val); err == nil {
+			set[enc] = true
+		}
+	case *litmus.AtomMem:
+		if enc, err := p.encode(c.Val); err == nil {
+			set[enc] = true
+		}
+	case *litmus.And:
+		addCondInts(c.L, p, set)
+		addCondInts(c.R, p, set)
+	case *litmus.Or:
+		addCondInts(c.L, p, set)
+		addCondInts(c.R, p, set)
+	case *litmus.Not:
+		addCondInts(c.X, p, set)
+	}
+}
+
+func keys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Trace is one control-flow semantics of a single thread (Sec. 3): its
+// events with thread-local IDs, the builder's edge lists, and the final
+// register file. Values are concrete; the enumeration over traces is the
+// enumeration over read-value assignments.
+type Trace struct {
+	Events    []events.Event
+	IICO      [][2]int
+	IICOAddr  [][2]int
+	IICOData  [][2]int
+	RFReg     [][2]int
+	FinalRegs map[string]int
+}
+
+// ThreadTraces enumerates the traces of one thread over the value domain.
+func (p *Program) ThreadTraces(tid int) ([]Trace, error) {
+	regInit := map[string]int{}
+	for k, v := range p.Test.RegInit {
+		if k.Tid != tid {
+			continue
+		}
+		enc, err := p.encode(v)
+		if err != nil {
+			return nil, err
+		}
+		regInit[k.Reg] = enc
+	}
+
+	var out []Trace
+	// vals is the read-value vector under construction; position i holds
+	// the value of the i-th dynamic read of the thread.
+	var vals []int
+	var rec func() error
+	rec = func() error {
+		b := &isa.Builder{}
+		idx := 0
+		needMore := false
+		env := isa.Env{
+			LocOf: p.locOf,
+			ReadVal: func(string) (int, bool) {
+				if idx < len(vals) {
+					v := vals[idx]
+					idx++
+					return v, true
+				}
+				needMore = true
+				return 0, false
+			},
+		}
+		final, err := isa.Run(b, tid, p.Threads[tid], regInit, env)
+		if err == nil {
+			out = append(out, Trace{
+				Events:    b.Events,
+				IICO:      b.IICO,
+				IICOAddr:  b.IICOAddr,
+				IICOData:  b.IICOData,
+				RFReg:     b.RFReg,
+				FinalRegs: final,
+			})
+			return nil
+		}
+		if err != isa.ErrInfeasible || !needMore {
+			return err
+		}
+		// The trace needs one more read value: extend the vector.
+		for _, v := range p.domain {
+			vals = append(vals, v)
+			if err := rec(); err != nil {
+				return err
+			}
+			vals = vals[:len(vals)-1]
+		}
+		return nil
+	}
+	if err := rec(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Enumerate yields every candidate execution of the test. The callback may
+// return false to stop early. Executions handed to yield are fully derived.
+func (p *Program) Enumerate(yield func(*Candidate) bool) error {
+	allTraces := make([][]Trace, len(p.Threads))
+	for tid := range p.Threads {
+		ts, err := p.ThreadTraces(tid)
+		if err != nil {
+			return err
+		}
+		if len(ts) == 0 {
+			return fmt.Errorf("exec: thread %d has no feasible trace", tid)
+		}
+		allTraces[tid] = ts
+	}
+
+	// Cartesian product over per-thread traces.
+	choice := make([]int, len(p.Threads))
+	stopped := false
+	var product func(tid int) error
+	product = func(tid int) error {
+		if stopped {
+			return nil
+		}
+		if tid == len(p.Threads) {
+			return p.expand(allTraces, choice, yield, &stopped)
+		}
+		for i := range allTraces[tid] {
+			choice[tid] = i
+			if err := product(tid + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return product(0)
+}
+
+// expand assembles the global event structure for one trace combination and
+// enumerates rf and co over it.
+func (p *Program) expand(allTraces [][]Trace, choice []int, yield func(*Candidate) bool, stopped *bool) error {
+	// Initial writes first: one per location, value from MemInit.
+	var evs []events.Event
+	initWriteOf := map[string]int{}
+	for _, loc := range p.locs {
+		v, err := p.encode(p.Test.MemInit[loc])
+		if err != nil {
+			return err
+		}
+		id := len(evs)
+		evs = append(evs, events.Event{
+			ID: id, Tid: events.InitTid, PC: -1,
+			Kind: events.MemWrite, Loc: loc, Val: v,
+		})
+		initWriteOf[loc] = id
+	}
+
+	var iico, iicoAddr, iicoData, rfReg [][2]int
+	finalRegs := map[litmus.RegKey]litmus.Value{}
+	for tid := range p.Threads {
+		tr := allTraces[tid][choice[tid]]
+		off := len(evs)
+		for _, e := range tr.Events {
+			e.ID += off
+			evs = append(evs, e)
+		}
+		shift := func(edges [][2]int, dst *[][2]int) {
+			for _, e := range edges {
+				*dst = append(*dst, [2]int{e[0] + off, e[1] + off})
+			}
+		}
+		shift(tr.IICO, &iico)
+		shift(tr.IICOAddr, &iicoAddr)
+		shift(tr.IICOData, &iicoData)
+		shift(tr.RFReg, &rfReg)
+		for r, v := range tr.FinalRegs {
+			finalRegs[litmus.RegKey{Tid: tid, Reg: r}] = p.Decode(v)
+		}
+	}
+
+	n := len(evs)
+	x := events.NewExecution(n)
+	x.Events = evs
+	for _, e := range iico {
+		x.IICO.Add(e[0], e[1])
+	}
+	for _, e := range iicoAddr {
+		x.IICOAddr.Add(e[0], e[1])
+	}
+	for _, e := range iicoData {
+		x.IICOData.Add(e[0], e[1])
+	}
+	for _, e := range rfReg {
+		x.RFReg.Add(e[0], e[1])
+	}
+	// Program order: same thread, strictly increasing PC.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if evs[i].Tid != events.InitTid && evs[i].Tid == evs[j].Tid && evs[i].PC < evs[j].PC {
+				x.PO.Add(i, j)
+			}
+		}
+	}
+
+	// Gather reads and per-location writes.
+	var reads []int
+	writesOf := map[string][]int{}
+	for _, e := range evs {
+		switch e.Kind {
+		case events.MemRead:
+			reads = append(reads, e.ID)
+		case events.MemWrite:
+			writesOf[e.Loc] = append(writesOf[e.Loc], e.ID)
+		}
+	}
+	// rf candidates per read: same location, same value.
+	rfCands := make([][]int, len(reads))
+	for i, r := range reads {
+		re := evs[r]
+		for _, w := range writesOf[re.Loc] {
+			if evs[w].Val == re.Val {
+				rfCands[i] = append(rfCands[i], w)
+			}
+		}
+		if len(rfCands[i]) == 0 {
+			return nil // no write can feed this read: infeasible combination
+		}
+	}
+
+	// Enumerate rf choices, then per-location co orders.
+	rfPick := make([]int, len(reads))
+	var locNames []string
+	for _, l := range p.locs {
+		if len(writesOf[l]) > 1 { // init write plus at least one store
+			locNames = append(locNames, l)
+		}
+	}
+
+	var enumerateCO func(li int) error
+	var enumerateRF func(ri int) error
+
+	coPerm := map[string][]int{}
+
+	buildCandidate := func() error {
+		if *stopped {
+			return nil
+		}
+		cx := events.NewExecution(n)
+		cx.Events = evs
+		cx.PO = x.PO
+		cx.IICO = x.IICO
+		cx.IICOAddr = x.IICOAddr
+		cx.IICOData = x.IICOData
+		cx.RFReg = x.RFReg
+		cx.RF = x.RF.Clone()
+		for i, r := range reads {
+			cx.RF.Add(rfPick[i], r)
+		}
+		finalMem := map[string]litmus.Value{}
+		for _, loc := range p.locs {
+			ws := writesOf[loc]
+			order := coPerm[loc]
+			if order == nil {
+				order = ws // just the init write (or single chain)
+			}
+			for i := 0; i < len(order); i++ {
+				for j := i + 1; j < len(order); j++ {
+					cx.CO.Add(order[i], order[j])
+				}
+			}
+			finalMem[loc] = p.Decode(evs[order[len(order)-1]].Val)
+		}
+		cx.Derive()
+		state := &litmus.State{Regs: finalRegs, Mem: finalMem}
+		if !yield(&Candidate{X: cx, State: state}) {
+			*stopped = true
+		}
+		return nil
+	}
+
+	enumerateCO = func(li int) error {
+		if *stopped {
+			return nil
+		}
+		if li == len(locNames) {
+			return buildCandidate()
+		}
+		loc := locNames[li]
+		ws := writesOf[loc]
+		// The initial write is first by convention; permute the rest.
+		rest := append([]int(nil), ws[1:]...)
+		return permute(rest, 0, func(perm []int) error {
+			order := append([]int{ws[0]}, perm...)
+			coPerm[loc] = order
+			defer delete(coPerm, loc)
+			return enumerateCO(li + 1)
+		})
+	}
+
+	enumerateRF = func(ri int) error {
+		if *stopped {
+			return nil
+		}
+		if ri == len(reads) {
+			return enumerateCO(0)
+		}
+		for _, w := range rfCands[ri] {
+			rfPick[ri] = w
+			if err := enumerateRF(ri + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	return enumerateRF(0)
+}
+
+// permute enumerates permutations of s in place (Heap-like recursion) and
+// calls f with each.
+func permute(s []int, k int, f func([]int) error) error {
+	if k == len(s) {
+		return f(s)
+	}
+	for i := k; i < len(s); i++ {
+		s[k], s[i] = s[i], s[k]
+		if err := permute(s, k+1, f); err != nil {
+			return err
+		}
+		s[k], s[i] = s[i], s[k]
+	}
+	return nil
+}
+
+// Candidates collects every candidate execution of a test (convenience).
+func Candidates(t *litmus.Test) ([]*Candidate, error) {
+	p, err := Compile(t)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Candidate
+	err = p.Enumerate(func(c *Candidate) bool {
+		out = append(out, c)
+		return true
+	})
+	return out, err
+}

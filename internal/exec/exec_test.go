@@ -1,0 +1,327 @@
+package exec_test
+
+import (
+	"testing"
+
+	"herdcats/internal/events"
+	"herdcats/internal/exec"
+	"herdcats/internal/litmus"
+)
+
+func compile(t *testing.T, src string) *exec.Program {
+	t.Helper()
+	p, err := exec.Compile(litmus.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const mpSrc = `PPC mp
+{ 0:r1=x; 0:r2=y; 1:r1=y; 1:r2=x; }
+ P0 | P1 ;
+ li r4,1 | lwz r5,0(r1) ;
+ stw r4,0(r1) | lwz r6,0(r2) ;
+ li r4,1 | ;
+ stw r4,0(r2) | ;
+exists (1:r5=1 /\ 1:r6=0)`
+
+func TestCandidateInvariants(t *testing.T) {
+	p := compile(t, mpSrc)
+	count := 0
+	err := p.Enumerate(func(c *exec.Candidate) bool {
+		count++
+		x := c.X
+		// Every read has exactly one rf source.
+		rf := x.MemRF()
+		for _, r := range x.R.Elems() {
+			sources := 0
+			for _, w := range x.W.Elems() {
+				if rf.Has(w, r) {
+					sources++
+				}
+			}
+			if sources != 1 {
+				t.Fatalf("read %d has %d rf sources", r, sources)
+			}
+		}
+		// rf preserves location and value.
+		for _, pr := range rf.Pairs() {
+			w, r := x.Events[pr[0]], x.Events[pr[1]]
+			if w.Loc != r.Loc || w.Val != r.Val {
+				t.Fatalf("rf edge %v -> %v mismatched", w, r)
+			}
+		}
+		// co is a total order per location with the initial write first.
+		for _, w1 := range x.W.Elems() {
+			for _, w2 := range x.W.Elems() {
+				if w1 == w2 || x.Events[w1].Loc != x.Events[w2].Loc {
+					continue
+				}
+				if x.CO.Has(w1, w2) == x.CO.Has(w2, w1) {
+					t.Fatalf("co not total/antisymmetric between %d and %d", w1, w2)
+				}
+				if x.Events[w1].IsInit() && !x.CO.Has(w1, w2) {
+					t.Fatal("initial write not co-first")
+				}
+			}
+		}
+		if !x.CO.Acyclic() {
+			t.Fatal("co cyclic")
+		}
+		// po is intra-thread and acyclic.
+		for _, pr := range x.PO.Pairs() {
+			if x.Events[pr[0]].Tid != x.Events[pr[1]].Tid {
+				t.Fatal("po crosses threads")
+			}
+		}
+		// fr = rf⁻¹;co sanity: fr sources are reads, targets writes.
+		for _, pr := range x.FR.Pairs() {
+			if x.Events[pr[0]].Kind != events.MemRead || x.Events[pr[1]].Kind != events.MemWrite {
+				t.Fatal("fr endpoints wrong")
+			}
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 4 {
+		t.Errorf("mp candidates = %d, want 4", count)
+	}
+}
+
+func TestFinalStates(t *testing.T) {
+	p := compile(t, mpSrc)
+	states := map[string]bool{}
+	err := p.Enumerate(func(c *exec.Candidate) bool {
+		states[c.State.Key(p.Test.Cond)] = true
+		// Final memory must be the co-maximal write's value.
+		if c.State.Mem["x"] != (litmus.Value{Int: 1}) || c.State.Mem["y"] != (litmus.Value{Int: 1}) {
+			t.Fatalf("final memory wrong: %v", c.State.Mem)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"1:r5=0; 1:r6=0", "1:r5=0; 1:r6=1", "1:r5=1; 1:r6=0", "1:r5=1; 1:r6=1",
+	} {
+		if !states[want] {
+			t.Errorf("state %q not enumerated (have %v)", want, states)
+		}
+	}
+}
+
+// TestDependenciesDerived checks that addr/data/ctrl come out of register
+// data-flow, not annotations.
+func TestDependenciesDerived(t *testing.T) {
+	src := `PPC deps
+{ 0:r1=x; 0:r3=y; 0:r9=z; }
+ P0 ;
+ lwz r5,0(r1) ;
+ xor r6,r5,r5 ;
+ lwzx r7,r6,r3 ;
+ xor r8,r7,r7 ;
+ addi r2,r8,1 ;
+ stw r2,0(r9) ;
+exists (0:r5=0)`
+	p := compile(t, src)
+	checked := false
+	err := p.Enumerate(func(c *exec.Candidate) bool {
+		checked = true
+		x := c.X
+		var memReads, memWrites []int
+		for _, e := range x.Events {
+			switch {
+			case e.Kind == events.MemRead:
+				memReads = append(memReads, e.ID)
+			case e.Kind == events.MemWrite && !e.IsInit():
+				memWrites = append(memWrites, e.ID)
+			}
+		}
+		if len(memReads) != 2 || len(memWrites) != 1 {
+			t.Fatalf("events: %d reads, %d writes", len(memReads), len(memWrites))
+		}
+		if !x.Addr.Has(memReads[0], memReads[1]) {
+			t.Error("address dependency read->read missing")
+		}
+		if !x.Data.Has(memReads[1], memWrites[0]) {
+			t.Error("data dependency read->write missing")
+		}
+		if x.Data.Has(memReads[0], memWrites[0]) {
+			// The first read feeds the second read's address, and the
+			// second read's value feeds the store: the chain passes
+			// through a memory access, so it is NOT a data dependency
+			// from the first read (Sec. 5.2: "not through memory").
+			t.Error("dependency chained through memory access")
+		}
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !checked {
+		t.Fatal("no candidates")
+	}
+}
+
+// TestCtrlDependencyDerived: cmp+branch creates ctrl to po-later accesses.
+func TestCtrlDependencyDerived(t *testing.T) {
+	src := `PPC ctrl
+{ 0:r1=x; 0:r3=y; }
+ P0 ;
+ lwz r5,0(r1) ;
+ cmpwi r5,0 ;
+ bne L0 ;
+ L0: ;
+ li r2,1 ;
+ stw r2,0(r3) ;
+exists (0:r5=0)`
+	p := compile(t, src)
+	err := p.Enumerate(func(c *exec.Candidate) bool {
+		x := c.X
+		var read, write = -1, -1
+		for _, e := range x.Events {
+			if e.Kind == events.MemRead {
+				read = e.ID
+			}
+			if e.Kind == events.MemWrite && !e.IsInit() {
+				write = e.ID
+			}
+		}
+		if !x.Ctrl.Has(read, write) {
+			t.Error("control dependency missing")
+		}
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	src := `PPC bad
+{ 0:r1=x; }
+ P0 ;
+ frobnicate r1 ;
+exists (x=1)`
+	if _, err := exec.Compile(litmus.MustParse(src)); err == nil {
+		t.Error("expected compile error for unknown mnemonic")
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	p := compile(t, mpSrc)
+	n := 0
+	err := p.Enumerate(func(*exec.Candidate) bool {
+		n++
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("early stop yielded %d candidates", n)
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	p := compile(t, mpSrc)
+	enc, err := p.Encode(litmus.Value{Loc: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Decode(enc); got != (litmus.Value{Loc: "x"}) {
+		t.Errorf("round trip: %v", got)
+	}
+	if got := p.Decode(3); got != (litmus.Value{Int: 3}) {
+		t.Errorf("int decode: %v", got)
+	}
+	if _, err := p.Encode(litmus.Value{Loc: "nope"}); err == nil {
+		t.Error("unknown location should fail to encode")
+	}
+	v, err := p.InitValue("x")
+	if err != nil || v != 0 {
+		t.Errorf("InitValue = %d, %v", v, err)
+	}
+}
+
+// TestAssemble: the skeleton builder yields a derived execution with
+// initial writes first and po built.
+func TestAssemble(t *testing.T) {
+	p := compile(t, mpSrc)
+	var traces []exec.Trace
+	for tid := 0; tid < 2; tid++ {
+		ts, err := p.ThreadTraces(tid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ts) == 0 {
+			t.Fatal("no traces")
+		}
+		traces = append(traces, ts[0])
+	}
+	asm, err := p.Assemble(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asm.X.Events[0].Tid != events.InitTid || asm.X.Events[1].Tid != events.InitTid {
+		t.Error("initial writes not first")
+	}
+	if asm.X.PO.IsEmpty() {
+		t.Error("po empty")
+	}
+	if _, err := p.Assemble(traces[:1]); err == nil {
+		t.Error("Assemble with wrong trace count should fail")
+	}
+}
+
+// TestCandidateCountsTable checks the enumeration arithmetic on classic
+// tests: candidates = Π(read-value choices) × Π(rf choices | values) ×
+// Π(co permutations).
+func TestCandidateCountsTable(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		// mp: two reads over {0,1}, one write per location: 2×2.
+		{"mp", mpSrc, 4},
+		// sb: two reads, each from init(0) or the other thread's write(1).
+		{"sb", `PPC sb
+{ 0:r1=x; 0:r2=y; 1:r1=y; 1:r2=x; }
+ P0 | P1 ;
+ li r4,1 | li r4,1 ;
+ stw r4,0(r1) | stw r4,0(r1) ;
+ lwz r5,0(r2) | lwz r5,0(r2) ;
+exists (0:r5=0 /\ 1:r5=0)`, 4},
+		// 2+2w: no reads; two writes per location: 2 co orders each.
+		{"2+2w", `PPC 2+2w
+{ 0:r1=x; 0:r2=y; 1:r1=y; 1:r2=x; }
+ P0 | P1 ;
+ li r4,2 | li r4,2 ;
+ stw r4,0(r1) | stw r4,0(r1) ;
+ li r5,1 | li r5,1 ;
+ stw r5,0(r2) | stw r5,0(r2) ;
+exists (x=2 /\ y=2)`, 4},
+		// iriw: four reads over {0,1}: 16.
+		{"iriw", `PPC iriw
+{ 0:r1=x; 1:r1=x; 1:r2=y; 2:r1=y; 3:r1=y; 3:r2=x; }
+ P0 | P1 | P2 | P3 ;
+ li r4,1 | lwz r4,0(r1) | li r4,1 | lwz r4,0(r1) ;
+ stw r4,0(r1) | lwz r5,0(r2) | stw r4,0(r1) | lwz r5,0(r2) ;
+exists (1:r4=1 /\ 1:r5=0 /\ 3:r4=1 /\ 3:r5=0)`, 16},
+	}
+	for _, c := range cases {
+		p := compile(t, c.src)
+		n := 0
+		if err := p.Enumerate(func(*exec.Candidate) bool { n++; return true }); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if n != c.want {
+			t.Errorf("%s: %d candidates, want %d", c.name, n, c.want)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"herdcats/internal/mole"
+)
+
+// MoleResult is a mole run over one code base: the cycle inventory of
+// Tab. XIII (PostgreSQL) and Tab. XIV (RCU), and the Debian-wide frequency
+// analysis of Sec. 9.
+type MoleResult struct {
+	Name    string
+	Report  *mole.Report
+	ByName  map[string]int
+	ByAxiom map[string]int
+}
+
+// Table13 runs mole on the PostgreSQL latch-protocol port (Tab. XIII).
+func Table13() (*MoleResult, error) {
+	return runMole("PostgreSQL", mole.PgSQLSource)
+}
+
+// Table14 runs mole on the RCU port of Fig. 40 (Tab. XIV).
+func Table14() (*MoleResult, error) {
+	return runMole("RCU", mole.RCUSource)
+}
+
+// TableApache runs mole on the Apache fdqueue port (Sec. 9.1.3's worked
+// example: "In Apache we find 5 patterns distributed over 75 cycles").
+func TableApache() (*MoleResult, error) {
+	return runMole("Apache", mole.ApacheSource)
+}
+
+func runMole(name, src string) (*MoleResult, error) {
+	p := mole.NewProgram()
+	if err := p.Add(src); err != nil {
+		return nil, fmt.Errorf("%s: %v", name, err)
+	}
+	rep := mole.Analyze(p).FindCycles(2)
+	return &MoleResult{Name: name, Report: rep, ByName: rep.ByName, ByAxiom: rep.ByAxiom}, nil
+}
+
+// DebianRow is one idiom's share in the corpus-wide frequency table.
+type DebianRow struct {
+	Pattern string
+	Count   int
+}
+
+// Debian reproduces the Sec. 9 distribution-wide mining on the synthetic
+// corpus: units translation units, analysed unit by unit (like mole ran
+// per package), with the idiom frequencies aggregated.
+func Debian(units int, seed int64) ([]DebianRow, map[string]int, error) {
+	totals := map[string]int{}
+	axioms := map[string]int{}
+	for i, src := range mole.SyntheticCorpus(units, seed) {
+		p := mole.NewProgram()
+		if err := p.Add(src); err != nil {
+			return nil, nil, fmt.Errorf("unit %d: %v", i, err)
+		}
+		rep := mole.Analyze(p).FindCycles(2)
+		for n, c := range rep.ByName {
+			totals[n] += c
+		}
+		for a, c := range rep.ByAxiom {
+			axioms[a] += c
+		}
+	}
+	rows := make([]DebianRow, 0, len(totals))
+	for n, c := range totals {
+		rows = append(rows, DebianRow{Pattern: n, Count: c})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Pattern < rows[j].Pattern
+	})
+	return rows, axioms, nil
+}
+
+// RenderMole formats a mole result like Tab. XIII/XIV.
+func RenderMole(r *MoleResult) string {
+	var b strings.Builder
+	total := 0
+	for _, c := range r.ByName {
+		total += c
+	}
+	fmt.Fprintf(&b, "mole inventory for %s: %d cycles over %d patterns\n",
+		r.Name, total, len(r.ByName))
+	b.WriteString(mole.RenderReport(r.Report))
+	return b.String()
+}
+
+// RenderDebian formats the corpus-wide frequency table.
+func RenderDebian(rows []DebianRow, axioms map[string]int) string {
+	var b strings.Builder
+	b.WriteString("Sec. 9: idiom frequencies over the synthetic Debian-like corpus\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-16s %6d\n", r.Pattern, r.Count)
+	}
+	b.WriteString("by axiom:\n")
+	var axes []string
+	for a := range axioms {
+		axes = append(axes, a)
+	}
+	sort.Strings(axes)
+	for _, a := range axes {
+		fmt.Fprintf(&b, "  %-16s %6d\n", a, axioms[a])
+	}
+	return b.String()
+}

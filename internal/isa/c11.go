@@ -1,0 +1,135 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+
+	"herdcats/internal/events"
+)
+
+// parseC11 parses one statement of the C dialect — the Sec. 4.9
+// mixed-access extension. Supported forms:
+//
+//	atomic_store_explicit(x, 1, release)
+//	r1 = atomic_load_explicit(y, acquire)
+//	x = 1                       (plain write; behaves as relaxed)
+//	r1 = x                      (plain read)
+//
+// Orders may be written bare (relaxed, acquire, ...) or with the
+// memory_order_ prefix.
+func parseC11(text string) (Instr, error) {
+	if lhs, rhs, ok := strings.Cut(text, "="); ok && !strings.Contains(lhs, "(") {
+		dst := strings.TrimSpace(lhs)
+		src := strings.TrimSpace(rhs)
+		if !identLike(dst) {
+			return Instr{}, fmt.Errorf("bad assignment target %q", dst)
+		}
+		// Load forms into a register.
+		if strings.HasPrefix(src, "atomic_load_explicit(") {
+			loc, order, err := loadArgs(src)
+			if err != nil {
+				return Instr{}, err
+			}
+			return Instr{Op: OpLoadA, Rd: dst, Loc: loc, Order: order}, nil
+		}
+		if n, err := parseImm(src); err == nil {
+			// Plain store of a constant: "x = 1".
+			return Instr{Op: OpStoreAI, Loc: dst, Imm: n, Order: events.OrderPlain}, nil
+		}
+		if identLike(src) {
+			// Registers follow the rN convention; everything else names a
+			// location. "r1 = x" is a plain load, "x = r1" a plain store.
+			switch {
+			case isC11Reg(dst) && !isC11Reg(src):
+				return Instr{Op: OpLoadA, Rd: dst, Loc: src, Order: events.OrderPlain}, nil
+			case !isC11Reg(dst) && isC11Reg(src):
+				return Instr{Op: OpStoreA, Loc: dst, Rd: src, Order: events.OrderPlain}, nil
+			case isC11Reg(dst) && isC11Reg(src):
+				return Instr{Op: OpMove, Rd: dst, Ra: src}, nil
+			}
+			return Instr{}, fmt.Errorf("location-to-location copy %q = %q not supported", dst, src)
+		}
+		return Instr{}, fmt.Errorf("unsupported right-hand side %q", src)
+	}
+	if strings.HasPrefix(text, "atomic_store_explicit(") {
+		inner, err := callArgs(text, "atomic_store_explicit", 3)
+		if err != nil {
+			return Instr{}, err
+		}
+		imm, err := parseImm(inner[1])
+		if err != nil {
+			return Instr{}, fmt.Errorf("store value %q: %v", inner[1], err)
+		}
+		order, err := parseOrder(inner[2])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpStoreAI, Loc: inner[0], Imm: imm, Order: order}, nil
+	}
+	return Instr{}, fmt.Errorf("unsupported C statement")
+}
+
+// isC11Reg reports the rN register spelling of the C dialect.
+func isC11Reg(s string) bool {
+	if len(s) < 2 || s[0] != 'r' {
+		return false
+	}
+	for _, c := range s[1:] {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func loadArgs(src string) (loc string, order events.MemOrder, err error) {
+	inner, err := callArgs(src, "atomic_load_explicit", 2)
+	if err != nil {
+		return "", 0, err
+	}
+	order, err = parseOrder(inner[1])
+	if err != nil {
+		return "", 0, err
+	}
+	return inner[0], order, nil
+}
+
+// callArgs extracts the comma-separated arguments of name(...).
+func callArgs(src, name string, want int) ([]string, error) {
+	rest := strings.TrimPrefix(src, name)
+	rest = strings.TrimSpace(rest)
+	if !strings.HasPrefix(rest, "(") || !strings.HasSuffix(rest, ")") {
+		return nil, fmt.Errorf("malformed call %q", src)
+	}
+	parts := strings.Split(rest[1:len(rest)-1], ",")
+	if len(parts) != want {
+		return nil, fmt.Errorf("%s takes %d arguments, got %d", name, want, len(parts))
+	}
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	// The location may be written with an address-of: &x.
+	parts[0] = strings.TrimPrefix(parts[0], "&")
+	if !identLike(parts[0]) {
+		return nil, fmt.Errorf("bad location %q", parts[0])
+	}
+	return parts, nil
+}
+
+func parseOrder(s string) (events.MemOrder, error) {
+	switch strings.TrimPrefix(s, "memory_order_") {
+	case "relaxed":
+		return events.OrderRelaxed, nil
+	case "acquire":
+		return events.OrderAcquire, nil
+	case "release":
+		return events.OrderRelease, nil
+	case "acq_rel":
+		return events.OrderAcqRel, nil
+	case "seq_cst":
+		// Treated as release-and-acquire; no total S order (documented
+		// simplification of the extension).
+		return events.OrderSeqCst, nil
+	}
+	return 0, fmt.Errorf("unknown memory order %q", s)
+}

@@ -1,0 +1,499 @@
+// Package isa implements the instruction semantics of Sec. 5 of the paper:
+// each instruction of a litmus test maps to memory, register, branch and
+// fence events linked by intra-instruction causality (iico), with the iico
+// edges entering memory accesses tagged by port (address or value). The
+// dependency relations addr/data/ctrl/ctrl+cfence of Fig. 22 are then
+// *derived* from this register-level data flow by package events.
+//
+// Three assembly dialects are parsed — Power (canonical, as in the paper's
+// examples), ARMv7 and x86 — all mapping to one internal instruction set.
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"herdcats/internal/events"
+	"herdcats/internal/litmus"
+)
+
+// Op is an internal opcode.
+type Op uint8
+
+// Internal instruction set.
+const (
+	OpNop     Op = iota
+	OpLi         // rd := imm
+	OpMove       // rd := ra
+	OpLoad       // rd := mem[ra]
+	OpLoadX      // rd := mem[ra + rb]    (indexed; used for address dependencies)
+	OpLoadA      // rd := mem[loc]        (absolute; x86)
+	OpStore      // mem[ra] := rs
+	OpStoreX     // mem[ra + rb] := rs
+	OpStoreA     // mem[loc] := rs        (absolute; x86)
+	OpStoreAI    // mem[loc] := imm       (absolute immediate; x86)
+	OpXor        // rd := ra ^ rb
+	OpAdd        // rd := ra + rb
+	OpAddi       // rd := ra + imm
+	OpAnd        // rd := ra & rb
+	OpCmpI       // cc := compare(ra, imm)
+	OpCmp        // cc := compare(ra, rb)
+	OpBeq        // branch to label if cc says equal
+	OpBne        // branch to label if cc says not-equal
+	OpFence      // memory barrier
+	OpLabel      // branch target
+)
+
+// CCReg is the condition register written by comparisons and read by
+// branches (CR0 on Power; we use one name across dialects).
+const CCReg = "CR0"
+
+// The condition register holds ccEQ after an equal comparison (the paper:
+// "2 encodes equality"), ccLT or ccGT otherwise.
+const (
+	ccLT = 0
+	ccGT = 1
+	ccEQ = 2
+)
+
+// Instr is one parsed instruction.
+type Instr struct {
+	Op     Op
+	Rd     string // destination register (or source for stores: Rd = value register)
+	Ra, Rb string // operand registers
+	Imm    int
+	Loc    string // absolute location (x86 forms)
+	Label  string // branch target / label name
+	Fence  events.FenceKind
+	Order  events.MemOrder // C11 memory order (C dialect only)
+	Text   string          // original source text
+}
+
+func (in Instr) String() string { return in.Text }
+
+// ParseThread parses the source lines of one thread column.
+func ParseThread(arch litmus.Arch, lines []string) ([]Instr, error) {
+	out := make([]Instr, 0, len(lines))
+	for _, l := range lines {
+		in, err := ParseInstr(arch, l)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+	}
+	if err := checkLabels(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// checkLabels verifies that every branch targets an existing label strictly
+// after the branch (forward branches only: litmus tests are loop-free, and
+// the paper's po "unrolls the loops" — our programs are already unrolled).
+func checkLabels(instrs []Instr) error {
+	labels := map[string]int{}
+	for i, in := range instrs {
+		if in.Op == OpLabel {
+			if _, dup := labels[in.Label]; dup {
+				return fmt.Errorf("isa: duplicate label %q", in.Label)
+			}
+			labels[in.Label] = i
+		}
+	}
+	for i, in := range instrs {
+		if in.Op != OpBeq && in.Op != OpBne {
+			continue
+		}
+		at, ok := labels[in.Label]
+		if !ok {
+			return fmt.Errorf("isa: branch to unknown label %q", in.Label)
+		}
+		if at <= i {
+			return fmt.Errorf("isa: backward branch to %q not supported (unroll loops first)", in.Label)
+		}
+	}
+	return nil
+}
+
+// ParseInstr parses a single instruction in the given dialect.
+func ParseInstr(arch litmus.Arch, line string) (Instr, error) {
+	text := strings.TrimSpace(line)
+	if text == "" {
+		return Instr{Op: OpNop, Text: text}, nil
+	}
+	if arch == litmus.C11 {
+		in, err := parseC11(strings.TrimSuffix(text, ";"))
+		if err != nil {
+			return Instr{}, fmt.Errorf("isa: %q: %v", text, err)
+		}
+		in.Text = text
+		return in, nil
+	}
+	// Labels: "L0:".
+	if strings.HasSuffix(text, ":") {
+		name := strings.TrimSpace(strings.TrimSuffix(text, ":"))
+		if !identLike(name) {
+			return Instr{}, fmt.Errorf("isa: bad label %q", text)
+		}
+		return Instr{Op: OpLabel, Label: name, Text: text}, nil
+	}
+	toks := tokenize(text)
+	if len(toks) == 0 {
+		return Instr{Op: OpNop, Text: text}, nil
+	}
+	op := strings.ToLower(toks[0])
+	args := toks[1:]
+	in, err := parseMnemonic(arch, op, args)
+	if err != nil {
+		return Instr{}, fmt.Errorf("isa: %q: %v", text, err)
+	}
+	in.Text = text
+	return in, nil
+}
+
+// tokenize splits an operand list on spaces and commas, and splits PPC
+// displacement forms "0(r1)" into "0" "(" "r1" ")".
+func tokenize(s string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case ' ', '\t', ',':
+			flush()
+		case '(', ')':
+			flush()
+			out = append(out, string(c))
+		case '[':
+			flush()
+			j := strings.IndexByte(s[i:], ']')
+			if j < 0 {
+				cur.WriteByte(c)
+				continue
+			}
+			out = append(out, "["+strings.TrimSpace(s[i+1:i+j])+"]")
+			i += j
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+	return out
+}
+
+func identLike(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_') {
+			return false
+		}
+	}
+	return true
+}
+
+func parseMnemonic(arch litmus.Arch, op string, args []string) (Instr, error) {
+	// Fences are dialect-checked but share a parser.
+	if kind, ok := fenceKind(op, args); ok {
+		return Instr{Op: OpFence, Fence: kind}, nil
+	}
+	switch arch {
+	case litmus.PPC:
+		return parsePPC(op, args)
+	case litmus.ARM:
+		return parseARM(op, args)
+	case litmus.X86:
+		return parseX86(op, args)
+	}
+	return Instr{}, fmt.Errorf("unsupported arch %q", arch)
+}
+
+func fenceKind(op string, args []string) (events.FenceKind, bool) {
+	switch op {
+	case "sync", "hwsync":
+		return events.FenceSync, true
+	case "lwsync":
+		return events.FenceLwsync, true
+	case "isync":
+		return events.FenceIsync, true
+	case "eieio":
+		return events.FenceEieio, true
+	case "isb":
+		return events.FenceISB, true
+	case "mfence":
+		return events.FenceMFence, true
+	case "dmb":
+		if len(args) == 1 && strings.EqualFold(args[0], "st") {
+			return events.FenceDMBST, true
+		}
+		return events.FenceDMB, true
+	case "dsb":
+		if len(args) == 1 && strings.EqualFold(args[0], "st") {
+			return events.FenceDSBST, true
+		}
+		return events.FenceDSB, true
+	case "dmb.st":
+		return events.FenceDMBST, true
+	case "dsb.st":
+		return events.FenceDSBST, true
+	}
+	return events.FenceNone, false
+}
+
+func needArgs(args []string, n int) error {
+	if len(args) != n {
+		return fmt.Errorf("want %d operands, got %d (%v)", n, len(args), args)
+	}
+	return nil
+}
+
+func parseImm(s string) (int, error) {
+	s = strings.TrimPrefix(strings.TrimPrefix(s, "#"), "$")
+	return strconv.Atoi(s)
+}
+
+func parsePPC(op string, args []string) (Instr, error) {
+	switch op {
+	case "li":
+		if err := needArgs(args, 2); err != nil {
+			return Instr{}, err
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpLi, Rd: args[0], Imm: imm}, nil
+	case "mr":
+		if err := needArgs(args, 2); err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpMove, Rd: args[0], Ra: args[1]}, nil
+	case "lwz", "ld":
+		// lwz rd, off(ra) → tokens: rd off ( ra )
+		if err := needArgs(args, 5); err != nil {
+			return Instr{}, err
+		}
+		if args[2] != "(" || args[4] != ")" {
+			return Instr{}, fmt.Errorf("want rd,off(ra)")
+		}
+		off, err := parseImm(args[1])
+		if err != nil || off != 0 {
+			return Instr{}, fmt.Errorf("only zero displacement supported")
+		}
+		return Instr{Op: OpLoad, Rd: args[0], Ra: args[3]}, nil
+	case "lwzx", "ldx":
+		if err := needArgs(args, 3); err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpLoadX, Rd: args[0], Ra: args[1], Rb: args[2]}, nil
+	case "stw", "std":
+		if err := needArgs(args, 5); err != nil {
+			return Instr{}, err
+		}
+		if args[2] != "(" || args[4] != ")" {
+			return Instr{}, fmt.Errorf("want rs,off(ra)")
+		}
+		off, err := parseImm(args[1])
+		if err != nil || off != 0 {
+			return Instr{}, fmt.Errorf("only zero displacement supported")
+		}
+		return Instr{Op: OpStore, Rd: args[0], Ra: args[3]}, nil
+	case "stwx", "stdx":
+		if err := needArgs(args, 3); err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpStoreX, Rd: args[0], Ra: args[1], Rb: args[2]}, nil
+	case "xor", "add", "and":
+		if err := needArgs(args, 3); err != nil {
+			return Instr{}, err
+		}
+		kind := map[string]Op{"xor": OpXor, "add": OpAdd, "and": OpAnd}[op]
+		return Instr{Op: kind, Rd: args[0], Ra: args[1], Rb: args[2]}, nil
+	case "addi":
+		if err := needArgs(args, 3); err != nil {
+			return Instr{}, err
+		}
+		imm, err := parseImm(args[2])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpAddi, Rd: args[0], Ra: args[1], Imm: imm}, nil
+	case "cmpwi", "cmpdi":
+		if err := needArgs(args, 2); err != nil {
+			return Instr{}, err
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpCmpI, Ra: args[0], Imm: imm}, nil
+	case "cmpw", "cmpd":
+		if err := needArgs(args, 2); err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpCmp, Ra: args[0], Rb: args[1]}, nil
+	case "beq":
+		if err := needArgs(args, 1); err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpBeq, Label: args[0]}, nil
+	case "bne":
+		if err := needArgs(args, 1); err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpBne, Label: args[0]}, nil
+	}
+	return Instr{}, fmt.Errorf("unknown PPC mnemonic %q", op)
+}
+
+func parseARM(op string, args []string) (Instr, error) {
+	switch op {
+	case "mov":
+		if err := needArgs(args, 2); err != nil {
+			return Instr{}, err
+		}
+		if strings.HasPrefix(args[1], "#") {
+			imm, err := parseImm(args[1])
+			if err != nil {
+				return Instr{}, err
+			}
+			return Instr{Op: OpLi, Rd: args[0], Imm: imm}, nil
+		}
+		return Instr{Op: OpMove, Rd: args[0], Ra: args[1]}, nil
+	case "ldr":
+		if err := needArgs(args, 2); err != nil {
+			return Instr{}, err
+		}
+		regs, err := bracketRegs(args[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		switch len(regs) {
+		case 1:
+			return Instr{Op: OpLoad, Rd: args[0], Ra: regs[0]}, nil
+		case 2:
+			return Instr{Op: OpLoadX, Rd: args[0], Ra: regs[0], Rb: regs[1]}, nil
+		}
+		return Instr{}, fmt.Errorf("bad ldr operand %q", args[1])
+	case "str":
+		if err := needArgs(args, 2); err != nil {
+			return Instr{}, err
+		}
+		regs, err := bracketRegs(args[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		switch len(regs) {
+		case 1:
+			return Instr{Op: OpStore, Rd: args[0], Ra: regs[0]}, nil
+		case 2:
+			return Instr{Op: OpStoreX, Rd: args[0], Ra: regs[0], Rb: regs[1]}, nil
+		}
+		return Instr{}, fmt.Errorf("bad str operand %q", args[1])
+	case "eor", "add", "and":
+		if op == "add" && len(args) == 3 && strings.HasPrefix(args[2], "#") {
+			imm, err := parseImm(args[2])
+			if err != nil {
+				return Instr{}, err
+			}
+			return Instr{Op: OpAddi, Rd: args[0], Ra: args[1], Imm: imm}, nil
+		}
+		if err := needArgs(args, 3); err != nil {
+			return Instr{}, err
+		}
+		kind := map[string]Op{"eor": OpXor, "add": OpAdd, "and": OpAnd}[op]
+		return Instr{Op: kind, Rd: args[0], Ra: args[1], Rb: args[2]}, nil
+	case "cmp":
+		if err := needArgs(args, 2); err != nil {
+			return Instr{}, err
+		}
+		if strings.HasPrefix(args[1], "#") {
+			imm, err := parseImm(args[1])
+			if err != nil {
+				return Instr{}, err
+			}
+			return Instr{Op: OpCmpI, Ra: args[0], Imm: imm}, nil
+		}
+		return Instr{Op: OpCmp, Ra: args[0], Rb: args[1]}, nil
+	case "beq":
+		if err := needArgs(args, 1); err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpBeq, Label: args[0]}, nil
+	case "bne":
+		if err := needArgs(args, 1); err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpBne, Label: args[0]}, nil
+	}
+	return Instr{}, fmt.Errorf("unknown ARM mnemonic %q", op)
+}
+
+// bracketRegs parses "[r1]" or "[r1,r2]" (the tokenizer has already
+// collapsed the bracket group into one token).
+func bracketRegs(tok string) ([]string, error) {
+	if !strings.HasPrefix(tok, "[") || !strings.HasSuffix(tok, "]") {
+		return nil, fmt.Errorf("want [reg] or [reg,reg], got %q", tok)
+	}
+	inner := tok[1 : len(tok)-1]
+	parts := strings.Split(inner, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+		if parts[i] == "" {
+			return nil, fmt.Errorf("bad bracket operand %q", tok)
+		}
+	}
+	return parts, nil
+}
+
+func parseX86(op string, args []string) (Instr, error) {
+	switch op {
+	case "mov":
+		if err := needArgs(args, 2); err != nil {
+			return Instr{}, err
+		}
+		dst, src := args[0], args[1]
+		dstMem := strings.HasPrefix(dst, "[")
+		srcMem := strings.HasPrefix(src, "[")
+		switch {
+		case dstMem && srcMem:
+			return Instr{}, fmt.Errorf("mov mem,mem not allowed")
+		case dstMem:
+			loc := strings.Trim(dst, "[]")
+			if strings.HasPrefix(src, "$") || strings.HasPrefix(src, "#") {
+				imm, err := parseImm(src)
+				if err != nil {
+					return Instr{}, err
+				}
+				return Instr{Op: OpStoreAI, Loc: loc, Imm: imm}, nil
+			}
+			return Instr{Op: OpStoreA, Loc: loc, Rd: src}, nil
+		case srcMem:
+			return Instr{Op: OpLoadA, Rd: dst, Loc: strings.Trim(src, "[]")}, nil
+		default:
+			if strings.HasPrefix(src, "$") || strings.HasPrefix(src, "#") {
+				imm, err := parseImm(src)
+				if err != nil {
+					return Instr{}, err
+				}
+				return Instr{Op: OpLi, Rd: dst, Imm: imm}, nil
+			}
+			return Instr{Op: OpMove, Rd: dst, Ra: src}, nil
+		}
+	case "xor", "add", "and":
+		if err := needArgs(args, 3); err != nil {
+			return Instr{}, err
+		}
+		kind := map[string]Op{"xor": OpXor, "add": OpAdd, "and": OpAnd}[op]
+		return Instr{Op: kind, Rd: args[0], Ra: args[1], Rb: args[2]}, nil
+	}
+	return Instr{}, fmt.Errorf("unknown x86 mnemonic %q", op)
+}

@@ -1,0 +1,293 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+
+	"herdcats/internal/events"
+	"herdcats/internal/litmus"
+)
+
+func TestParsePPC(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Instr
+	}{
+		{"li r4,1", Instr{Op: OpLi, Rd: "r4", Imm: 1}},
+		{"lwz r5,0(r1)", Instr{Op: OpLoad, Rd: "r5", Ra: "r1"}},
+		{"lwzx r7,r6,r3", Instr{Op: OpLoadX, Rd: "r7", Ra: "r6", Rb: "r3"}},
+		{"stw r4,0(r1)", Instr{Op: OpStore, Rd: "r4", Ra: "r1"}},
+		{"stwx r6,r5,r2", Instr{Op: OpStoreX, Rd: "r6", Ra: "r5", Rb: "r2"}},
+		{"xor r5,r4,r4", Instr{Op: OpXor, Rd: "r5", Ra: "r4", Rb: "r4"}},
+		{"add r9,r1,r1", Instr{Op: OpAdd, Rd: "r9", Ra: "r1", Rb: "r1"}},
+		{"addi r6,r5,1", Instr{Op: OpAddi, Rd: "r6", Ra: "r5", Imm: 1}},
+		{"cmpwi r4,1", Instr{Op: OpCmpI, Ra: "r4", Imm: 1}},
+		{"cmpw r4,r5", Instr{Op: OpCmp, Ra: "r4", Rb: "r5"}},
+		{"bne LC00", Instr{Op: OpBne, Label: "LC00"}},
+		{"beq L0", Instr{Op: OpBeq, Label: "L0"}},
+		{"sync", Instr{Op: OpFence, Fence: events.FenceSync}},
+		{"lwsync", Instr{Op: OpFence, Fence: events.FenceLwsync}},
+		{"eieio", Instr{Op: OpFence, Fence: events.FenceEieio}},
+		{"isync", Instr{Op: OpFence, Fence: events.FenceIsync}},
+		{"mr r1,r2", Instr{Op: OpMove, Rd: "r1", Ra: "r2"}},
+		{"LC00:", Instr{Op: OpLabel, Label: "LC00"}},
+	}
+	for _, c := range cases {
+		got, err := ParseInstr(litmus.PPC, c.src)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		got.Text = ""
+		if got != c.want {
+			t.Errorf("%q: got %+v, want %+v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseARM(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Instr
+	}{
+		{"mov r3,#1", Instr{Op: OpLi, Rd: "r3", Imm: 1}},
+		{"mov r3,r4", Instr{Op: OpMove, Rd: "r3", Ra: "r4"}},
+		{"ldr r5,[r1]", Instr{Op: OpLoad, Rd: "r5", Ra: "r1"}},
+		{"ldr r7,[r6,r3]", Instr{Op: OpLoadX, Rd: "r7", Ra: "r6", Rb: "r3"}},
+		{"str r4,[r1]", Instr{Op: OpStore, Rd: "r4", Ra: "r1"}},
+		{"str r6,[r5,r2]", Instr{Op: OpStoreX, Rd: "r6", Ra: "r5", Rb: "r2"}},
+		{"eor r5,r4,r4", Instr{Op: OpXor, Rd: "r5", Ra: "r4", Rb: "r4"}},
+		{"add r6,r5,#1", Instr{Op: OpAddi, Rd: "r6", Ra: "r5", Imm: 1}},
+		{"cmp r4,#2", Instr{Op: OpCmpI, Ra: "r4", Imm: 2}},
+		{"dmb", Instr{Op: OpFence, Fence: events.FenceDMB}},
+		{"dmb st", Instr{Op: OpFence, Fence: events.FenceDMBST}},
+		{"dsb st", Instr{Op: OpFence, Fence: events.FenceDSBST}},
+		{"isb", Instr{Op: OpFence, Fence: events.FenceISB}},
+	}
+	for _, c := range cases {
+		got, err := ParseInstr(litmus.ARM, c.src)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		got.Text = ""
+		if got != c.want {
+			t.Errorf("%q: got %+v, want %+v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseX86(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Instr
+	}{
+		{"MOV [x],$1", Instr{Op: OpStoreAI, Loc: "x", Imm: 1}},
+		{"MOV [x],EAX", Instr{Op: OpStoreA, Loc: "x", Rd: "EAX"}},
+		{"MOV EAX,[x]", Instr{Op: OpLoadA, Rd: "EAX", Loc: "x"}},
+		{"MOV EAX,$3", Instr{Op: OpLi, Rd: "EAX", Imm: 3}},
+		{"MFENCE", Instr{Op: OpFence, Fence: events.FenceMFence}},
+	}
+	for _, c := range cases {
+		got, err := ParseInstr(litmus.X86, c.src)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		got.Text = ""
+		if got != c.want {
+			t.Errorf("%q: got %+v, want %+v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		arch litmus.Arch
+		src  string
+	}{
+		{litmus.PPC, "frob r1,r2"},
+		{litmus.PPC, "lwz r5,4(r1)"}, // non-zero displacement
+		{litmus.PPC, "li r4"},
+		{litmus.ARM, "ldr r5,[r1,r2,r3]"},
+		{litmus.ARM, "mov r1"},
+		{litmus.X86, "mov [x],[y]"},
+		{litmus.X86, "add eax"},
+	}
+	for _, c := range cases {
+		if _, err := ParseInstr(c.arch, c.src); err == nil {
+			t.Errorf("%s %q: expected error", c.arch, c.src)
+		}
+	}
+}
+
+func TestLabelChecks(t *testing.T) {
+	// Unknown label.
+	_, err := ParseThread(litmus.PPC, []string{"cmpwi r1,0", "bne NOPE"})
+	if err == nil || !strings.Contains(err.Error(), "unknown label") {
+		t.Errorf("want unknown-label error, got %v", err)
+	}
+	// Backward branch.
+	_, err = ParseThread(litmus.PPC, []string{"L0:", "cmpwi r1,0", "bne L0"})
+	if err == nil || !strings.Contains(err.Error(), "backward branch") {
+		t.Errorf("want backward-branch error, got %v", err)
+	}
+	// Duplicate label.
+	_, err = ParseThread(litmus.PPC, []string{"L0:", "L0:"})
+	if err == nil || !strings.Contains(err.Error(), "duplicate label") {
+		t.Errorf("want duplicate-label error, got %v", err)
+	}
+}
+
+// runThread executes a thread with a fixed read-value script.
+func runThread(t *testing.T, lines []string, regInit map[string]int, reads []int) (*Builder, map[string]int) {
+	t.Helper()
+	instrs, err := ParseThread(litmus.PPC, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &Builder{}
+	idx := 0
+	env := Env{
+		LocOf: func(addr int) (string, bool) {
+			if addr >= 0x1000 && addr < 0x1010 {
+				return string(rune('a' + addr - 0x1000)), true
+			}
+			return "", false
+		},
+		ReadVal: func(string) (int, bool) {
+			if idx < len(reads) {
+				v := reads[idx]
+				idx++
+				return v, true
+			}
+			return 0, false
+		},
+	}
+	regs, err := Run(b, 0, instrs, regInit, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, regs
+}
+
+// TestLoadSemantics reproduces the Sec. 5 load diagram: register read of
+// the address (iico-addr into the memory read), memory read, register
+// write of the value.
+func TestLoadSemantics(t *testing.T) {
+	b, regs := runThread(t, []string{"lwz r2,0(r1)"}, map[string]int{"r1": 0x1000}, []int{7})
+	if regs["r2"] != 7 {
+		t.Errorf("r2 = %d", regs["r2"])
+	}
+	var kinds []events.Kind
+	for _, e := range b.Events {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []events.Kind{events.RegRead, events.MemRead, events.RegWrite}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event kinds = %v, want %v", kinds, want)
+		}
+	}
+	if len(b.IICOAddr) != 1 || b.IICOAddr[0] != [2]int{0, 1} {
+		t.Errorf("address-port iico = %v", b.IICOAddr)
+	}
+	if b.Events[1].Loc != "a" {
+		t.Errorf("load resolved to %q", b.Events[1].Loc)
+	}
+}
+
+// TestStoreSemantics: value-port and address-port register reads feed the
+// memory write.
+func TestStoreSemantics(t *testing.T) {
+	b, _ := runThread(t, []string{"li r1,9", "stw r1,0(r2)"}, map[string]int{"r2": 0x1001}, nil)
+	var w *events.Event
+	for i := range b.Events {
+		if b.Events[i].Kind == events.MemWrite {
+			w = &b.Events[i]
+		}
+	}
+	if w == nil || w.Loc != "b" || w.Val != 9 {
+		t.Fatalf("store event wrong: %+v", w)
+	}
+	if len(b.IICOData) != 1 || len(b.IICOAddr) != 1 {
+		t.Errorf("port edges: data=%v addr=%v", b.IICOData, b.IICOAddr)
+	}
+	// rf-reg: the store's value register read reads from li's write.
+	if len(b.RFReg) == 0 {
+		t.Error("missing register read-from")
+	}
+}
+
+// TestXorFalseDependency: xor r,r produces 0 whatever the input — the
+// "false dependency" idiom of Sec. 5.2.1.
+func TestXorFalseDependency(t *testing.T) {
+	_, regs := runThread(t,
+		[]string{"lwz r2,0(r1)", "xor r9,r2,r2"},
+		map[string]int{"r1": 0x1000}, []int{42})
+	if regs["r9"] != 0 {
+		t.Errorf("xor false dep: r9 = %d, want 0", regs["r9"])
+	}
+}
+
+// TestBranchTakenSkips: a taken branch skips the store.
+func TestBranchTakenSkips(t *testing.T) {
+	lines := []string{"cmpwi r1,0", "beq L0", "li r2,1", "stw r2,0(r3)", "L0:"}
+	// r1 = 0: equal, branch taken, no store.
+	b, _ := runThread(t, lines, map[string]int{"r1": 0, "r3": 0x1000}, nil)
+	for _, e := range b.Events {
+		if e.Kind == events.MemWrite {
+			t.Error("taken branch executed the store")
+		}
+	}
+	// r1 = 1: fall through, store happens.
+	b, _ = runThread(t, lines, map[string]int{"r1": 1, "r3": 0x1000}, nil)
+	found := false
+	for _, e := range b.Events {
+		if e.Kind == events.MemWrite {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("untaken branch skipped the store")
+	}
+	// Branch event present either way.
+	hasBranch := false
+	for _, e := range b.Events {
+		if e.Kind == events.Branch {
+			hasBranch = true
+		}
+	}
+	if !hasBranch {
+		t.Error("branch event missing")
+	}
+}
+
+// TestBadAddress: storing through a non-address value fails cleanly.
+func TestBadAddress(t *testing.T) {
+	instrs, err := ParseThread(litmus.PPC, []string{"li r1,1", "stw r1,0(r1)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &Builder{}
+	_, err = Run(b, 0, instrs, nil, Env{
+		LocOf:   func(int) (string, bool) { return "", false },
+		ReadVal: func(string) (int, bool) { return 0, true },
+	})
+	if err == nil || !strings.Contains(err.Error(), "does not name a location") {
+		t.Errorf("want address error, got %v", err)
+	}
+}
+
+// TestInfeasible: the oracle refusing a value aborts with ErrInfeasible.
+func TestInfeasible(t *testing.T) {
+	instrs, _ := ParseThread(litmus.PPC, []string{"lwz r2,0(r1)"})
+	b := &Builder{}
+	_, err := Run(b, 0, instrs, map[string]int{"r1": 0x1000}, Env{
+		LocOf:   func(int) (string, bool) { return "x", true },
+		ReadVal: func(string) (int, bool) { return 0, false },
+	})
+	if err != ErrInfeasible {
+		t.Errorf("want ErrInfeasible, got %v", err)
+	}
+}

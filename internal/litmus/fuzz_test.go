@@ -1,0 +1,83 @@
+package litmus
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics: Parse must return a test or an error on arbitrarily
+// mangled inputs, never panic. quick drives random byte soups; a second
+// pass mutates a valid test.
+func TestParseNeverPanics(t *testing.T) {
+	safeParse := func(src string) (panicked bool) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		_, _ = Parse(src)
+		return false
+	}
+	f := func(data []byte) bool {
+		return !safeParse(string(data))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	base := mpSrc
+	for i := 0; i < 500; i++ {
+		b := []byte(base)
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			switch rng.Intn(3) {
+			case 0: // flip a byte
+				b[rng.Intn(len(b))] = byte(rng.Intn(128))
+			case 1: // delete a span
+				at := rng.Intn(len(b))
+				end := at + rng.Intn(10)
+				if end > len(b) {
+					end = len(b)
+				}
+				b = append(b[:at], b[end:]...)
+			case 2: // duplicate a span
+				at := rng.Intn(len(b))
+				end := at + rng.Intn(10)
+				if end > len(b) {
+					end = len(b)
+				}
+				b = append(b[:end], b[at:]...)
+			}
+			if len(b) == 0 {
+				b = []byte("x")
+			}
+		}
+		if safeParse(string(b)) {
+			t.Fatalf("Parse panicked on mutated input:\n%s", b)
+		}
+	}
+}
+
+// TestConditionParserTotal: random operator soups in the condition position
+// must be rejected gracefully.
+func TestConditionParserTotal(t *testing.T) {
+	tokens := []string{"x=1", "0:r1=2", "/\\", "\\/", "~", "(", ")", "true", "false", "=", ":", " "}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 800; i++ {
+		var sb strings.Builder
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			sb.WriteString(tokens[rng.Intn(len(tokens))])
+		}
+		src := "PPC fuzz\n{ }\n P0 ;\nexists (" + sb.String() + ")"
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on condition %q: %v", sb.String(), r)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}

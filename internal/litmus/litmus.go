@@ -1,0 +1,315 @@
+// Package litmus defines the litmus test format used throughout the paper's
+// tool chain (diy generates it, herd and litmus consume it): a small
+// multi-threaded assembly program with an initial state and a final-state
+// condition.
+//
+// The concrete syntax follows the diy/litmus tools:
+//
+//	PPC mp+lwsync+addr
+//	"message passing, lightweight fence + address dependency"
+//	{
+//	0:r1=x; 0:r2=y;
+//	1:r1=y; 1:r3=x;
+//	}
+//	 P0           | P1            ;
+//	 li r4,1      | lwz r5,0(r1)  ;
+//	 stw r4,0(r1) | xor r6,r5,r5  ;
+//	 lwsync       | lwzx r7,r6,r3 ;
+//	 li r4,1      |               ;
+//	 stw r4,0(r2) |               ;
+//	exists (1:r5=1 /\ 1:r7=0)
+//
+// Memory locations are introduced by initialisation entries (x=1) or by
+// register initialisations holding addresses (0:r1=x); uninitialised
+// locations hold 0, as in the paper (Sec. 3).
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Arch names the assembly dialect of a test.
+type Arch string
+
+// Supported dialects.
+const (
+	PPC Arch = "PPC" // Power assembly (canonical dialect of Sec. 5)
+	ARM Arch = "ARM" // ARMv7 assembly
+	X86 Arch = "X86" // x86/TSO assembly
+	C11 Arch = "C"   // C11 atomics (the Sec. 4.9 mixed-access extension)
+)
+
+// Test is a parsed litmus test.
+type Test struct {
+	Arch Arch
+	Name string
+	Doc  string
+
+	// RegInit maps "tid:reg" to an initial value. Addresses of locations
+	// are written as the location name in the source; they are resolved
+	// to Value{Loc: name}.
+	RegInit map[RegKey]Value
+	// MemInit maps a location name to its initial value (default 0).
+	MemInit map[string]Value
+	// Locations lists every memory location, sorted, including those only
+	// mentioned via register initialisation or the final condition.
+	Locations []string
+
+	// Threads holds the raw source lines of each thread's code column.
+	Threads [][]string
+
+	// Quantifier of the final condition.
+	Quant Quantifier
+	// Cond is the final-state condition; nil means "true".
+	Cond Cond
+}
+
+// RegKey identifies a thread-local register.
+type RegKey struct {
+	Tid int
+	Reg string
+}
+
+// String renders the key as "0:r1".
+func (k RegKey) String() string { return fmt.Sprintf("%d:%s", k.Tid, k.Reg) }
+
+// Value is an initial or final value: either an integer or the address of a
+// memory location.
+type Value struct {
+	Loc string // non-empty: address of that location
+	Int int    // integer value when Loc is empty
+}
+
+// String renders the value.
+func (v Value) String() string {
+	if v.Loc != "" {
+		return v.Loc
+	}
+	return fmt.Sprint(v.Int)
+}
+
+// Quantifier is the mode of the final condition.
+type Quantifier uint8
+
+// Final condition quantifiers.
+const (
+	// Exists: the test is "observed"/"Ok" iff some valid execution
+	// satisfies the condition.
+	Exists Quantifier = iota
+	// NotExists: no valid execution may satisfy the condition.
+	NotExists
+	// ForAll: every valid execution must satisfy the condition.
+	ForAll
+)
+
+func (q Quantifier) String() string {
+	switch q {
+	case Exists:
+		return "exists"
+	case NotExists:
+		return "~exists"
+	case ForAll:
+		return "forall"
+	}
+	return "?"
+}
+
+// Cond is a final-state condition over registers and memory.
+type Cond interface {
+	// Eval evaluates the condition against a final state.
+	Eval(s *State) bool
+	fmt.Stringer
+}
+
+// State is a final state: per-thread registers and final memory.
+type State struct {
+	Regs map[RegKey]Value
+	Mem  map[string]Value
+}
+
+// Key renders the state deterministically, restricted to the registers and
+// locations mentioned by cond (or everything if cond is nil); used to count
+// distinct observed final states like the litmus tool's histogram.
+func (s *State) Key(cond Cond) string {
+	vars := map[string]bool{}
+	if cond != nil {
+		collectVars(cond, vars)
+	} else {
+		for k := range s.Regs {
+			vars[k.String()] = true
+		}
+		for l := range s.Mem {
+			vars[l] = true
+		}
+	}
+	names := make([]string, 0, len(vars))
+	for v := range vars {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, name := range names {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		var v Value
+		if tid, reg, ok := splitRegVar(name); ok {
+			v = s.Regs[RegKey{tid, reg}]
+		} else {
+			v = s.Mem[name]
+		}
+		fmt.Fprintf(&b, "%s=%s", name, v)
+	}
+	return b.String()
+}
+
+func collectVars(c Cond, out map[string]bool) {
+	switch c := c.(type) {
+	case *AtomReg:
+		out[c.Key.String()] = true
+	case *AtomMem:
+		out[c.Loc] = true
+	case *And:
+		collectVars(c.L, out)
+		collectVars(c.R, out)
+	case *Or:
+		collectVars(c.L, out)
+		collectVars(c.R, out)
+	case *Not:
+		collectVars(c.X, out)
+	}
+}
+
+func splitRegVar(name string) (tid int, reg string, ok bool) {
+	i := strings.IndexByte(name, ':')
+	if i < 0 {
+		return 0, "", false
+	}
+	if _, err := fmt.Sscanf(name[:i], "%d", &tid); err != nil {
+		return 0, "", false
+	}
+	return tid, name[i+1:], true
+}
+
+// AtomReg is the atom "tid:reg = value".
+type AtomReg struct {
+	Key RegKey
+	Val Value
+}
+
+// Eval implements Cond.
+func (a *AtomReg) Eval(s *State) bool { return s.Regs[a.Key] == a.Val }
+
+func (a *AtomReg) String() string { return fmt.Sprintf("%s=%s", a.Key, a.Val) }
+
+// AtomMem is the atom "loc = value".
+type AtomMem struct {
+	Loc string
+	Val Value
+}
+
+// Eval implements Cond.
+func (a *AtomMem) Eval(s *State) bool { return s.Mem[a.Loc] == a.Val }
+
+func (a *AtomMem) String() string { return fmt.Sprintf("%s=%s", a.Loc, a.Val) }
+
+// And is conjunction.
+type And struct{ L, R Cond }
+
+// Eval implements Cond.
+func (a *And) Eval(s *State) bool { return a.L.Eval(s) && a.R.Eval(s) }
+
+func (a *And) String() string { return fmt.Sprintf("(%s /\\ %s)", a.L, a.R) }
+
+// Or is disjunction.
+type Or struct{ L, R Cond }
+
+// Eval implements Cond.
+func (o *Or) Eval(s *State) bool { return o.L.Eval(s) || o.R.Eval(s) }
+
+func (o *Or) String() string { return fmt.Sprintf("(%s \\/ %s)", o.L, o.R) }
+
+// Bool is a constant condition.
+type Bool struct{ V bool }
+
+// Eval implements Cond.
+func (b *Bool) Eval(*State) bool { return b.V }
+
+func (b *Bool) String() string { return fmt.Sprint(b.V) }
+
+// Not is negation.
+type Not struct{ X Cond }
+
+// Eval implements Cond.
+func (n *Not) Eval(s *State) bool { return !n.X.Eval(s) }
+
+func (n *Not) String() string { return fmt.Sprintf("~%s", n.X) }
+
+// String renders the test back to (normalised) litmus syntax.
+func (t *Test) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s\n", t.Arch, t.Name)
+	if t.Doc != "" {
+		fmt.Fprintf(&b, "%q\n", t.Doc)
+	}
+	b.WriteString("{\n")
+	var inits []string
+	for _, loc := range t.Locations {
+		if v, ok := t.MemInit[loc]; ok && v != (Value{}) {
+			inits = append(inits, fmt.Sprintf("%s=%s", loc, v))
+		}
+	}
+	regKeys := make([]RegKey, 0, len(t.RegInit))
+	for k := range t.RegInit {
+		regKeys = append(regKeys, k)
+	}
+	sort.Slice(regKeys, func(i, j int) bool {
+		if regKeys[i].Tid != regKeys[j].Tid {
+			return regKeys[i].Tid < regKeys[j].Tid
+		}
+		return regKeys[i].Reg < regKeys[j].Reg
+	})
+	for _, k := range regKeys {
+		inits = append(inits, fmt.Sprintf("%s=%s", k, t.RegInit[k]))
+	}
+	for _, in := range inits {
+		fmt.Fprintf(&b, "%s;\n", in)
+	}
+	b.WriteString("}\n")
+	// Render code columns.
+	rows := 0
+	for _, th := range t.Threads {
+		if len(th) > rows {
+			rows = len(th)
+		}
+	}
+	for i := range t.Threads {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "P%d", i)
+	}
+	b.WriteString(" ;\n")
+	for r := 0; r < rows; r++ {
+		for i, th := range t.Threads {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			if r < len(th) {
+				b.WriteString(th[r])
+			}
+		}
+		b.WriteString(" ;\n")
+	}
+	fmt.Fprintf(&b, "%s (%s)\n", t.Quant, condString(t.Cond))
+	return b.String()
+}
+
+func condString(c Cond) string {
+	if c == nil {
+		return "true"
+	}
+	return c.String()
+}

@@ -1,0 +1,176 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+)
+
+const mpSrc = `PPC mp
+"message passing"
+{
+0:r1=x; 0:r2=y;
+1:r1=y; 1:r2=x;
+y=0;
+}
+ P0 | P1 ;
+ li r4,1 | lwz r5,0(r1) ;
+ stw r4,0(r1) | lwz r6,0(r2) ;
+ li r4,1 | ;
+ stw r4,0(r2) | ;
+exists (1:r5=1 /\ 1:r6=0)`
+
+func TestParseMP(t *testing.T) {
+	test, err := Parse(mpSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if test.Arch != PPC || test.Name != "mp" || test.Doc != "message passing" {
+		t.Errorf("header wrong: %+v", test)
+	}
+	if len(test.Threads) != 2 {
+		t.Fatalf("threads = %d", len(test.Threads))
+	}
+	if len(test.Threads[0]) != 4 || len(test.Threads[1]) != 2 {
+		t.Errorf("thread lengths = %d, %d", len(test.Threads[0]), len(test.Threads[1]))
+	}
+	if v := test.RegInit[RegKey{0, "r1"}]; v.Loc != "x" {
+		t.Errorf("0:r1 init = %v", v)
+	}
+	if v := test.MemInit["y"]; v.Int != 0 {
+		t.Errorf("y init = %v", v)
+	}
+	if got := strings.Join(test.Locations, ","); got != "x,y" {
+		t.Errorf("locations = %q", got)
+	}
+	if test.Quant != Exists {
+		t.Error("quantifier wrong")
+	}
+}
+
+func TestParseConditionOperators(t *testing.T) {
+	src := `PPC condtest
+{ 0:r1=x; }
+ P0 ;
+ lwz r2,0(r1) ;
+exists (~(0:r2=1 \/ x=2) /\ true)`
+	test, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &State{
+		Regs: map[RegKey]Value{{0, "r2"}: {Int: 0}},
+		Mem:  map[string]Value{"x": {Int: 0}},
+	}
+	if !test.Cond.Eval(s) {
+		t.Error("condition should hold for r2=0, x=0")
+	}
+	s.Mem["x"] = Value{Int: 2}
+	if test.Cond.Eval(s) {
+		t.Error("condition should fail for x=2")
+	}
+}
+
+func TestParseQuantifiers(t *testing.T) {
+	for _, c := range []struct {
+		kw   string
+		want Quantifier
+	}{{"exists", Exists}, {"~exists", NotExists}, {"forall", ForAll}} {
+		src := "PPC q\n{ 0:r1=x; }\n P0 ;\n lwz r2,0(r1) ;\n" + c.kw + " (0:r2=0)"
+		test, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.kw, err)
+		}
+		if test.Quant != c.want {
+			t.Errorf("%s parsed as %v", c.kw, test.Quant)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"empty", "", "empty test"},
+		{"bad header", "PPC", "bad header"},
+		{"bad arch", "VAX t\n{ }\n P0 ;\nexists (x=1)", "unsupported architecture"},
+		{"no init", "PPC t", "missing init block"},
+		{"unterminated init", "PPC t\n{ x=1;", "unterminated init"},
+		{"bad thread header", "PPC t\n{ }\n P1 ;\nexists (x=1)", "thread header"},
+		{"no final", "PPC t\n{ }\n P0 ;", "missing final"},
+		{"bad atom", "PPC t\n{ }\n P0 ;\nexists (=)", "empty value"},
+		{"trailing", "PPC t\n{ }\n P0 ;\nexists (x=1) y", "trailing"},
+		{"bad init item", "PPC t\n{ zap; }\n P0 ;\nexists (x=1)", "bad init item"},
+		{"missing paren", "PPC t\n{ }\n P0 ;\nexists (x=1 /\\ (y=2)", "missing ')'"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: expected error containing %q", c.name, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestCommentsStripped(t *testing.T) {
+	src := "(* a (* nested *) comment *)\n" + mpSrc
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("comments not stripped: %v", err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	test := MustParse(mpSrc)
+	again, err := Parse(test.String())
+	if err != nil {
+		t.Fatalf("re-parse of String() failed: %v\n%s", err, test)
+	}
+	if again.Name != test.Name || len(again.Threads) != len(test.Threads) {
+		t.Error("round trip lost structure")
+	}
+	if again.Cond.String() != test.Cond.String() {
+		t.Errorf("conditions differ: %s vs %s", again.Cond, test.Cond)
+	}
+}
+
+func TestStateKey(t *testing.T) {
+	test := MustParse(mpSrc)
+	s := &State{
+		Regs: map[RegKey]Value{{1, "r5"}: {Int: 1}, {1, "r6"}: {Int: 0}, {0, "r4"}: {Int: 9}},
+		Mem:  map[string]Value{"x": {Int: 1}, "y": {Int: 1}},
+	}
+	key := s.Key(test.Cond)
+	// Only condition variables appear, sorted.
+	if key != "1:r5=1; 1:r6=0" {
+		t.Errorf("key = %q", key)
+	}
+	if full := s.Key(nil); !strings.Contains(full, "0:r4=9") || !strings.Contains(full, "x=1") {
+		t.Errorf("full key = %q", full)
+	}
+}
+
+func TestX86Brackets(t *testing.T) {
+	src := `X86 t
+{ }
+ P0 | P1 ;
+ MOV [x],$1 | MOV EAX,[y] ;
+exists (1:EAX=0)`
+	test, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(test.Locations, ","); got != "x,y" {
+		t.Errorf("locations = %q (bracket scan failed)", got)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("garbage")
+}

@@ -1,0 +1,523 @@
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a litmus test from source text.
+func Parse(src string) (*Test, error) {
+	p := &parser{src: stripComments(src)}
+	return p.parse()
+}
+
+// MustParse parses src and panics on error; for tests and embedded corpora.
+func MustParse(src string) *Test {
+	t, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("litmus.MustParse: %v\nsource:\n%s", err, src))
+	}
+	return t
+}
+
+// stripComments removes (* ... *) comments (non-nested is enough for the
+// corpus; nesting is handled anyway).
+func stripComments(src string) string {
+	var b strings.Builder
+	depth := 0
+	for i := 0; i < len(src); i++ {
+		if i+1 < len(src) && src[i] == '(' && src[i+1] == '*' {
+			depth++
+			i++
+			continue
+		}
+		if i+1 < len(src) && src[i] == '*' && src[i+1] == ')' && depth > 0 {
+			depth--
+			i++
+			continue
+		}
+		if depth == 0 {
+			b.WriteByte(src[i])
+		}
+	}
+	return b.String()
+}
+
+type parser struct {
+	src string
+}
+
+func (p *parser) parse() (*Test, error) {
+	t := &Test{
+		RegInit: map[RegKey]Value{},
+		MemInit: map[string]Value{},
+	}
+	lines := strings.Split(p.src, "\n")
+	i := 0
+	next := func() (string, bool) {
+		for i < len(lines) {
+			l := strings.TrimSpace(lines[i])
+			i++
+			if l != "" {
+				return l, true
+			}
+		}
+		return "", false
+	}
+
+	// Header: "ARCH name".
+	header, ok := next()
+	if !ok {
+		return nil, fmt.Errorf("litmus: empty test")
+	}
+	fields := strings.Fields(header)
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("litmus: bad header %q (want \"ARCH name\")", header)
+	}
+	t.Arch = Arch(strings.ToUpper(fields[0]))
+	switch t.Arch {
+	case PPC, ARM, X86, C11:
+	default:
+		return nil, fmt.Errorf("litmus: unsupported architecture %q", fields[0])
+	}
+	t.Name = fields[1]
+
+	// Optional doc string, then init block.
+	line, ok := next()
+	if !ok {
+		return nil, fmt.Errorf("litmus: missing init block")
+	}
+	if strings.HasPrefix(line, "\"") {
+		t.Doc = strings.Trim(line, "\"")
+		line, ok = next()
+		if !ok {
+			return nil, fmt.Errorf("litmus: missing init block")
+		}
+	}
+
+	// Init block between { and }.
+	if !strings.HasPrefix(line, "{") {
+		return nil, fmt.Errorf("litmus: expected '{' to open init block, got %q", line)
+	}
+	var initText strings.Builder
+	initText.WriteString(strings.TrimPrefix(line, "{"))
+	for !strings.Contains(initText.String(), "}") {
+		l, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("litmus: unterminated init block")
+		}
+		initText.WriteString(" " + l)
+	}
+	initBody := initText.String()
+	initBody = initBody[:strings.Index(initBody, "}")]
+	if err := p.parseInit(t, initBody); err != nil {
+		return nil, err
+	}
+
+	// Code: rows of columns separated by |, terminated by ';'.
+	// First row is the thread header (P0 | P1 | ...).
+	headerRow, ok := next()
+	if !ok {
+		return nil, fmt.Errorf("litmus: missing code section")
+	}
+	headerRow = strings.TrimSuffix(strings.TrimSpace(headerRow), ";")
+	cols := splitColumns(headerRow)
+	for idx, c := range cols {
+		c = strings.TrimSpace(c)
+		want := fmt.Sprintf("P%d", idx)
+		if c != want {
+			return nil, fmt.Errorf("litmus: thread header column %d is %q, want %q", idx, c, want)
+		}
+	}
+	t.Threads = make([][]string, len(cols))
+
+	// Remaining rows until the final condition keyword.
+	var final string
+	for {
+		l, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("litmus: missing final condition")
+		}
+		lower := strings.ToLower(l)
+		if strings.HasPrefix(lower, "exists") || strings.HasPrefix(lower, "~exists") ||
+			strings.HasPrefix(lower, "forall") {
+			final = l
+			// The condition may span lines; join the rest.
+			for i < len(lines) {
+				final += " " + strings.TrimSpace(lines[i])
+				i++
+			}
+			break
+		}
+		row := strings.TrimSuffix(strings.TrimSpace(l), ";")
+		cells := splitColumns(row)
+		if len(cells) > len(cols) {
+			return nil, fmt.Errorf("litmus: row %q has %d columns, test has %d threads", l, len(cells), len(cols))
+		}
+		for idx := range cols {
+			cell := ""
+			if idx < len(cells) {
+				cell = strings.TrimSpace(cells[idx])
+			}
+			if cell != "" {
+				t.Threads[idx] = append(t.Threads[idx], cell)
+			}
+		}
+	}
+
+	if err := p.parseFinal(t, strings.TrimSpace(final)); err != nil {
+		return nil, err
+	}
+
+	t.Locations = p.collectLocations(t)
+	return t, nil
+}
+
+// splitColumns splits a code row on '|'.
+func splitColumns(row string) []string {
+	return strings.Split(row, "|")
+}
+
+func (p *parser) parseInit(t *Test, body string) error {
+	for _, item := range strings.Split(body, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		eq := strings.IndexByte(item, '=')
+		if eq < 0 {
+			return fmt.Errorf("litmus: bad init item %q", item)
+		}
+		lhs := strings.TrimSpace(item[:eq])
+		rhs := strings.TrimSpace(item[eq+1:])
+		val, err := parseValue(rhs)
+		if err != nil {
+			return fmt.Errorf("litmus: init item %q: %v", item, err)
+		}
+		if colon := strings.IndexByte(lhs, ':'); colon >= 0 {
+			tid, err := strconv.Atoi(lhs[:colon])
+			if err != nil {
+				return fmt.Errorf("litmus: bad thread id in %q", item)
+			}
+			reg := strings.TrimSpace(lhs[colon+1:])
+			t.RegInit[RegKey{tid, reg}] = val
+		} else {
+			t.MemInit[lhs] = val
+		}
+	}
+	return nil
+}
+
+func parseValue(s string) (Value, error) {
+	if s == "" {
+		return Value{}, fmt.Errorf("empty value")
+	}
+	if n, err := strconv.Atoi(s); err == nil {
+		return Value{Int: n}, nil
+	}
+	if !isIdent(s) {
+		return Value{}, fmt.Errorf("bad value %q", s)
+	}
+	return Value{Loc: s}, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (p *parser) parseFinal(t *Test, s string) error {
+	lower := strings.ToLower(s)
+	switch {
+	case strings.HasPrefix(lower, "~exists"):
+		t.Quant = NotExists
+		s = strings.TrimSpace(s[len("~exists"):])
+	case strings.HasPrefix(lower, "exists"):
+		t.Quant = Exists
+		s = strings.TrimSpace(s[len("exists"):])
+	case strings.HasPrefix(lower, "forall"):
+		t.Quant = ForAll
+		s = strings.TrimSpace(s[len("forall"):])
+	default:
+		return fmt.Errorf("litmus: bad final condition %q", s)
+	}
+	cp := &condParser{src: s}
+	cond, err := cp.parseOr()
+	if err != nil {
+		return err
+	}
+	cp.skipSpace()
+	if cp.pos != len(cp.src) {
+		return fmt.Errorf("litmus: trailing input in condition: %q", cp.src[cp.pos:])
+	}
+	t.Cond = cond
+	return nil
+}
+
+// condParser is a tiny recursive-descent parser for final conditions:
+//
+//	or   := and ( "\/" and )*
+//	and  := not ( "/\" not )*
+//	not  := "~" not | "(" or ")" | atom | "true" | "false"
+//	atom := (tid ":")? name "=" value
+type condParser struct {
+	src string
+	pos int
+}
+
+func (p *condParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *condParser) eat(tok string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *condParser) parseOr() (Cond, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.eat("\\/") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Or{l, r}
+	}
+	return l, nil
+}
+
+func (p *condParser) parseAnd() (Cond, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.eat("/\\") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &And{l, r}
+	}
+	return l, nil
+}
+
+func (p *condParser) parseNot() (Cond, error) {
+	if p.eat("~") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{x}, nil
+	}
+	if p.eat("(") {
+		x, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eat(")") {
+			return nil, fmt.Errorf("litmus: missing ')' in condition")
+		}
+		return x, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *condParser) parseAtom() (Cond, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == ')' || c == '(' || c == '\t' {
+			break
+		}
+		if strings.HasPrefix(p.src[p.pos:], "/\\") || strings.HasPrefix(p.src[p.pos:], "\\/") {
+			break
+		}
+		p.pos++
+	}
+	tok := p.src[start:p.pos]
+	if tok == "" {
+		return nil, fmt.Errorf("litmus: expected condition atom at %q", p.src[start:])
+	}
+	switch tok {
+	case "true":
+		return &Bool{V: true}, nil
+	case "false":
+		return &Bool{V: false}, nil
+	}
+	eq := strings.IndexByte(tok, '=')
+	if eq < 0 {
+		return nil, fmt.Errorf("litmus: bad atom %q", tok)
+	}
+	lhs, rhs := tok[:eq], tok[eq+1:]
+	val, err := parseValue(rhs)
+	if err != nil {
+		return nil, fmt.Errorf("litmus: atom %q: %v", tok, err)
+	}
+	if colon := strings.IndexByte(lhs, ':'); colon >= 0 {
+		tid, err := strconv.Atoi(lhs[:colon])
+		if err != nil {
+			return nil, fmt.Errorf("litmus: bad atom %q", tok)
+		}
+		return &AtomReg{Key: RegKey{tid, lhs[colon+1:]}, Val: val}, nil
+	}
+	if !isIdent(lhs) {
+		return nil, fmt.Errorf("litmus: bad atom lhs %q", lhs)
+	}
+	return &AtomMem{Loc: lhs, Val: val}, nil
+}
+
+// collectLocations gathers every memory location mentioned by the test.
+func (p *parser) collectLocations(t *Test) []string {
+	set := map[string]bool{}
+	for l := range t.MemInit {
+		set[l] = true
+	}
+	for _, v := range t.RegInit {
+		if v.Loc != "" {
+			set[v.Loc] = true
+		}
+	}
+	if t.Cond != nil {
+		vars := map[string]bool{}
+		collectVars(t.Cond, vars)
+		for v := range vars {
+			if _, _, isReg := splitRegVar(v); !isReg {
+				set[v] = true
+			}
+		}
+		// Condition atoms may also mention addresses as values.
+		collectCondLocValues(t.Cond, set)
+	}
+	// x86 code mentions locations directly as [x]; scan code cells.
+	for _, th := range t.Threads {
+		for _, line := range th {
+			for _, l := range bracketLocations(line) {
+				set[l] = true
+			}
+			if t.Arch == C11 {
+				for _, l := range c11Locations(line) {
+					set[l] = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectCondLocValues(c Cond, set map[string]bool) {
+	switch c := c.(type) {
+	case *AtomReg:
+		if c.Val.Loc != "" {
+			set[c.Val.Loc] = true
+		}
+	case *AtomMem:
+		if c.Val.Loc != "" {
+			set[c.Val.Loc] = true
+		}
+	case *And:
+		collectCondLocValues(c.L, set)
+		collectCondLocValues(c.R, set)
+	case *Or:
+		collectCondLocValues(c.L, set)
+		collectCondLocValues(c.R, set)
+	case *Not:
+		collectCondLocValues(c.X, set)
+	}
+}
+
+// bracketLocations extracts identifiers appearing as [x] in a code line
+// (x86 absolute addressing).
+func bracketLocations(line string) []string {
+	var out []string
+	for i := 0; i < len(line); i++ {
+		if line[i] != '[' {
+			continue
+		}
+		j := strings.IndexByte(line[i:], ']')
+		if j < 0 {
+			break
+		}
+		inner := strings.TrimSpace(line[i+1 : i+j])
+		if isIdent(inner) && !isRegisterName(inner) {
+			out = append(out, inner)
+		}
+		i += j
+	}
+	return out
+}
+
+// c11Locations extracts the locations a C-dialect statement touches:
+// the first argument of atomic_{load,store}_explicit, and plain-assignment
+// operands that are not registers.
+func c11Locations(line string) []string {
+	line = strings.TrimSuffix(strings.TrimSpace(line), ";")
+	var out []string
+	for _, call := range []string{"atomic_load_explicit(", "atomic_store_explicit("} {
+		if i := strings.Index(line, call); i >= 0 {
+			rest := line[i+len(call):]
+			if j := strings.IndexAny(rest, ",)"); j > 0 {
+				arg := strings.TrimPrefix(strings.TrimSpace(rest[:j]), "&")
+				if isIdent(arg) {
+					out = append(out, arg)
+				}
+			}
+		}
+	}
+	if len(out) > 0 {
+		return out
+	}
+	if lhs, rhs, ok := strings.Cut(line, "="); ok {
+		for _, side := range []string{strings.TrimSpace(lhs), strings.TrimSpace(rhs)} {
+			if isIdent(side) && !isRegisterName(side) {
+				out = append(out, side)
+			}
+		}
+	}
+	return out
+}
+
+// isRegisterName reports conventional register spellings so that ARM
+// bracket operands like [r1] are not mistaken for locations.
+func isRegisterName(s string) bool {
+	l := strings.ToLower(s)
+	if len(l) >= 2 && l[0] == 'r' {
+		if _, err := strconv.Atoi(l[1:]); err == nil {
+			return true
+		}
+	}
+	switch l {
+	case "eax", "ebx", "ecx", "edx", "esi", "edi", "rax", "rbx", "rcx", "rdx":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,583 @@
+// Package machine implements the intermediate operational machine of
+// Sec. 7 (Fig. 30) of "Herding cats": a transition system over labels
+//
+//	c(w)    commit write
+//	cp(w)   write reaches coherence point
+//	s(w,r)  satisfy read (from the write w it reads)
+//	c(w,r)  commit read
+//
+// that is provably equivalent to the axiomatic model (Thm. 7.1). Package
+// tests realise the paper's Coq proof experimentally: for every candidate
+// execution of the corpus, the machine accepts some path iff the axiomatic
+// model validates the candidate; and for valid candidates the constructive
+// path of Lemma 7.3 is accepted.
+package machine
+
+import (
+	"fmt"
+
+	"herdcats/internal/core"
+	"herdcats/internal/events"
+	"herdcats/internal/rel"
+)
+
+// LabelKind identifies a transition of the machine.
+type LabelKind uint8
+
+// The four transition kinds of Fig. 30.
+const (
+	CommitWrite LabelKind = iota
+	WriteReachesCoherencePoint
+	SatisfyRead
+	CommitRead
+)
+
+func (k LabelKind) String() string {
+	switch k {
+	case CommitWrite:
+		return "c(w)"
+	case WriteReachesCoherencePoint:
+		return "cp(w)"
+	case SatisfyRead:
+		return "s(w,r)"
+	case CommitRead:
+		return "c(w,r)"
+	}
+	return "?"
+}
+
+// Label is one transition trigger. For reads, Write is the event the read
+// takes its value from (chosen angelically in the paper; fixed here by the
+// candidate's rf).
+type Label struct {
+	Kind  LabelKind
+	Event int // the write (c, cp) or the read (s, c)
+	Write int // for read labels: the satisfying write; -1 otherwise
+}
+
+func (l Label) String() string {
+	if l.Kind == SatisfyRead || l.Kind == CommitRead {
+		return fmt.Sprintf("%s[w=%d,r=%d]", l.Kind, l.Write, l.Event)
+	}
+	return fmt.Sprintf("%s[%d]", l.Kind, l.Event)
+}
+
+// Machine validates label paths for one candidate execution under one
+// architecture. The candidate's rf and co are fixed, so the derived
+// relations (prop, ppo, fences, hb) are those of the axiomatic model.
+type Machine struct {
+	x *events.Execution
+
+	writes []int // non-init writes
+	reads  []int
+	rfOf   map[int]int // read -> its write (or -1 for none; must not happen)
+
+	poloc     rel.Rel
+	prop      rel.Rel
+	ppoFences rel.Rel // ppo ∪ fences
+	fences    rel.Rel
+	propHBs   rel.Rel // prop ; hb*
+	co        rel.Rel
+
+	// visibility pre-computation (CR: SC PER LOCATION cases)
+	visible map[int]bool // keyed by read event: is rf(r) visible to r?
+}
+
+// maxEvents bounds the bitset state encoding.
+const maxEvents = 64
+
+// New builds the machine for a derived candidate execution.
+func New(arch core.Architecture, x *events.Execution) (*Machine, error) {
+	if x.N() > maxEvents {
+		return nil, fmt.Errorf("machine: execution has %d events, max %d", x.N(), maxEvents)
+	}
+	m := &Machine{x: x, rfOf: map[int]int{}, visible: map[int]bool{}}
+	for _, e := range x.Events {
+		switch {
+		case e.Kind == events.MemWrite && !e.IsInit():
+			m.writes = append(m.writes, e.ID)
+		case e.Kind == events.MemRead:
+			m.reads = append(m.reads, e.ID)
+		}
+	}
+	memRF := x.MemRF()
+	for _, r := range m.reads {
+		m.rfOf[r] = -1
+		for _, p := range memRF.Pairs() {
+			if p[1] == r {
+				m.rfOf[r] = p[0]
+			}
+		}
+		if m.rfOf[r] < 0 {
+			return nil, fmt.Errorf("machine: read %d has no rf edge", r)
+		}
+	}
+
+	ppo := arch.PPO(x)
+	m.fences = arch.Fences(x)
+	m.ppoFences = ppo.Union(m.fences)
+	m.prop = arch.Prop(x, ppo, m.fences)
+	hb := core.HB(x, ppo, m.fences)
+	m.propHBs = m.prop.Seq(hb.Star())
+	m.poloc = x.POLoc
+	m.co = x.CO
+
+	for _, r := range m.reads {
+		m.visible[r] = m.computeVisible(m.rfOf[r], r)
+	}
+	return m, nil
+}
+
+// computeVisible implements the visibility definition of Sec. 7.1.2,
+// including the coRR refinement sketched at the end of Sec. 7.1.
+func (m *Machine) computeVisible(w, r int) bool {
+	x := m.x
+	if x.Events[w].Loc != x.Events[r].Loc {
+		return false
+	}
+	// coRW1: w must not be po-loc-after r.
+	if m.poloc.Has(r, w) {
+		return false
+	}
+	// w must be equal to or co-after the last write wb po-loc-before r.
+	for _, wb := range x.W.Elems() {
+		if m.poloc.Has(wb, r) && wb != w && !m.co.Has(wb, w) {
+			return false // wb is po-loc-before r but not co-before w: coWR
+		}
+	}
+	// w must be po-loc-before r or co-before every write wa po-loc-after r.
+	if !m.poloc.Has(w, r) {
+		for _, wa := range x.W.Elems() {
+			if m.poloc.Has(r, wa) && wa != w && !m.co.Has(w, wa) {
+				return false // coRW2
+			}
+		}
+	}
+	// coRR refinement: no earlier read r' (po-loc-before r) may read from a
+	// write co-after w.
+	for _, r2 := range m.reads {
+		if m.poloc.Has(r2, r) {
+			w2 := m.rfOf[r2]
+			if w2 != w && m.co.Has(w, w2) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// state is the machine state (cw, cpw, sr, cr) as bitsets; with co fixed,
+// the order within cpw is determined, so membership suffices.
+type state struct {
+	cw, cpw, sr, cr uint64
+}
+
+func bit(i int) uint64 { return 1 << uint(i) }
+
+// initial returns the start state: initial writes are committed and at
+// their coherence points (they are co-before everything by convention).
+func (m *Machine) initial() state {
+	var s state
+	for _, e := range m.x.Events {
+		if e.Kind == events.MemWrite && e.IsInit() {
+			s.cw |= bit(e.ID)
+			s.cpw |= bit(e.ID)
+		}
+	}
+	return s
+}
+
+// final reports whether every label has been consumed.
+func (m *Machine) final(s state) bool {
+	for _, w := range m.writes {
+		if s.cw&bit(w) == 0 || s.cpw&bit(w) == 0 {
+			return false
+		}
+	}
+	for _, r := range m.reads {
+		if s.sr&bit(r) == 0 || s.cr&bit(r) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// enabled reports whether the transition labelled l can fire in s, checking
+// the premises of Fig. 30.
+func (m *Machine) enabled(s state, l Label) bool {
+	x := m.x
+	switch l.Kind {
+	case CommitWrite:
+		w := l.Event
+		if s.cw&bit(w) != 0 {
+			return false
+		}
+		// (CW: SC PER LOCATION/coWW): no committed po-loc-later write.
+		// (CW: PROPAGATION): no committed prop-later write.
+		for _, w2 := range m.writes {
+			if s.cw&bit(w2) != 0 && (m.poloc.Has(w, w2) || m.prop.Has(w, w2)) {
+				return false
+			}
+		}
+		// (CW: fences ∩ WR): no satisfied fence-later read.
+		// (CW: PROPAGATION on reads): prop pairs whose target is a read
+		// order the write's commit before the read's satisfaction; this
+		// covers the strong-A-cumulativity pairs of Fig. 18, which Fig. 30
+		// spells out only for write-write pairs.
+		for _, r := range m.reads {
+			if s.sr&bit(r) != 0 && (m.fences.Has(w, r) || m.prop.Has(w, r)) {
+				return false
+			}
+		}
+		return true
+
+	case WriteReachesCoherencePoint:
+		w := l.Event
+		if s.cpw&bit(w) != 0 {
+			return false
+		}
+		// (CPW: WRITE IS COMMITTED)
+		if s.cw&bit(w) == 0 {
+			return false
+		}
+		// (CPW: po-loc AND cpw IN ACCORD) / (CPW: PROPAGATION):
+		// no write already at coherence point may be po-loc- or prop-after w.
+		for i := 0; i < x.N(); i++ {
+			if s.cpw&bit(i) != 0 && (m.poloc.Has(w, i) || m.prop.Has(w, i)) {
+				return false
+			}
+		}
+		// Fixing the candidate's co: all co-predecessors first.
+		for i := 0; i < x.N(); i++ {
+			if m.co.Has(i, w) && s.cpw&bit(i) == 0 {
+				return false
+			}
+		}
+		return true
+
+	case SatisfyRead:
+		r := l.Event
+		w := l.Write
+		if s.sr&bit(r) != 0 {
+			return false
+		}
+		// (SR: WRITE IS EITHER LOCAL OR COMMITTED)
+		local := m.poloc.Has(w, r) && x.Events[w].Tid == x.Events[r].Tid
+		if !local && s.cw&bit(w) == 0 {
+			return false
+		}
+		// (SR: PPO/ii0 ∩ RR): no satisfied (ppo∪fences)-later read; also no
+		// satisfied prop-later read (read-read prop pairs arise from strong
+		// A-cumulativity and order satisfaction points).
+		for _, r2 := range m.reads {
+			if s.sr&bit(r2) != 0 && (m.ppoFences.Has(r, r2) || m.prop.Has(r, r2)) {
+				return false
+			}
+		}
+		// (SR: PROPAGATION on writes): no committed prop-later write.
+		for _, w2 := range m.writes {
+			if s.cw&bit(w2) != 0 && m.prop.Has(r, w2) {
+				return false
+			}
+		}
+		// (SR: OBSERVATION): no w' co-after w with (w', r) ∈ prop;hb*.
+		for i := 0; i < x.N(); i++ {
+			if m.co.Has(w, i) && m.propHBs.Has(i, r) {
+				return false
+			}
+		}
+		return true
+
+	case CommitRead:
+		r := l.Event
+		if s.cr&bit(r) != 0 {
+			return false
+		}
+		// (CR: READ IS SATISFIED)
+		if s.sr&bit(r) == 0 {
+			return false
+		}
+		// (CR: SC PER LOCATION): visibility, pre-computed.
+		if !m.visible[r] {
+			return false
+		}
+		// (CR: PPO/cc0 ∩ RW): no committed (ppo∪fences)-later write.
+		for _, w2 := range m.writes {
+			if s.cw&bit(w2) != 0 && m.ppoFences.Has(r, w2) {
+				return false
+			}
+		}
+		// (CR: PPO/(ci0 ∪ cc0) ∩ RR): no satisfied (ppo∪fences)-later read.
+		for _, r2 := range m.reads {
+			if s.sr&bit(r2) != 0 && m.ppoFences.Has(r, r2) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// apply fires the transition (which must be enabled).
+func (m *Machine) apply(s state, l Label) state {
+	switch l.Kind {
+	case CommitWrite:
+		s.cw |= bit(l.Event)
+	case WriteReachesCoherencePoint:
+		s.cpw |= bit(l.Event)
+	case SatisfyRead:
+		s.sr |= bit(l.Event)
+	case CommitRead:
+		s.cr |= bit(l.Event)
+	}
+	return s
+}
+
+// Labels returns all labels of the candidate, in a deterministic order.
+func (m *Machine) Labels() []Label {
+	var out []Label
+	for _, w := range m.writes {
+		out = append(out,
+			Label{Kind: CommitWrite, Event: w, Write: -1},
+			Label{Kind: WriteReachesCoherencePoint, Event: w, Write: -1})
+	}
+	for _, r := range m.reads {
+		out = append(out,
+			Label{Kind: SatisfyRead, Event: r, Write: m.rfOf[r]},
+			Label{Kind: CommitRead, Event: r, Write: m.rfOf[r]})
+	}
+	return out
+}
+
+// AcceptsPath validates one explicit path: every label fires in order and
+// the final state is complete.
+func (m *Machine) AcceptsPath(path []Label) bool {
+	s := m.initial()
+	for _, l := range path {
+		if !m.enabled(s, l) {
+			return false
+		}
+		s = m.apply(s, l)
+	}
+	return m.final(s)
+}
+
+// Accepts reports whether some path of the machine consumes every label —
+// the operational acceptance of the candidate. It explores the transition
+// system with memoisation on dead states.
+func (m *Machine) Accepts() bool {
+	labels := m.Labels()
+	dead := map[state]bool{}
+	var search func(s state) bool
+	search = func(s state) bool {
+		if m.final(s) {
+			return true
+		}
+		if dead[s] {
+			return false
+		}
+		for _, l := range labels {
+			if m.enabled(s, l) {
+				if search(m.apply(s, l)) {
+					return true
+				}
+			}
+		}
+		dead[s] = true
+		return false
+	}
+	return search(m.initial())
+}
+
+// AcceptsBounded is Accepts with a cap on the number of distinct states
+// explored, mirroring the memory bound under which ppcmem could process
+// only 4704 of the paper's 8117 tests (Tab. IX). It reports whether a full
+// path was found, whether the cap was hit, and the states explored.
+func (m *Machine) AcceptsBounded(maxStates int) (accepted, capped bool, states int) {
+	labels := m.Labels()
+	seen := map[state]bool{}
+	var search func(s state) bool
+	search = func(s state) bool {
+		if m.final(s) {
+			return true
+		}
+		if seen[s] {
+			return false
+		}
+		if len(seen) >= maxStates {
+			capped = true
+			return false
+		}
+		seen[s] = true
+		for _, l := range labels {
+			if m.enabled(s, l) {
+				if search(m.apply(s, l)) {
+					return true
+				}
+			}
+			if capped {
+				return false
+			}
+		}
+		return false
+	}
+	accepted = search(m.initial())
+	return accepted, capped, len(seen)
+}
+
+// ExploreBounded walks the ENTIRE reachable state space (no early exit on
+// acceptance), the way an operational simulator enumerates all outcomes of
+// a test, stopping only at the state cap. It reports whether a complete
+// (final) state was reached, whether the cap was hit, and the states
+// explored.
+func (m *Machine) ExploreBounded(maxStates int) (accepted, capped bool, states int) {
+	labels := m.Labels()
+	seen := map[state]bool{}
+	var walk func(s state)
+	walk = func(s state) {
+		if seen[s] || capped {
+			return
+		}
+		if len(seen) >= maxStates {
+			capped = true
+			return
+		}
+		seen[s] = true
+		if m.final(s) {
+			accepted = true
+			return
+		}
+		for _, l := range labels {
+			if m.enabled(s, l) {
+				walk(m.apply(s, l))
+			}
+		}
+	}
+	walk(m.initial())
+	return accepted, capped, len(seen)
+}
+
+// CountStates exhaustively explores the reachable state space and returns
+// the number of distinct states visited. This is the cost profile of
+// operational simulation (Tab. IX): exponential in the number of events,
+// where the axiomatic check is a handful of matrix operations.
+func (m *Machine) CountStates() int {
+	labels := m.Labels()
+	seen := map[state]bool{}
+	var walk func(s state)
+	walk = func(s state) {
+		if seen[s] {
+			return
+		}
+		seen[s] = true
+		for _, l := range labels {
+			if m.enabled(s, l) {
+				walk(m.apply(s, l))
+			}
+		}
+	}
+	walk(m.initial())
+	return len(seen)
+}
+
+// ConstructPath builds the explicit accepting path of Lemma 7.3 by
+// linearising the ordering relation over labels that the proof prescribes.
+// It returns ok=false if the relation is cyclic, which for a valid
+// axiomatic execution cannot happen (that is the content of the lemma).
+func (m *Machine) ConstructPath() ([]Label, bool) {
+	labels := m.Labels()
+	idx := map[Label]int{}
+	for i, l := range labels {
+		idx[l] = i
+	}
+	r := rel.New(len(labels))
+	cW := func(w int) (int, bool) {
+		l, ok := idx[Label{Kind: CommitWrite, Event: w, Write: -1}]
+		return l, ok
+	}
+	cpW := func(w int) (int, bool) {
+		l, ok := idx[Label{Kind: WriteReachesCoherencePoint, Event: w, Write: -1}]
+		return l, ok
+	}
+	sR := func(rd int) (int, bool) {
+		l, ok := idx[Label{Kind: SatisfyRead, Event: rd, Write: m.rfOf[rd]}]
+		return l, ok
+	}
+	cR := func(rd int) (int, bool) {
+		l, ok := idx[Label{Kind: CommitRead, Event: rd, Write: m.rfOf[rd]}]
+		return l, ok
+	}
+	addEdge := func(a int, aok bool, b int, bok bool) {
+		if aok && bok {
+			r.Add(a, b)
+		}
+	}
+
+	// s(r) before c(r); c(w) before cp(w).
+	for _, rd := range m.reads {
+		a, aok := sR(rd)
+		b, bok := cR(rd)
+		addEdge(a, aok, b, bok)
+	}
+	for _, w := range m.writes {
+		a, aok := cW(w)
+		b, bok := cpW(w)
+		addEdge(a, aok, b, bok)
+	}
+	// Fenced write-read pairs: commit write before satisfying the read.
+	for _, p := range m.fences.Pairs() {
+		if m.x.Events[p[0]].Kind == events.MemWrite && m.x.Events[p[1]].Kind == events.MemRead {
+			a, aok := cW(p[0])
+			b, bok := sR(p[1])
+			addEdge(a, aok, b, bok)
+		}
+	}
+	// External rf: commit the write before the read is satisfied.
+	for _, p := range m.x.RFE.Pairs() {
+		a, aok := cW(p[0])
+		b, bok := sR(p[1])
+		addEdge(a, aok, b, bok)
+	}
+	// co and prop+: cp labels in order; also commit labels (fifo footnote).
+	// prop pairs involving reads order the corresponding satisfaction
+	// points, mirroring the extended machine premises.
+	coProp := m.co.Union(m.prop.Plus())
+	labelOf := func(ev int) (int, bool) {
+		if m.x.Events[ev].Kind == events.MemRead {
+			return sR(ev)
+		}
+		return cW(ev)
+	}
+	for _, p := range coProp.Pairs() {
+		a, aok := cpW(p[0])
+		b, bok := cpW(p[1])
+		addEdge(a, aok, b, bok)
+		a, aok = labelOf(p[0])
+		b, bok = labelOf(p[1])
+		addEdge(a, aok, b, bok)
+	}
+	// (r, e) ∈ ppo∪fences with r a read: commit r before processing e.
+	for _, p := range m.ppoFences.Pairs() {
+		if m.x.Events[p[0]].Kind != events.MemRead {
+			continue
+		}
+		a, aok := cR(p[0])
+		if m.x.Events[p[1]].Kind == events.MemRead {
+			b, bok := sR(p[1])
+			addEdge(a, aok, b, bok)
+		} else if m.x.Events[p[1]].Kind == events.MemWrite {
+			b, bok := cW(p[1])
+			addEdge(a, aok, b, bok)
+		}
+	}
+
+	order, ok := r.TopoSort()
+	if !ok {
+		return nil, false
+	}
+	path := make([]Label, len(order))
+	for i, li := range order {
+		path[i] = labels[li]
+	}
+	return path, true
+}

@@ -1,0 +1,152 @@
+package machine_test
+
+import (
+	"testing"
+
+	"herdcats/internal/catalog"
+	"herdcats/internal/exec"
+	"herdcats/internal/machine"
+	"herdcats/internal/models"
+)
+
+// TestMachineEquivalence is the experimental counterpart of Thm. 7.1: on
+// every candidate execution of every catalogue test, the intermediate
+// machine accepts some path iff the axiomatic model validates the
+// candidate. We check it for Power and the proposed ARM model.
+func TestMachineEquivalence(t *testing.T) {
+	for _, m := range []models.Model{models.Power, models.ARM} {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			for _, e := range catalog.Tests() {
+				p, err := exec.Compile(e.Test())
+				if err != nil {
+					t.Fatalf("%s: %v", e.Name, err)
+				}
+				mismatches := 0
+				err = p.Enumerate(func(c *exec.Candidate) bool {
+					axiomatic := m.Check(c.X).Valid
+					mach, err := machine.New(m.Arch, c.X)
+					if err != nil {
+						t.Fatalf("%s: %v", e.Name, err)
+					}
+					operational := mach.Accepts()
+					if axiomatic != operational {
+						mismatches++
+						t.Errorf("%s: axiomatic=%v operational=%v\n%s",
+							e.Name, axiomatic, operational, c.X)
+					}
+					return mismatches < 2
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestConstructedPathAccepted realises the constructive half of Lemma 7.3:
+// for every axiomatically valid candidate, the explicit linearised path is
+// accepted by the machine.
+func TestConstructedPathAccepted(t *testing.T) {
+	for _, e := range catalog.Tests() {
+		p, err := exec.Compile(e.Test())
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		err = p.Enumerate(func(c *exec.Candidate) bool {
+			if !models.Power.Check(c.X).Valid {
+				return true
+			}
+			mach, err := machine.New(models.Power.Arch, c.X)
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			path, ok := mach.ConstructPath()
+			if !ok {
+				t.Errorf("%s: label ordering of Lemma 7.3 is cyclic on a valid execution", e.Name)
+				return false
+			}
+			if !mach.AcceptsPath(path) {
+				t.Errorf("%s: constructed path rejected:\n%v", e.Name, path)
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPathValidation checks AcceptsPath rejects out-of-order paths.
+func TestPathValidation(t *testing.T) {
+	e, _ := catalog.ByName("mp")
+	p, err := exec.Compile(e.Test())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := false
+	err = p.Enumerate(func(c *exec.Candidate) bool {
+		if !models.Power.Check(c.X).Valid {
+			return true
+		}
+		mach, err := machine.New(models.Power.Arch, c.X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path, ok := mach.ConstructPath()
+		if !ok || len(path) < 2 {
+			t.Fatal("no constructed path")
+		}
+		// A commit-read before its satisfy-read must be rejected: find a
+		// read's labels and swap them.
+		for i := range path {
+			if path[i].Kind == machine.SatisfyRead {
+				for j := i + 1; j < len(path); j++ {
+					if path[j].Kind == machine.CommitRead && path[j].Event == path[i].Event {
+						bad := append([]machine.Label(nil), path...)
+						bad[i], bad[j] = bad[j], bad[i]
+						if mach.AcceptsPath(bad) {
+							t.Error("machine accepted commit-read before satisfy-read")
+						}
+						checked = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !checked {
+		t.Fatal("no read labels exercised")
+	}
+}
+
+// TestCountStates sanity-checks the state-space explorer used for the
+// operational cost profile (Tab. IX): it must visit at least one state per
+// label prefix of an accepted path.
+func TestCountStates(t *testing.T) {
+	e, _ := catalog.ByName("mp")
+	p, err := exec.Compile(e.Test())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.Enumerate(func(c *exec.Candidate) bool {
+		mach, err := machine.New(models.Power.Arch, c.X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := mach.CountStates()
+		if mach.Accepts() && n < len(mach.Labels())+1 {
+			t.Errorf("CountStates = %d, expected at least %d", n, len(mach.Labels())+1)
+		}
+		return !t.Failed()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package models_test
+
+import (
+	"testing"
+
+	"herdcats/internal/litmus"
+	"herdcats/internal/models"
+	"herdcats/internal/sim"
+)
+
+// c11MP builds the message-passing test with the given store/load orders
+// on the flag variable y (the data accesses stay relaxed).
+func c11MP(storeOrder, loadOrder string) *litmus.Test {
+	return litmus.MustParse(`C mp-c11
+{ }
+ P0 | P1 ;
+ atomic_store_explicit(x, 1, relaxed) | r1 = atomic_load_explicit(y, ` + loadOrder + `) ;
+ atomic_store_explicit(y, 1, ` + storeOrder + `) | r2 = atomic_load_explicit(x, relaxed) ;
+exists (1:r1=1 /\ 1:r2=0)`)
+}
+
+// TestC11MixedAccessMP is the Sec. 4.9 extension in action: the verdict of
+// message passing depends on the per-access memory orders — something the
+// single-access-type framework of the paper cannot express.
+func TestC11MixedAccessMP(t *testing.T) {
+	cases := []struct {
+		store, load string
+		allowed     bool
+	}{
+		{"release", "acquire", false}, // the classic publication idiom
+		{"release", "relaxed", true},  // no acquire: no synchronises-with
+		{"relaxed", "acquire", true},  // no release: no synchronises-with
+		{"relaxed", "relaxed", true},
+		{"seq_cst", "seq_cst", false}, // synchronises like release/acquire
+		{"acq_rel", "acquire", false},
+	}
+	for _, c := range cases {
+		out, err := sim.Run(c11MP(c.store, c.load), models.C11)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", c.store, c.load, err)
+		}
+		if out.Allowed() != c.allowed {
+			t.Errorf("mp with store=%s load=%s: allowed=%v, want %v",
+				c.store, c.load, out.Allowed(), c.allowed)
+		}
+	}
+}
+
+// TestC11Coherence: coherence applies whatever the orders (footnote 10 of
+// the paper: even relaxed atomics require the Fig. 6 shapes forbidden).
+func TestC11Coherence(t *testing.T) {
+	src := `C coRR-c11
+{ }
+ P0 | P1 ;
+ r1 = atomic_load_explicit(x, relaxed) | atomic_store_explicit(x, 1, relaxed) ;
+ r2 = atomic_load_explicit(x, relaxed) | ;
+exists (0:r1=1 /\ 0:r2=0)`
+	out, err := sim.Run(litmus.MustParse(src), models.C11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Allowed() {
+		t.Error("coRR must be forbidden even for relaxed atomics")
+	}
+}
+
+// TestC11LoadBuffering: our instance keeps the paper's NO THIN AIR even for
+// relaxed accesses (the standard itself would allow this lb).
+func TestC11LoadBuffering(t *testing.T) {
+	src := `C lb-c11
+{ }
+ P0 | P1 ;
+ r1 = atomic_load_explicit(x, relaxed) | r1 = atomic_load_explicit(y, relaxed) ;
+ atomic_store_explicit(y, 1, relaxed) | atomic_store_explicit(x, 1, relaxed) ;
+exists (0:r1=1 /\ 1:r1=1)`
+	out, err := sim.Run(litmus.MustParse(src), models.C11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Allowed() {
+		t.Error("lb forbidden under the paper's NO THIN AIR prescription")
+	}
+}
+
+// TestC11TwoPlusTwoW: the HBVSMO weakening admits 2+2w, like CppRA.
+func TestC11TwoPlusTwoW(t *testing.T) {
+	src := `C 2+2w-c11
+{ }
+ P0 | P1 ;
+ atomic_store_explicit(x, 2, release) | atomic_store_explicit(y, 2, release) ;
+ atomic_store_explicit(y, 1, release) | atomic_store_explicit(x, 1, release) ;
+exists (x=2 /\ y=2)`
+	out, err := sim.Run(litmus.MustParse(src), models.C11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Allowed() {
+		t.Error("2+2w allowed under HBVSMO (irreflexivity, not acyclicity)")
+	}
+}
+
+// TestC11DegeneratesToCppRA: with every access release/acquire, the mixed
+// model's verdicts coincide with the paper's C++ R-A instance evaluated on
+// the same executions.
+func TestC11DegeneratesToCppRA(t *testing.T) {
+	srcs := []string{
+		`C ra-mp
+{ }
+ P0 | P1 ;
+ atomic_store_explicit(x, 1, release) | r1 = atomic_load_explicit(y, acquire) ;
+ atomic_store_explicit(y, 1, release) | r2 = atomic_load_explicit(x, acquire) ;
+exists (1:r1=1 /\ 1:r2=0)`,
+		`C ra-sb
+{ }
+ P0 | P1 ;
+ atomic_store_explicit(x, 1, release) | atomic_store_explicit(y, 1, release) ;
+ r1 = atomic_load_explicit(y, acquire) | r1 = atomic_load_explicit(x, acquire) ;
+exists (0:r1=0 /\ 1:r1=0)`,
+		`C ra-iriw
+{ }
+ P0 | P1 | P2 | P3 ;
+ atomic_store_explicit(x, 1, release) | r1 = atomic_load_explicit(x, acquire) | atomic_store_explicit(y, 1, release) | r1 = atomic_load_explicit(y, acquire) ;
+ | r2 = atomic_load_explicit(y, acquire) | | r2 = atomic_load_explicit(x, acquire) ;
+exists (1:r1=1 /\ 1:r2=0 /\ 3:r1=1 /\ 3:r2=0)`,
+	}
+	for _, src := range srcs {
+		test := litmus.MustParse(src)
+		mixed, err := sim.Run(test, models.C11)
+		if err != nil {
+			t.Fatalf("%s: %v", test.Name, err)
+		}
+		ra, err := sim.Run(test, models.CppRA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mixed.Allowed() != ra.Allowed() {
+			t.Errorf("%s: C11(all-RA)=%v, CppRA=%v", test.Name, mixed.Allowed(), ra.Allowed())
+		}
+	}
+}
+
+// TestC11PlainStores: plain assignments parse and behave as relaxed.
+func TestC11PlainStores(t *testing.T) {
+	src := `C plain-mp
+{ }
+ P0 | P1 ;
+ x = 1 | r1 = y ;
+ y = 1 | r2 = x ;
+exists (1:r1=1 /\ 1:r2=0)`
+	out, err := sim.Run(litmus.MustParse(src), models.C11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Allowed() {
+		t.Error("plain (non-synchronising) message passing must be allowed")
+	}
+}

@@ -1,0 +1,292 @@
+package mole
+
+import (
+	"sort"
+
+	"herdcats/internal/events"
+)
+
+// Analysis is the result of the whole-program phase: points-to sets,
+// candidate thread entry points and entry groups (Sec. 9.1.3 steps 1–2).
+type Analysis struct {
+	Prog *Program
+	// Pts is the flow-insensitive, field-insensitive, interprocedural
+	// points-to relation.
+	Pts map[string]map[string]bool
+	// Entries are the candidate thread entry points.
+	Entries []string
+	// Groups partitions the entries by shared-object overlap.
+	Groups [][]string
+}
+
+// Analyze runs points-to, entry detection and grouping.
+func Analyze(p *Program) *Analysis {
+	a := &Analysis{Prog: p, Pts: map[string]map[string]bool{}}
+	a.solvePointsTo()
+	a.findEntries()
+	a.groupEntries()
+	return a
+}
+
+func (a *Analysis) pts(n string) map[string]bool {
+	if a.Pts[n] == nil {
+		a.Pts[n] = map[string]bool{}
+	}
+	return a.Pts[n]
+}
+
+// solvePointsTo iterates Andersen-style inclusion constraints to fixpoint.
+func (a *Analysis) solvePointsTo() {
+	cons := append([]assign(nil), a.Prog.Assigns...)
+	// Bind each function's parameters to the synthetic paramN / arg0 slots
+	// filled at call and spawn sites.
+	for _, fn := range a.Prog.Functions {
+		for i, p := range fn.Params {
+			local := fn.Name + "::" + p
+			cons = append(cons,
+				assign{dstName: local, srcName: fnSlot(fn.Name, i)},
+			)
+			if i == 0 {
+				cons = append(cons, assign{dstName: local, srcName: fn.Name + "::arg0"})
+			}
+		}
+	}
+	changed := true
+	addAll := func(dst string, src map[string]bool) {
+		d := a.pts(dst)
+		for o := range src {
+			if !d[o] {
+				d[o] = true
+				changed = true
+			}
+		}
+	}
+	for changed {
+		changed = false
+		for _, c := range cons {
+			var targets []string
+			if c.dstDeref {
+				for o := range a.pts(c.dstName) {
+					targets = append(targets, o)
+				}
+			} else {
+				targets = []string{c.dstName}
+			}
+			for _, dst := range targets {
+				switch {
+				case c.srcAddr != "":
+					if !a.pts(dst)[c.srcAddr] {
+						a.pts(dst)[c.srcAddr] = true
+						changed = true
+					}
+				case c.srcName != "":
+					addAll(dst, a.pts(c.srcName))
+				case c.srcDeref != "":
+					for o := range a.pts(c.srcDeref) {
+						addAll(dst, a.pts(o))
+					}
+				}
+			}
+		}
+	}
+}
+
+func fnSlot(fn string, i int) string {
+	return fn + "::param" + string(rune('0'+i))
+}
+
+// findEntries identifies candidate thread entry points per Sec. 9.1.3:
+// explicit pthread_create targets plus their spawners; otherwise, any
+// function not (transitively) called by another.
+func (a *Analysis) findEntries() {
+	spawned := map[string]bool{}
+	spawners := map[string]bool{}
+	called := map[string]bool{}
+	for name, fn := range a.Prog.Functions {
+		for _, s := range fn.Spawns {
+			if _, ok := a.Prog.Functions[s]; ok {
+				spawned[s] = true
+				spawners[name] = true
+			}
+		}
+		for _, c := range fn.Calls {
+			if _, ok := a.Prog.Functions[c]; ok {
+				called[c] = true
+			}
+		}
+	}
+	set := map[string]bool{}
+	if len(spawned) > 0 {
+		for s := range spawned {
+			set[s] = true
+		}
+		for s := range spawners {
+			set[s] = true
+		}
+	} else {
+		for name := range a.Prog.Functions {
+			if !called[name] && len(a.Prog.Functions[name].Ops) > 0 {
+				set[name] = true
+			}
+		}
+		if len(set) == 0 && len(a.Prog.Functions) > 0 {
+			// Mutual recursion: pick an arbitrary (smallest-named) one.
+			var names []string
+			for n := range a.Prog.Functions {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			set[names[0]] = true
+		}
+	}
+	for n := range set {
+		a.Entries = append(a.Entries, n)
+	}
+	sort.Strings(a.Entries)
+}
+
+// Objects returns the set of objects an entry point may access,
+// transitively through calls, with pointer dereferences resolved.
+func (a *Analysis) Objects(entry string) map[string]bool {
+	out := map[string]bool{}
+	seen := map[string]bool{}
+	var walk func(fn string)
+	walk = func(fn string) {
+		if seen[fn] {
+			return
+		}
+		seen[fn] = true
+		f, ok := a.Prog.Functions[fn]
+		if !ok {
+			return
+		}
+		for _, op := range f.Ops {
+			switch op.Kind {
+			case OpRead, OpWrite:
+				for _, o := range a.resolve(op) {
+					out[o] = true
+				}
+			case OpCall, OpSpawn:
+				walk(op.Callee)
+			}
+		}
+	}
+	walk(entry)
+	return out
+}
+
+// resolve maps an access op to the concrete objects it may touch.
+func (a *Analysis) resolve(op Op) []string {
+	if !op.Deref {
+		return []string{op.Obj}
+	}
+	var out []string
+	for o := range a.pts(op.Obj) {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// groupEntries unions entries whose object sets intersect (transitively).
+func (a *Analysis) groupEntries() {
+	n := len(a.Entries)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if parent[i] != i {
+			parent[i] = find(parent[i])
+		}
+		return parent[i]
+	}
+	objs := make([]map[string]bool, n)
+	for i, e := range a.Entries {
+		objs[i] = a.Objects(e)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			shared := false
+			for o := range objs[i] {
+				if objs[j][o] {
+					shared = true
+					break
+				}
+			}
+			if shared {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	groups := map[int][]string{}
+	for i, e := range a.Entries {
+		root := find(i)
+		groups[root] = append(groups[root], e)
+	}
+	var roots []int
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	for _, r := range roots {
+		sort.Strings(groups[r])
+		a.Groups = append(a.Groups, groups[r])
+	}
+}
+
+// access is one resolved shared-memory access of a thread sequence.
+type access struct {
+	dir     byte   // 'R' or 'W'
+	obj     string // concrete object
+	addrDep string // object whose read feeds this access's address, if any
+	line    int
+}
+
+// seqItem is either an access or a fence in a thread's linearised body.
+type seqItem struct {
+	isFence bool
+	fence   events.FenceKind
+	acc     access
+}
+
+// threadSeq linearises an entry point's body (calls inlined, depth-capped)
+// into shared accesses and fences. Dereferences fan out to one item per
+// pointed-to object.
+func (a *Analysis) threadSeq(entry string) []seqItem {
+	var out []seqItem
+	depth := 0
+	var walk func(fn string)
+	walk = func(fn string) {
+		if depth > 3 {
+			return
+		}
+		depth++
+		defer func() { depth-- }()
+		f, ok := a.Prog.Functions[fn]
+		if !ok {
+			return
+		}
+		for _, op := range f.Ops {
+			switch op.Kind {
+			case OpFence:
+				out = append(out, seqItem{isFence: true, fence: op.Fence})
+			case OpRead, OpWrite:
+				dir := byte('R')
+				if op.Kind == OpWrite {
+					dir = 'W'
+				}
+				for _, o := range a.resolve(op) {
+					out = append(out, seqItem{acc: access{
+						dir: dir, obj: o, addrDep: op.AddrDep, line: op.Line,
+					}})
+				}
+			case OpCall:
+				walk(op.Callee)
+			}
+		}
+	}
+	walk(entry)
+	return out
+}

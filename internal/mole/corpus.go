@@ -1,0 +1,300 @@
+package mole
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RCUSource is the mini-C port of the paper's Fig. 40: the Linux RCU
+// publication example (macros expanded, structs scalarised: the struct
+// field foo.a becomes the object foo_a, the global pointer gbl_foo points
+// to it).
+const RCUSource = `
+int foo_a;
+int foo2_a;
+int *gbl_foo;
+int a_value;
+int new_val;
+
+void foo_update_a(void *newv) {
+    spin_lock(foo_mutex);
+    foo2_a = new_val;
+    lwsync();
+    gbl_foo = &foo2_a;
+    spin_unlock(foo_mutex);
+    synchronize_rcu();
+}
+
+void foo_get_a(void *ret) {
+    int *p1;
+    int retval;
+    rcu_read_lock();
+    p1 = gbl_foo;
+    retval = *p1;
+    rcu_read_unlock();
+    a_value = retval;
+}
+
+int main() {
+    foo_a = 1;
+    gbl_foo = &foo_a;
+    new_val = 2;
+    pthread_create(&t1, 0, foo_update_a, &new_val);
+    a_value = 1;
+    pthread_create(&t2, 0, foo_get_a, &a_value);
+    return 0;
+}
+`
+
+// PgSQLSource is the mini-C port of the PostgreSQL worker-latch idiom the
+// paper analyses (the pgsql-hackers discussion it cites): each side writes
+// its work flag and reads the other's latch.
+const PgSQLSource = `
+int latch0;
+int latch1;
+int flag0;
+int flag1;
+int result;
+
+void worker0(void *arg) {
+    while (latch0 == 0) { }
+    latch0 = 0;
+    if (flag0 != 0) {
+        flag0 = 0;
+        result = result + 1;
+        flag1 = 1;
+        lwsync();
+        latch1 = 1;
+    }
+}
+
+void worker1(void *arg) {
+    while (latch1 == 0) { }
+    latch1 = 0;
+    if (flag1 != 0) {
+        flag1 = 0;
+        result = result + 1;
+        flag0 = 1;
+        lwsync();
+        latch0 = 1;
+    }
+}
+
+int main() {
+    flag0 = 1;
+    latch0 = 1;
+    pthread_create(&t1, 0, worker0, 0);
+    pthread_create(&t2, 0, worker1, 0);
+    return 0;
+}
+`
+
+// ApacheSource is the mini-C port of the Apache fdqueue idiom: producer
+// pushes then checks idlers; consumer marks idle then checks the queue.
+const ApacheSource = `
+int queue_head;
+int idlers;
+int queue_data;
+
+void producer(void *arg) {
+    queue_data = 1;
+    sync();
+    queue_head = queue_head + 1;
+    if (idlers == 0) {
+        queue_head = queue_head;
+    }
+}
+
+void consumer(void *arg) {
+    int v;
+    idlers = idlers + 1;
+    sync();
+    if (queue_head != 0) {
+        v = queue_data;
+        queue_head = queue_head - 1;
+        idlers = idlers - 1;
+    }
+}
+
+int main() {
+    pthread_create(&t1, 0, producer, 0);
+    pthread_create(&t2, 0, consumer, 0);
+    return 0;
+}
+`
+
+// SyntheticCorpus generates a deterministic Debian-like corpus: n
+// translation units mixing the classic communication idioms at a seeded
+// frequency profile (mp-heavy, as the paper's data mining found), plus
+// non-concurrent noise. It substitutes for the 200 MLoC of Debian C code
+// the paper analysed (DESIGN.md).
+func SyntheticCorpus(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	var units []string
+	for i := 0; i < n; i++ {
+		units = append(units, syntheticUnit(rng, i))
+	}
+	return units
+}
+
+func syntheticUnit(rng *rand.Rand, idx int) string {
+	// Weighted idiom choice; message passing dominates real code.
+	roll := rng.Float64()
+	var body string
+	switch {
+	case roll < 0.40:
+		body = mpUnit(rng)
+	case roll < 0.55:
+		body = sbUnit(rng)
+	case roll < 0.70:
+		body = coUnit(rng)
+	case roll < 0.80:
+		body = lbUnit(rng)
+	case roll < 0.90:
+		body = rwcUnit(rng)
+	default:
+		body = noiseUnit(rng)
+	}
+	return fmt.Sprintf("// synthetic unit %d\n%s", idx, body)
+}
+
+func fenceOrNothing(rng *rand.Rand) string {
+	switch rng.Intn(3) {
+	case 0:
+		return "lwsync();"
+	case 1:
+		return "sync();"
+	}
+	return ""
+}
+
+func mpUnit(rng *rand.Rand) string {
+	return fmt.Sprintf(`
+int data;
+int flagv;
+void sender(void *a) {
+    data = 1;
+    %s
+    flagv = 1;
+}
+void receiver(void *a) {
+    int d;
+    if (flagv != 0) {
+        d = data;
+    }
+}
+int main() {
+    pthread_create(&t1, 0, sender, 0);
+    pthread_create(&t2, 0, receiver, 0);
+    return 0;
+}
+`, fenceOrNothing(rng))
+}
+
+func sbUnit(rng *rand.Rand) string {
+	return fmt.Sprintf(`
+int turn0;
+int turn1;
+void side0(void *a) {
+    int seen;
+    turn0 = 1;
+    %s
+    seen = turn1;
+}
+void side1(void *a) {
+    int seen;
+    turn1 = 1;
+    %s
+    seen = turn0;
+}
+int main() {
+    pthread_create(&t1, 0, side0, 0);
+    pthread_create(&t2, 0, side1, 0);
+    return 0;
+}
+`, fenceOrNothing(rng), fenceOrNothing(rng))
+}
+
+func coUnit(rng *rand.Rand) string {
+	return `
+int counter;
+void bump(void *a) {
+    counter = counter + 1;
+    counter = counter + 1;
+}
+void watch(void *a) {
+    int c;
+    c = counter;
+    c = counter;
+}
+int main() {
+    pthread_create(&t1, 0, bump, 0);
+    pthread_create(&t2, 0, watch, 0);
+    return 0;
+}
+`
+}
+
+func lbUnit(rng *rand.Rand) string {
+	return `
+int reqv;
+int ackv;
+void ping(void *a) {
+    int r;
+    r = reqv;
+    ackv = 1;
+}
+void pong(void *a) {
+    int r;
+    r = ackv;
+    reqv = 1;
+}
+int main() {
+    pthread_create(&t1, 0, ping, 0);
+    pthread_create(&t2, 0, pong, 0);
+    return 0;
+}
+`
+}
+
+func rwcUnit(rng *rand.Rand) string {
+	return fmt.Sprintf(`
+int cell;
+int mark;
+void writerf(void *a) {
+    cell = 1;
+}
+void relay(void *a) {
+    int c;
+    c = cell;
+    %s
+    mark = 1;
+}
+void checker(void *a) {
+    int m;
+    int c;
+    m = mark;
+    %s
+    c = cell;
+}
+int main() {
+    pthread_create(&t1, 0, writerf, 0);
+    pthread_create(&t2, 0, relay, 0);
+    pthread_create(&t3, 0, checker, 0);
+    return 0;
+}
+`, fenceOrNothing(rng), fenceOrNothing(rng))
+}
+
+func noiseUnit(rng *rand.Rand) string {
+	return `
+int lonely;
+void solo(void *a) {
+    lonely = lonely + 1;
+}
+int main() {
+    pthread_create(&t1, 0, solo, 0);
+    return 0;
+}
+`
+}

@@ -1,0 +1,670 @@
+package mole
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"herdcats/internal/events"
+)
+
+// edgeKind labels the edges of a static cycle.
+type edgeKind uint8
+
+const (
+	ePo edgeKind = iota // program order within a thread
+	eRf                 // external read-from
+	eFr                 // external from-read
+	eWs                 // external write serialisation (coe)
+)
+
+// cedge is one edge of a static cycle, annotated with the strongest fence
+// and dependency found on po edges.
+type cedge struct {
+	kind    edgeKind
+	sameLoc bool // for po edges
+	fence   events.FenceKind
+	addrDep bool
+}
+
+// cnode is one access of a static cycle.
+type cnode struct {
+	entry string
+	acc   access
+}
+
+// FoundCycle is one static cycle: a weak-memory idiom candidate.
+type FoundCycle struct {
+	// Name is the classic litmus name when the shape is known (mp, sb,
+	// s, ...), or a systematic edge-list name.
+	Name string
+	// Axiom is the Fig. 5 axiom that rules the cycle out under the SC
+	// instantiation (the categorisation step of Sec. 9.1.3).
+	Axiom string
+	// Entries lists the thread entry points involved.
+	Entries []string
+	// Objects lists the shared objects involved.
+	Objects []string
+	// Critical distinguishes critical cycles from SC PER LOCATION ones.
+	Critical bool
+
+	nodes []cnode
+	edges []cedge
+}
+
+// Report aggregates the cycles found in a program.
+type Report struct {
+	Groups  [][]string
+	Cycles  []FoundCycle
+	ByName  map[string]int
+	ByAxiom map[string]int
+}
+
+// maxCycles bounds the search (the analysis is a bug-finder, not a
+// counter, beyond this point).
+const maxCycles = 50000
+
+// FindCycles enumerates static critical cycles and SC PER LOCATION cycles
+// over every thread group. instances is the number of thread instances
+// created per entry point (the paper uses 3; 2 suffices for every pattern
+// with at most two accesses per thread per cycle).
+func (a *Analysis) FindCycles(instances int) *Report {
+	if instances <= 0 {
+		instances = 2
+	}
+	rep := &Report{Groups: a.Groups, ByName: map[string]int{}, ByAxiom: map[string]int{}}
+	for _, group := range a.Groups {
+		a.groupCycles(rep, group, instances)
+	}
+	for _, c := range rep.Cycles {
+		rep.ByName[c.Name]++
+		rep.ByAxiom[c.Axiom]++
+	}
+	return rep
+}
+
+// thread is one instantiated thread: an entry's linearised body.
+type thread struct {
+	entry string
+	items []seqItem
+	// accIdx indexes the accesses within items.
+	accIdx []int
+}
+
+func (a *Analysis) instantiate(group []string, instances int) []thread {
+	var out []thread
+	for _, e := range group {
+		seq := a.threadSeq(e)
+		var accIdx []int
+		for i, it := range seq {
+			if !it.isFence {
+				accIdx = append(accIdx, i)
+			}
+		}
+		if len(accIdx) == 0 {
+			continue
+		}
+		for k := 0; k < instances; k++ {
+			out = append(out, thread{entry: e, items: seq, accIdx: accIdx})
+		}
+	}
+	return out
+}
+
+// poEdge builds the decorated po edge between two access positions of a
+// thread (items indices ia < ib).
+func (t *thread) poEdge(ia, ib int) cedge {
+	e := cedge{kind: ePo}
+	accA := t.items[ia].acc
+	accB := t.items[ib].acc
+	e.sameLoc = accA.obj == accB.obj
+	for i := ia + 1; i < ib; i++ {
+		if t.items[i].isFence {
+			e.fence = strongerFence(e.fence, t.items[i].fence)
+		}
+	}
+	if accB.addrDep != "" && accB.addrDep == accA.obj && accA.dir == 'R' {
+		e.addrDep = true
+	}
+	return e
+}
+
+// strongerFence keeps the strongest of two barriers (full > lightweight).
+func strongerFence(a, b events.FenceKind) events.FenceKind {
+	rank := func(k events.FenceKind) int {
+		switch k {
+		case events.FenceSync, events.FenceDMB, events.FenceDSB, events.FenceMFence:
+			return 2
+		case events.FenceLwsync, events.FenceEieio, events.FenceDMBST, events.FenceDSBST:
+			return 1
+		case events.FenceNone:
+			return 0
+		}
+		return 1
+	}
+	if rank(b) > rank(a) {
+		return b
+	}
+	return a
+}
+
+// segment is one thread's contribution to a cycle: one access, or a po
+// pair of accesses at different locations.
+type segment struct {
+	t      *thread
+	ia, ib int // items indices; ib < 0 for single-access segments
+}
+
+func (s segment) first() access { return s.t.items[s.ia].acc }
+func (s segment) last() access {
+	if s.ib < 0 {
+		return s.t.items[s.ia].acc
+	}
+	return s.t.items[s.ib].acc
+}
+
+// cmpOK reports whether two accesses compete: same object, at least one
+// write, and (for our traversal) the edge kind.
+func cmpOK(from, to access) (edgeKind, bool) {
+	if from.obj != to.obj {
+		return 0, false
+	}
+	switch {
+	case from.dir == 'W' && to.dir == 'R':
+		return eRf, true
+	case from.dir == 'R' && to.dir == 'W':
+		return eFr, true
+	case from.dir == 'W' && to.dir == 'W':
+		return eWs, true
+	}
+	return 0, false
+}
+
+// groupCycles enumerates the cycles of one group.
+func (a *Analysis) groupCycles(rep *Report, group []string, instances int) {
+	threads := a.instantiate(group, instances)
+	if len(threads) == 0 {
+		return
+	}
+	a.scPerLocCycles(rep, threads)
+
+	// Segments per thread.
+	segsOf := make([][]segment, len(threads))
+	for ti := range threads {
+		t := &threads[ti]
+		for _, i := range t.accIdx {
+			segsOf[ti] = append(segsOf[ti], segment{t: t, ia: i, ib: -1})
+			for _, j := range t.accIdx {
+				if j > i && t.items[i].acc.obj != t.items[j].acc.obj {
+					segsOf[ti] = append(segsOf[ti], segment{t: t, ia: i, ib: j})
+				}
+			}
+		}
+	}
+
+	seen := map[string]bool{}
+	maxThreads := 4
+	if len(threads) < maxThreads {
+		maxThreads = len(threads)
+	}
+
+	var chain []segment
+	usedThread := make([]bool, len(threads))
+	var rec func()
+	rec = func() {
+		if len(rep.Cycles) >= maxCycles {
+			return
+		}
+		k := len(chain)
+		if k >= 2 && distinctObjects(chain) >= 2 {
+			// Try to close the cycle. Critical cycles involve more than
+			// one memory location by definition (Sec. 9: the cycle must
+			// link locations across threads); single-location shapes are
+			// the SC PER LOCATION cycles, detected separately.
+			if kind, ok := cmpOK(chain[k-1].last(), chain[0].first()); ok {
+				a.emitCycle(rep, seen, chain, kind)
+			}
+		}
+		if k == maxThreads {
+			return
+		}
+		for ti := range threads {
+			if usedThread[ti] {
+				continue
+			}
+			for _, seg := range segsOf[ti] {
+				if k > 0 {
+					if _, ok := cmpOK(chain[k-1].last(), seg.first()); !ok {
+						continue
+					}
+				}
+				if !locBudgetOK(chain, seg) {
+					continue
+				}
+				usedThread[ti] = true
+				chain = append(chain, seg)
+				rec()
+				chain = chain[:len(chain)-1]
+				usedThread[ti] = false
+			}
+		}
+	}
+	rec()
+}
+
+// distinctObjects counts the locations touched by a chain.
+func distinctObjects(chain []segment) int {
+	objs := map[string]bool{}
+	for _, s := range chain {
+		objs[s.first().obj] = true
+		if s.ib >= 0 {
+			objs[s.last().obj] = true
+		}
+	}
+	return len(objs)
+}
+
+// locBudgetOK enforces "at most three accesses per location, from distinct
+// threads" (criterion (ii) of Sec. 9).
+func locBudgetOK(chain []segment, next segment) bool {
+	count := map[string]int{}
+	add := func(s segment) {
+		count[s.first().obj]++
+		if s.ib >= 0 {
+			count[s.last().obj]++
+		}
+	}
+	for _, s := range chain {
+		add(s)
+	}
+	add(next)
+	for _, c := range count {
+		if c > 3 {
+			return false
+		}
+	}
+	return true
+}
+
+// emitCycle canonicalises, dedups, reduces, names and classifies one cycle.
+func (a *Analysis) emitCycle(rep *Report, seen map[string]bool, chain []segment, closing edgeKind) {
+	var nodes []cnode
+	var edges []cedge
+	for i, s := range chain {
+		nodes = append(nodes, cnode{entry: s.t.entry, acc: s.first()})
+		if s.ib >= 0 {
+			edges = append(edges, s.t.poEdge(s.ia, s.ib))
+			nodes = append(nodes, cnode{entry: s.t.entry, acc: s.last()})
+		}
+		var kind edgeKind
+		if i+1 < len(chain) {
+			kind, _ = cmpOK(s.last(), chain[i+1].first())
+		} else {
+			kind = closing
+		}
+		edges = append(edges, cedge{kind: kind, sameLoc: true})
+	}
+	sig := cycleSignature(nodes, edges)
+	if seen[sig] {
+		return
+	}
+	seen[sig] = true
+
+	redNodes, redEdges := reduceCycle(nodes, edges)
+	c := FoundCycle{
+		Name:     cycleName(redNodes, redEdges),
+		Axiom:    classify(redEdges),
+		Critical: true,
+		nodes:    nodes,
+		edges:    edges,
+	}
+	entrySet := map[string]bool{}
+	objSet := map[string]bool{}
+	for _, n := range nodes {
+		entrySet[n.entry] = true
+		objSet[n.acc.obj] = true
+	}
+	for e := range entrySet {
+		c.Entries = append(c.Entries, e)
+	}
+	for o := range objSet {
+		c.Objects = append(c.Objects, o)
+	}
+	sort.Strings(c.Entries)
+	sort.Strings(c.Objects)
+	rep.Cycles = append(rep.Cycles, c)
+}
+
+// cycleSignature is rotation-invariant and renames objects by first
+// occurrence, so mirrored thread instances collapse.
+func cycleSignature(nodes []cnode, edges []cedge) string {
+	n := len(nodes)
+	best := ""
+	for rot := 0; rot < n; rot++ {
+		objID := map[string]int{}
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			node := nodes[(rot+i)%n]
+			if _, ok := objID[node.acc.obj]; !ok {
+				objID[node.acc.obj] = len(objID)
+			}
+			e := edges[(rot+i)%n]
+			fmt.Fprintf(&b, "%s:%d:%c:o%d:%d;%d,%v,%s,%v|",
+				node.entry, node.acc.line, node.acc.dir, objID[node.acc.obj],
+				0, e.kind, e.sameLoc, e.fence, e.addrDep)
+		}
+		if best == "" || b.String() < best {
+			best = b.String()
+		}
+	}
+	return best
+}
+
+// reduceCycle applies the reduction rules of Fig. 39 for naming purposes:
+// co;co = co, rf;fr = co, fr;co = fr — each drops a single-access
+// intermediate node flanked by communication edges.
+func reduceCycle(nodes []cnode, edges []cedge) ([]cnode, []cedge) {
+	nodes = append([]cnode(nil), nodes...)
+	edges = append([]cedge(nil), edges...)
+	for {
+		n := len(nodes)
+		if n <= 2 {
+			return nodes, edges
+		}
+		applied := false
+		for i := 0; i < n; i++ {
+			in := edges[(i-1+n)%n]
+			out := edges[i]
+			if in.kind == ePo || out.kind == ePo {
+				continue
+			}
+			var merged edgeKind
+			switch {
+			case in.kind == eWs && out.kind == eWs:
+				merged = eWs
+			case in.kind == eRf && out.kind == eFr:
+				merged = eWs
+			case in.kind == eFr && out.kind == eWs:
+				merged = eFr
+			default:
+				continue
+			}
+			// Drop node i; replace the two edges by the merged one.
+			edges[(i-1+n)%n] = cedge{kind: merged, sameLoc: true}
+			nodes = append(nodes[:i], nodes[i+1:]...)
+			edges = append(edges[:i], edges[i+1:]...)
+			applied = true
+			break
+		}
+		if !applied {
+			return nodes, edges
+		}
+	}
+}
+
+// classicShapes maps canonical base shapes to their litmus names
+// (Tab. III).
+var classicShapes = buildClassicShapes()
+
+// shapeKey reduces a cycle to its base shape: directions plus edge kinds
+// (fences and dependencies ignored), canonicalised by rotation.
+func shapeKey(nodes []cnode, edges []cedge) string {
+	n := len(nodes)
+	best := ""
+	for rot := 0; rot < n; rot++ {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			node := nodes[(rot+i)%n]
+			e := edges[(rot+i)%n]
+			tag := "?"
+			switch e.kind {
+			case ePo:
+				tag = "pod"
+				if e.sameLoc {
+					tag = "pos"
+				}
+			case eRf:
+				tag = "rfe"
+			case eFr:
+				tag = "fre"
+			case eWs:
+				tag = "wse"
+			}
+			fmt.Fprintf(&b, "%c-%s|", node.acc.dir, tag)
+		}
+		if best == "" || b.String() < best {
+			best = b.String()
+		}
+	}
+	return best
+}
+
+func buildClassicShapes() map[string]string {
+	mk := func(name string, pattern ...string) (string, string) {
+		// pattern alternates node dirs and edge tags.
+		var nodes []cnode
+		var edges []cedge
+		for i := 0; i < len(pattern); i += 2 {
+			nodes = append(nodes, cnode{acc: access{dir: pattern[i][0]}})
+			var e cedge
+			switch pattern[i+1] {
+			case "pod":
+				e = cedge{kind: ePo}
+			case "pos":
+				e = cedge{kind: ePo, sameLoc: true}
+			case "rfe":
+				e = cedge{kind: eRf}
+			case "fre":
+				e = cedge{kind: eFr}
+			case "wse":
+				e = cedge{kind: eWs}
+			}
+			edges = append(edges, e)
+		}
+		return shapeKey(nodes, edges), name
+	}
+	out := map[string]string{}
+	add := func(k, v string) { out[k] = v }
+	add(mk("mp", "W", "pod", "W", "rfe", "R", "pod", "R", "fre"))
+	add(mk("lb", "R", "pod", "W", "rfe", "R", "pod", "W", "rfe"))
+	add(mk("sb", "W", "pod", "R", "fre", "W", "pod", "R", "fre"))
+	add(mk("s", "W", "pod", "W", "rfe", "R", "pod", "W", "wse"))
+	add(mk("r", "W", "pod", "W", "wse", "W", "pod", "R", "fre"))
+	add(mk("2+2w", "W", "pod", "W", "wse", "W", "pod", "W", "wse"))
+	add(mk("wrc", "W", "rfe", "R", "pod", "W", "rfe", "R", "pod", "R", "fre"))
+	add(mk("rwc", "W", "rfe", "R", "pod", "R", "fre", "W", "pod", "R", "fre"))
+	add(mk("w+rw+2w", "W", "rfe", "R", "pod", "W", "wse", "W", "pod", "W", "wse"))
+	add(mk("isa2", "W", "pod", "W", "rfe", "R", "pod", "W", "rfe", "R", "pod", "R", "fre"))
+	add(mk("w+rwc", "W", "pod", "W", "rfe", "R", "pod", "R", "fre", "W", "pod", "R", "fre"))
+	add(mk("iriw", "W", "rfe", "R", "pod", "R", "fre", "W", "rfe", "R", "pod", "R", "fre"))
+	add(mk("w+rw", "W", "rfe", "R", "pod", "W", "wse"))
+	add(mk("3.2w", "W", "pod", "W", "wse", "W", "pod", "W", "wse", "W", "pod", "W", "wse"))
+	add(mk("3.sb", "W", "pod", "R", "fre", "W", "pod", "R", "fre", "W", "pod", "R", "fre"))
+	add(mk("3.lb", "R", "pod", "W", "rfe", "R", "pod", "W", "rfe", "R", "pod", "W", "rfe"))
+	return out
+}
+
+// cycleName names a reduced cycle: classic when recognised, else a
+// systematic name in the style of Tab. III ("w+rw+rr" and friends).
+func cycleName(nodes []cnode, edges []cedge) string {
+	if name, ok := classicShapes[shapeKey(nodes, edges)]; ok {
+		return name
+	}
+	// Systematic: per-thread access strings joined by '+'.
+	n := len(nodes)
+	// Rotate so a thread boundary (external in-edge) is first.
+	start := 0
+	for i := 0; i < n; i++ {
+		if edges[(i-1+n)%n].kind != ePo {
+			start = i
+			break
+		}
+	}
+	var parts []string
+	var cur strings.Builder
+	for i := 0; i < n; i++ {
+		node := nodes[(start+i)%n]
+		cur.WriteByte(node.acc.dir | 0x20) // lowercase
+		if edges[(start+i)%n].kind != ePo {
+			parts = append(parts, cur.String())
+			cur.Reset()
+		}
+	}
+	if cur.Len() > 0 {
+		parts = append(parts, cur.String())
+	}
+	return strings.Join(parts, "+")
+}
+
+// classify assigns the Fig. 5 axiom ruling the cycle out, under the SC
+// instantiation, following the categorisation of Sec. 9.1.3: SC PER
+// LOCATION if the cycle stays within po-loc ∪ com; NO THIN AIR if every
+// edge is in hb (po, fences, external rf); OBSERVATION for a single fre
+// whose remainder is prop;hb*; PROPAGATION otherwise.
+func classify(edges []cedge) string {
+	allLoc := true
+	fres, wses := 0, 0
+	for _, e := range edges {
+		if e.kind == ePo && !e.sameLoc {
+			allLoc = false
+		}
+		switch e.kind {
+		case eFr:
+			fres++
+		case eWs:
+			wses++
+		}
+	}
+	switch {
+	case allLoc:
+		return "SC PER LOCATION"
+	case fres == 0 && wses == 0:
+		return "NO THIN AIR"
+	case fres == 1 && wses == 0:
+		return "OBSERVATION"
+	default:
+		return "PROPAGATION"
+	}
+}
+
+// scPerLocCycles detects the five Fig. 6 shapes statically.
+func (a *Analysis) scPerLocCycles(rep *Report, threads []thread) {
+	seen := map[string]bool{}
+	emit := func(name string, ns []cnode) {
+		sig := name + "|" + cycleSignature(ns, make([]cedge, len(ns)))
+		if seen[sig] {
+			return
+		}
+		seen[sig] = true
+		c := FoundCycle{Name: name, Axiom: "SC PER LOCATION", nodes: ns}
+		entrySet := map[string]bool{}
+		for _, n := range ns {
+			entrySet[n.entry] = true
+			c.Objects = append(c.Objects, n.acc.obj)
+		}
+		for e := range entrySet {
+			c.Entries = append(c.Entries, e)
+		}
+		sort.Strings(c.Entries)
+		sort.Strings(c.Objects)
+		c.Objects = dedupStrings(c.Objects)
+		rep.Cycles = append(rep.Cycles, c)
+	}
+
+	// Writers per object across threads (for the shapes needing an
+	// external write).
+	type wAt struct {
+		entry string
+		acc   access
+	}
+	writers := map[string][]wAt{}
+	for ti := range threads {
+		if threads[ti].entry != "" && ti > 0 && threads[ti].entry == threads[ti-1].entry {
+			continue // one instance is enough for the writer inventory
+		}
+		for _, i := range threads[ti].accIdx {
+			acc := threads[ti].items[i].acc
+			if acc.dir == 'W' {
+				writers[acc.obj] = append(writers[acc.obj], wAt{threads[ti].entry, acc})
+			}
+		}
+	}
+
+	for ti := range threads {
+		t := &threads[ti]
+		if ti > 0 && threads[ti-1].entry == t.entry {
+			continue // same-entry instances yield identical shapes
+		}
+		for x, i := range t.accIdx {
+			for _, j := range t.accIdx[x+1:] {
+				a1 := t.items[i].acc
+				a2 := t.items[j].acc
+				if a1.obj != a2.obj {
+					continue
+				}
+				pairNodes := []cnode{{t.entry, a1}, {t.entry, a2}}
+				switch {
+				case a1.dir == 'W' && a2.dir == 'W':
+					emit("coWW", pairNodes)
+				case a1.dir == 'R' && a2.dir == 'W':
+					emit("coRW1", pairNodes)
+				}
+				// Shapes with an external writer.
+				for _, w := range writers[a1.obj] {
+					if w.entry == t.entry {
+						continue
+					}
+					ext := cnode{w.entry, w.acc}
+					switch {
+					case a1.dir == 'R' && a2.dir == 'W':
+						emit("coRW2", append(pairNodes, ext))
+					case a1.dir == 'W' && a2.dir == 'R':
+						emit("coWR", append(pairNodes, ext))
+					case a1.dir == 'R' && a2.dir == 'R':
+						emit("coRR", append(pairNodes, ext))
+					}
+				}
+			}
+		}
+	}
+}
+
+func dedupStrings(s []string) []string {
+	var out []string
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// RenderReport formats a report in the style of Tab. XIII/XIV.
+func RenderReport(r *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "groups: %d; cycles: %d (%d patterns)\n",
+		len(r.Groups), len(r.Cycles), len(r.ByName))
+	names := make([]string, 0, len(r.ByName))
+	for n := range r.ByName {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if r.ByName[names[i]] != r.ByName[names[j]] {
+			return r.ByName[names[i]] > r.ByName[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %-16s %6d\n", n, r.ByName[n])
+	}
+	b.WriteString("by axiom:\n")
+	var axes []string
+	for ax := range r.ByAxiom {
+		axes = append(axes, ax)
+	}
+	sort.Strings(axes)
+	for _, ax := range axes {
+		fmt.Fprintf(&b, "  %-16s %6d\n", ax, r.ByAxiom[ax])
+	}
+	return b.String()
+}

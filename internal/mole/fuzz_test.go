@@ -1,0 +1,52 @@
+package mole
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestAddNeverPanics: the mini-C frontend is total over arbitrary inputs.
+func TestAddNeverPanics(t *testing.T) {
+	safe := func(src string) (panicked bool) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		p := NewProgram()
+		_ = p.Add(src)
+		return false
+	}
+	f := func(data []byte) bool { return !safe(string(data)) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+	// C-token soup.
+	tokens := []string{
+		"int", "void", "*", "&", "x", "p", "f", "(", ")", "{", "}", ";", "=",
+		"if", "while", "for", "return", "pthread_create", "lwsync", ",",
+		"1", "==", "+", "/*", "*/", "//", "\"s\"", "\n", " ",
+	}
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 800; i++ {
+		var src string
+		for k := 0; k < 1+rng.Intn(20); k++ {
+			src += tokens[rng.Intn(len(tokens))] + " "
+		}
+		if safe(src) {
+			t.Fatalf("Add panicked on:\n%s", src)
+		}
+	}
+	// Mutations of a real source.
+	rng = rand.New(rand.NewSource(29))
+	for i := 0; i < 300; i++ {
+		b := []byte(RCUSource)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			b[rng.Intn(len(b))] = byte(32 + rng.Intn(95))
+		}
+		if safe(string(b)) {
+			t.Fatalf("Add panicked on mutated RCU source:\n%s", b)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package mole implements the paper's static analyser of Sec. 9: it
+// explores C code to find the weak-memory idioms (static critical cycles
+// and SC-per-location cycles) it contains, the way the paper mined an
+// entire Debian distribution.
+//
+// The pipeline follows Sec. 9.1.3:
+//
+//  1. parse a C subset into per-function access/fence sequences;
+//  2. identify candidate thread entry points (pthread_create targets, or
+//     externally-linked functions not called from elsewhere);
+//  3. group entry points by shared objects, using a flow-insensitive
+//     points-to analysis;
+//  4. enumerate static critical cycles (alternating program order and
+//     competing accesses) and SC PER LOCATION cycles;
+//  5. apply the reduction rules (co;co = co, rf;fr = co, fr;co = fr) and
+//     classify each cycle by litmus name and by the axiom of Fig. 5 that
+//     rules it out.
+package mole
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type ctokKind uint8
+
+const (
+	ctokEOF ctokKind = iota
+	ctokIdent
+	ctokInt
+	ctokPunct // single or multi-char punctuation
+	ctokString
+)
+
+type ctok struct {
+	kind ctokKind
+	text string
+	line int
+}
+
+// clex tokenises the C subset: identifiers, integers, strings, punctuation;
+// //, /* */ comments and preprocessor lines are skipped.
+func clex(src string) ([]ctok, error) {
+	var out []ctok
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			// Preprocessor line: skip to end of line.
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case strings.HasPrefix(src[i:], "//"):
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case strings.HasPrefix(src[i:], "/*"):
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("mole: line %d: unterminated comment", line)
+			}
+			line += strings.Count(src[i:i+2+end+2], "\n")
+			i += 2 + end + 2
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("mole: line %d: unterminated string", line)
+			}
+			out = append(out, ctok{ctokString, src[i+1 : j], line})
+			i = j + 1
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			out = append(out, ctok{ctokIdent, src[i:j], line})
+			i = j
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && (unicode.IsDigit(rune(src[j])) || src[j] == 'x' ||
+				src[j] >= 'a' && src[j] <= 'f' || src[j] >= 'A' && src[j] <= 'F') {
+				j++
+			}
+			out = append(out, ctok{ctokInt, src[i:j], line})
+			i = j
+		default:
+			// Multi-character operators first.
+			for _, op := range []string{"==", "!=", "<=", ">=", "&&", "||", "->", "++", "--", "+=", "-="} {
+				if strings.HasPrefix(src[i:], op) {
+					out = append(out, ctok{ctokPunct, op, line})
+					i += len(op)
+					goto next
+				}
+			}
+			out = append(out, ctok{ctokPunct, string(c), line})
+			i++
+		next:
+		}
+	}
+	out = append(out, ctok{ctokEOF, "", line})
+	return out, nil
+}

@@ -1,0 +1,310 @@
+package mole
+
+import (
+	"strings"
+	"testing"
+
+	"herdcats/internal/events"
+)
+
+func analyze(t *testing.T, srcs ...string) *Analysis {
+	t.Helper()
+	p := NewProgram()
+	for _, s := range srcs {
+		if err := p.Add(s); err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+	}
+	return Analyze(p)
+}
+
+func TestParseBasics(t *testing.T) {
+	p := NewProgram()
+	err := p.Add(`
+int x;
+int y = 0;
+void f(void *a) {
+    int t;
+    x = 1;
+    lwsync();
+    t = y;
+    if (t == 1) { x = 2; }
+    while (t != 0) { t = t - 1; }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Globals["x"] || !p.Globals["y"] {
+		t.Error("globals not recorded")
+	}
+	f := p.Functions["f"]
+	if f == nil {
+		t.Fatal("function f missing")
+	}
+	var kinds []OpKind
+	for _, op := range f.Ops {
+		kinds = append(kinds, op.Kind)
+	}
+	// x=1 (W), lwsync, t=y (R), t==1 (no shared), x=2 (W)
+	want := []OpKind{OpWrite, OpFence, OpRead, OpWrite}
+	if len(kinds) != len(want) {
+		t.Fatalf("ops = %v, want %v (%v)", kinds, want, f.Ops)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("op %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+	if f.Ops[1].Fence != events.FenceLwsync {
+		t.Error("lwsync not recorded")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"int x; void f() { x = ; }",
+		"void f() {",
+		"int x; void f() { /* unterminated",
+		"@",
+	}
+	for _, src := range cases {
+		p := NewProgram()
+		if err := p.Add(src); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestPointsTo(t *testing.T) {
+	a := analyze(t, `
+int x;
+int *p;
+int *q;
+void f(void *arg) {
+    int v;
+    p = &x;
+    q = p;
+    v = *q;
+}
+`)
+	if !a.Pts["p"]["x"] {
+		t.Errorf("pts(p) = %v, want x", a.Pts["p"])
+	}
+	if !a.Pts["q"]["x"] {
+		t.Errorf("pts(q) = %v, want x", a.Pts["q"])
+	}
+}
+
+func TestEntryPointsExplicit(t *testing.T) {
+	a := analyze(t, RCUSource)
+	want := []string{"foo_get_a", "foo_update_a", "main"}
+	if strings.Join(a.Entries, ",") != strings.Join(want, ",") {
+		t.Errorf("entries = %v, want %v", a.Entries, want)
+	}
+	if len(a.Groups) != 1 {
+		t.Fatalf("groups = %v, want one group", a.Groups)
+	}
+	if len(a.Groups[0]) != 3 {
+		t.Errorf("RCU group = %v, want all three functions (they share gbl_foo and the structs)", a.Groups[0])
+	}
+}
+
+func TestEntryPointsImplicit(t *testing.T) {
+	// No pthread_create: externally-linked, uncalled functions are entries.
+	a := analyze(t, `
+int x;
+void helper() { x = 1; }
+void api_a(void *p) { helper(); }
+void api_b(void *p) { int v; v = x; }
+`)
+	want := "api_a,api_b"
+	if strings.Join(a.Entries, ",") != want {
+		t.Errorf("entries = %v, want %s", a.Entries, want)
+	}
+}
+
+func TestRCUCycles(t *testing.T) {
+	a := analyze(t, RCUSource)
+	rep := a.FindCycles(2)
+	if len(rep.Cycles) == 0 {
+		t.Fatal("no cycles found in RCU")
+	}
+	// The publication idiom is a message-passing shape: writer updates
+	// foo2_a then gbl_foo (lwsync between); reader loads gbl_foo then
+	// dereferences (address dependency).
+	if rep.ByName["mp"] == 0 {
+		t.Errorf("RCU should exhibit mp; found %v", rep.ByName)
+	}
+	// The mp cycle must carry the lwsync and the address dependency.
+	foundDecorated := false
+	for _, c := range rep.Cycles {
+		if c.Name != "mp" {
+			continue
+		}
+		for _, e := range c.edges {
+			if e.kind == ePo && e.fence == events.FenceLwsync {
+				for _, e2 := range c.edges {
+					if e2.kind == ePo && e2.addrDep {
+						foundDecorated = true
+					}
+				}
+			}
+		}
+	}
+	if !foundDecorated {
+		t.Error("RCU mp cycle lacks the lwsync + address-dependency decoration")
+	}
+	if rep.ByAxiom["OBSERVATION"] == 0 {
+		t.Errorf("RCU mp cycles classify as OBSERVATION; got %v", rep.ByAxiom)
+	}
+}
+
+func TestAddressDependencyDetection(t *testing.T) {
+	a := analyze(t, RCUSource)
+	seq := a.threadSeq("foo_get_a")
+	foundDep := false
+	for _, it := range seq {
+		if !it.isFence && it.acc.addrDep == "gbl_foo" {
+			foundDep = true
+		}
+	}
+	if !foundDep {
+		t.Error("rcu_dereference address dependency not detected")
+	}
+}
+
+func TestApacheCycles(t *testing.T) {
+	a := analyze(t, ApacheSource)
+	rep := a.FindCycles(2)
+	// The handshake contains store-buffering shapes and SC-per-location
+	// cycles on the queue head (the paper found coWW/coWR/coRW in Apache).
+	if rep.ByName["sb"] == 0 && rep.ByName["r"] == 0 {
+		t.Errorf("Apache should exhibit sb or r shapes; got %v", rep.ByName)
+	}
+	if rep.ByName["coWW"] == 0 && rep.ByName["coRW1"] == 0 && rep.ByName["coWR"] == 0 {
+		t.Errorf("Apache should exhibit SC-per-location cycles; got %v", rep.ByName)
+	}
+	if rep.ByAxiom["PROPAGATION"] == 0 {
+		t.Errorf("Apache sb shapes classify as PROPAGATION; got %v", rep.ByAxiom)
+	}
+}
+
+func TestPgSQLCycles(t *testing.T) {
+	a := analyze(t, PgSQLSource)
+	rep := a.FindCycles(2)
+	if len(rep.Cycles) == 0 {
+		t.Fatal("no cycles found in PgSQL")
+	}
+	if rep.ByName["mp"] == 0 {
+		t.Errorf("PgSQL latch protocol should exhibit mp; got %v", rep.ByName)
+	}
+}
+
+func TestReductionRules(t *testing.T) {
+	// rf;fr = co: a w+rw+r chain collapses onto s (Fig. 39).
+	nodes := []cnode{
+		{acc: access{dir: 'W', obj: "x"}}, // a: Wx
+		{acc: access{dir: 'W', obj: "y"}}, // b: Wy
+		{acc: access{dir: 'R', obj: "y"}}, // c: Ry (T1)
+		{acc: access{dir: 'W', obj: "x"}}, // d: Wx (T1)
+		{acc: access{dir: 'R', obj: "x"}}, // e: Rx (T2), reads d, fr to a
+	}
+	edges := []cedge{
+		{kind: ePo},                // a -> b
+		{kind: eRf},                // b -> c
+		{kind: ePo},                // c -> d
+		{kind: eRf},                // d -> e
+		{kind: eFr, sameLoc: true}, // e -> a
+	}
+	rn, re := reduceCycle(nodes, edges)
+	if len(rn) != 4 {
+		t.Fatalf("reduced to %d nodes, want 4", len(rn))
+	}
+	if name := cycleName(rn, re); name != "s" {
+		t.Errorf("reduced name = %q, want s (Fig. 39)", name)
+	}
+}
+
+func TestClassicNames(t *testing.T) {
+	mk := func(pattern ...interface{}) ([]cnode, []cedge) {
+		var ns []cnode
+		var es []cedge
+		for i := 0; i < len(pattern); i += 2 {
+			ns = append(ns, cnode{acc: access{dir: pattern[i].(byte)}})
+			es = append(es, pattern[i+1].(cedge))
+		}
+		return ns, es
+	}
+	pod := cedge{kind: ePo}
+	ns, es := mk(byte('W'), pod, byte('W'), cedge{kind: eRf}, byte('R'), pod, byte('R'), cedge{kind: eFr})
+	if got := cycleName(ns, es); got != "mp" {
+		t.Errorf("name = %q, want mp", got)
+	}
+	ns, es = mk(byte('W'), pod, byte('R'), cedge{kind: eFr}, byte('W'), pod, byte('R'), cedge{kind: eFr})
+	if got := cycleName(ns, es); got != "sb" {
+		t.Errorf("name = %q, want sb", got)
+	}
+	ns, es = mk(byte('R'), pod, byte('W'), cedge{kind: eRf}, byte('R'), pod, byte('W'), cedge{kind: eRf})
+	if got := cycleName(ns, es); got != "lb" {
+		t.Errorf("name = %q, want lb", got)
+	}
+	// Unknown shapes get systematic names.
+	ns, es = mk(byte('W'), cedge{kind: eWs}, byte('W'), cedge{kind: eWs})
+	if got := cycleName(ns, es); got == "" {
+		t.Error("systematic name empty")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		edges []cedge
+		want  string
+	}{
+		{[]cedge{{kind: ePo, sameLoc: true}, {kind: eRf, sameLoc: true}}, "SC PER LOCATION"},
+		{[]cedge{{kind: ePo}, {kind: eRf}, {kind: ePo}, {kind: eRf}}, "NO THIN AIR"},
+		{[]cedge{{kind: ePo}, {kind: eRf}, {kind: ePo}, {kind: eFr}}, "OBSERVATION"},
+		{[]cedge{{kind: ePo}, {kind: eFr}, {kind: ePo}, {kind: eFr}}, "PROPAGATION"},
+		{[]cedge{{kind: ePo}, {kind: eWs}, {kind: ePo}, {kind: eWs}}, "PROPAGATION"},
+	}
+	for i, c := range cases {
+		if got := classify(c.edges); got != c.want {
+			t.Errorf("case %d: classify = %q, want %q", i, got, c.want)
+		}
+	}
+}
+
+func TestSyntheticCorpus(t *testing.T) {
+	units := SyntheticCorpus(40, 1)
+	if len(units) != 40 {
+		t.Fatalf("got %d units", len(units))
+	}
+	totals := map[string]int{}
+	for _, u := range units {
+		p := NewProgram()
+		if err := p.Add(u); err != nil {
+			t.Fatalf("synthetic unit failed to parse: %v\n%s", err, u)
+		}
+		rep := Analyze(p).FindCycles(2)
+		for n, c := range rep.ByName {
+			totals[n] += c
+		}
+	}
+	if totals["mp"] == 0 {
+		t.Errorf("synthetic corpus yields no mp cycles: %v", totals)
+	}
+	// mp should dominate the communication idioms, as in the paper's data.
+	if totals["mp"] < totals["sb"] {
+		t.Errorf("mp (%d) should dominate sb (%d)", totals["mp"], totals["sb"])
+	}
+}
+
+func TestDeterministicCorpus(t *testing.T) {
+	a := SyntheticCorpus(5, 42)
+	b := SyntheticCorpus(5, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("corpus not deterministic")
+		}
+	}
+}

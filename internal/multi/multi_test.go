@@ -1,0 +1,89 @@
+package multi_test
+
+import (
+	"testing"
+
+	"herdcats/internal/catalog"
+	"herdcats/internal/exec"
+	"herdcats/internal/models"
+	"herdcats/internal/multi"
+	"herdcats/internal/sim"
+)
+
+// TestAgreesWithPowerExceptBigdetour reproduces the Sec. 8.2 comparison
+// with the CAV 2012 model: experimentally equivalent to our Power model on
+// the corpus, "except for a few tests of similar structure" to Fig. 37 —
+// which the multi-event model forbids and ours allows.
+func TestAgreesWithPowerExceptBigdetour(t *testing.T) {
+	for _, e := range catalog.Tests() {
+		if _, isPowerTest := e.Expect["Power"]; !isPowerTest {
+			continue
+		}
+		powerOut, err := sim.Run(e.Test(), models.Power)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		multiOut, err := sim.Run(e.Test(), multi.Model{})
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if e.Name == "mp+lwsync+addr-bigdetour-addr" {
+			if !powerOut.Allowed() || multiOut.Allowed() {
+				t.Errorf("Fig. 37: want Power allowed / CAV12 forbidden, got %v / %v",
+					powerOut.Allowed(), multiOut.Allowed())
+			}
+			continue
+		}
+		if powerOut.Allowed() != multiOut.Allowed() {
+			t.Errorf("%s: Power allowed=%v, multi-event allowed=%v",
+				e.Name, powerOut.Allowed(), multiOut.Allowed())
+		}
+	}
+}
+
+// TestMultiStrongerThanPower: the multi-event model only ever forbids more
+// (its ppo is a superset), checked per candidate execution.
+func TestMultiStrongerThanPower(t *testing.T) {
+	m := multi.Model{}
+	for _, e := range catalog.Tests() {
+		p, err := exec.Compile(e.Test())
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		err = p.Enumerate(func(c *exec.Candidate) bool {
+			if m.Check(c.X).Valid && !models.Power.Check(c.X).Valid {
+				t.Errorf("%s: candidate valid under multi-event but not Power", e.Name)
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestExpandShape checks the event expansion arithmetic: one subevent per
+// (write, thread).
+func TestExpandShape(t *testing.T) {
+	e, _ := catalog.ByName("iriw")
+	p, err := exec.Compile(e.Test())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.Enumerate(func(c *exec.Candidate) bool {
+		ex := multi.Expand(c.X)
+		writes := c.X.W.Card()  // includes the two initial writes
+		wantExtra := writes * 4 // iriw has four threads
+		if ex.N != c.X.N()+wantExtra {
+			t.Errorf("expanded N = %d, want %d + %d", ex.N, c.X.N(), wantExtra)
+		}
+		if len(ex.PropEvent) != wantExtra {
+			t.Errorf("PropEvent count = %d, want %d", len(ex.PropEvent), wantExtra)
+		}
+		return false // one candidate suffices
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,575 @@
+// Package rel implements a small algebra of binary relations over a dense
+// universe of n elements, represented as n×n bit matrices.
+//
+// This is the computational core of the axiomatic framework of "Herding cats"
+// (Alglave, Maranget, Tautschnig, 2014): memory models are written as
+// unions, intersections, sequences and closures of relations over events,
+// and validity checks are acyclicity or irreflexivity tests. Because litmus
+// executions are small (tens of events), a dense bit-matrix representation
+// makes composition and transitive closure cheap — this is what lets the
+// single-event axiomatic simulator outperform operational ones (Table IX).
+package rel
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+const wordBits = 64
+
+// Rel is a binary relation over the universe {0, ..., N-1}.
+// Row i holds the successors of element i as a bitset.
+// The zero value is unusable; use New.
+type Rel struct {
+	n     int
+	words int // words per row
+	bits  []uint64
+}
+
+// New returns the empty relation over a universe of n elements.
+func New(n int) Rel {
+	if n < 0 {
+		panic("rel: negative universe size")
+	}
+	w := (n + wordBits - 1) / wordBits
+	if w == 0 {
+		w = 1 // keep rows addressable even for n==0
+	}
+	return Rel{n: n, words: w, bits: make([]uint64, n*w)}
+}
+
+// FromPairs builds a relation over n elements containing the given pairs.
+func FromPairs(n int, pairs [][2]int) Rel {
+	r := New(n)
+	for _, p := range pairs {
+		r.Add(p[0], p[1])
+	}
+	return r
+}
+
+// Identity returns the identity relation over n elements.
+func Identity(n int) Rel {
+	r := New(n)
+	for i := 0; i < n; i++ {
+		r.Add(i, i)
+	}
+	return r
+}
+
+// Full returns the complete relation over n elements.
+func Full(n int) Rel {
+	r := New(n)
+	for i := 0; i < n*r.words; i++ {
+		r.bits[i] = ^uint64(0)
+	}
+	r.trim()
+	return r
+}
+
+// N returns the size of the universe.
+func (r Rel) N() int { return r.n }
+
+func (r Rel) row(i int) []uint64 { return r.bits[i*r.words : (i+1)*r.words] }
+
+func (r Rel) check(i, j int) {
+	if i < 0 || i >= r.n || j < 0 || j >= r.n {
+		panic(fmt.Sprintf("rel: pair (%d,%d) out of universe [0,%d)", i, j, r.n))
+	}
+}
+
+// Add inserts the pair (i, j).
+func (r Rel) Add(i, j int) {
+	r.check(i, j)
+	r.row(i)[j/wordBits] |= 1 << (uint(j) % wordBits)
+}
+
+// Remove deletes the pair (i, j).
+func (r Rel) Remove(i, j int) {
+	r.check(i, j)
+	r.row(i)[j/wordBits] &^= 1 << (uint(j) % wordBits)
+}
+
+// Has reports whether the pair (i, j) is in the relation.
+func (r Rel) Has(i, j int) bool {
+	r.check(i, j)
+	return r.row(i)[j/wordBits]&(1<<(uint(j)%wordBits)) != 0
+}
+
+// trim clears bits beyond column n-1 (they can appear after Full or Complement).
+func (r Rel) trim() {
+	if r.n == 0 {
+		for i := range r.bits {
+			r.bits[i] = 0
+		}
+		return
+	}
+	rem := uint(r.n % wordBits)
+	if rem == 0 {
+		return
+	}
+	mask := (uint64(1) << rem) - 1
+	for i := 0; i < r.n; i++ {
+		r.row(i)[r.words-1] &= mask
+	}
+}
+
+// Clone returns a deep copy of r.
+func (r Rel) Clone() Rel {
+	c := Rel{n: r.n, words: r.words, bits: make([]uint64, len(r.bits))}
+	copy(c.bits, r.bits)
+	return c
+}
+
+func (r Rel) sameUniverse(s Rel) {
+	if r.n != s.n {
+		panic(fmt.Sprintf("rel: universe mismatch %d vs %d", r.n, s.n))
+	}
+}
+
+// Union returns r ∪ s.
+func (r Rel) Union(s Rel) Rel {
+	r.sameUniverse(s)
+	out := r.Clone()
+	for i := range out.bits {
+		out.bits[i] |= s.bits[i]
+	}
+	return out
+}
+
+// Inter returns r ∩ s.
+func (r Rel) Inter(s Rel) Rel {
+	r.sameUniverse(s)
+	out := r.Clone()
+	for i := range out.bits {
+		out.bits[i] &= s.bits[i]
+	}
+	return out
+}
+
+// Diff returns r \ s.
+func (r Rel) Diff(s Rel) Rel {
+	r.sameUniverse(s)
+	out := r.Clone()
+	for i := range out.bits {
+		out.bits[i] &^= s.bits[i]
+	}
+	return out
+}
+
+// Complement returns the complement of r (including diagonal pairs).
+func (r Rel) Complement() Rel {
+	out := r.Clone()
+	for i := range out.bits {
+		out.bits[i] = ^out.bits[i]
+	}
+	out.trim()
+	return out
+}
+
+// Inverse returns r⁻¹, i.e. {(j,i) | (i,j) ∈ r}.
+func (r Rel) Inverse() Rel {
+	out := New(r.n)
+	for i := 0; i < r.n; i++ {
+		row := r.row(i)
+		for w, word := range row {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				out.Add(w*wordBits+b, i)
+			}
+		}
+	}
+	return out
+}
+
+// Seq returns the relational composition r ; s,
+// i.e. {(i,k) | ∃j. (i,j) ∈ r ∧ (j,k) ∈ s}.
+func (r Rel) Seq(s Rel) Rel {
+	r.sameUniverse(s)
+	out := New(r.n)
+	for i := 0; i < r.n; i++ {
+		src := r.row(i)
+		dst := out.row(i)
+		for w, word := range src {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				j := w*wordBits + b
+				mid := s.row(j)
+				for k := range dst {
+					dst[k] |= mid[k]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Plus returns the transitive closure r⁺ (Floyd–Warshall over bitsets).
+func (r Rel) Plus() Rel {
+	out := r.Clone()
+	for k := 0; k < out.n; k++ {
+		krow := out.row(k)
+		bit := uint64(1) << (uint(k) % wordBits)
+		w := k / wordBits
+		for i := 0; i < out.n; i++ {
+			irow := out.row(i)
+			if irow[w]&bit != 0 {
+				for x := range irow {
+					irow[x] |= krow[x]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Star returns the reflexive-transitive closure r*.
+func (r Rel) Star() Rel {
+	return r.Plus().Union(Identity(r.n))
+}
+
+// Opt returns r ∪ id, the reflexive closure ("r?" in cat).
+func (r Rel) Opt() Rel {
+	return r.Union(Identity(r.n))
+}
+
+// Irreflexive reports whether no element is related to itself.
+func (r Rel) Irreflexive() bool {
+	for i := 0; i < r.n; i++ {
+		if r.row(i)[i/wordBits]&(1<<(uint(i)%wordBits)) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Acyclic reports whether r contains no cycle, i.e. r⁺ is irreflexive.
+func (r Rel) Acyclic() bool {
+	// A DFS three-colour check is cheaper than computing the closure.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	colour := make([]byte, r.n)
+	type frame struct {
+		node int
+		word int
+		bits uint64
+	}
+	var stack []frame
+	for start := 0; start < r.n; start++ {
+		if colour[start] != white {
+			continue
+		}
+		colour[start] = grey
+		stack = append(stack[:0], frame{start, 0, r.row(start)[0]})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.bits == 0 {
+				f.word++
+				if f.word >= r.words {
+					colour[f.node] = black
+					stack = stack[:len(stack)-1]
+					continue
+				}
+				f.bits = r.row(f.node)[f.word]
+				continue
+			}
+			b := bits.TrailingZeros64(f.bits)
+			f.bits &= f.bits - 1
+			next := f.word*wordBits + b
+			switch colour[next] {
+			case grey:
+				return false
+			case white:
+				colour[next] = grey
+				stack = append(stack, frame{next, 0, r.row(next)[0]})
+			}
+		}
+	}
+	return true
+}
+
+// Reflexive reports whether r relates some element to itself
+// (the cat "reflexive" check used for load-load-hazard filters;
+// note this is "∃x.(x,x)", matching herd's usage, not ∀).
+func (r Rel) Reflexive() bool {
+	return !r.Irreflexive()
+}
+
+// IsEmpty reports whether the relation has no pairs.
+func (r Rel) IsEmpty() bool {
+	for _, w := range r.bits {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Card returns the number of pairs in the relation.
+func (r Rel) Card() int {
+	c := 0
+	for _, w := range r.bits {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Equal reports whether r and s contain exactly the same pairs.
+func (r Rel) Equal(s Rel) bool {
+	if r.n != s.n {
+		return false
+	}
+	for i := range r.bits {
+		if r.bits[i] != s.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every pair of r is in s.
+func (r Rel) SubsetOf(s Rel) bool {
+	r.sameUniverse(s)
+	for i := range r.bits {
+		if r.bits[i]&^s.bits[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Pairs returns the pairs of the relation in lexicographic order.
+func (r Rel) Pairs() [][2]int {
+	var out [][2]int
+	for i := 0; i < r.n; i++ {
+		row := r.row(i)
+		for w, word := range row {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				out = append(out, [2]int{i, w*wordBits + b})
+			}
+		}
+	}
+	return out
+}
+
+// Succ returns the successors of i in ascending order.
+func (r Rel) Succ(i int) []int {
+	var out []int
+	row := r.row(i)
+	for w, word := range row {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			out = append(out, w*wordBits+b)
+		}
+	}
+	return out
+}
+
+// RestrictDomain keeps only pairs whose source is in keep.
+func (r Rel) RestrictDomain(keep Set) Rel {
+	r.checkSet(keep)
+	out := New(r.n)
+	for i := 0; i < r.n; i++ {
+		if keep.Has(i) {
+			copy(out.row(i), r.row(i))
+		}
+	}
+	return out
+}
+
+// RestrictRange keeps only pairs whose target is in keep.
+func (r Rel) RestrictRange(keep Set) Rel {
+	r.checkSet(keep)
+	out := r.Clone()
+	for i := 0; i < r.n; i++ {
+		row := out.row(i)
+		for w := range row {
+			row[w] &= keep.bits[w]
+		}
+	}
+	return out
+}
+
+// Restrict keeps only pairs with source in src and target in dst;
+// this implements cat's set-restriction forms such as WR(r) and RM(r).
+func (r Rel) Restrict(src, dst Set) Rel {
+	return r.RestrictDomain(src).RestrictRange(dst)
+}
+
+func (r Rel) checkSet(s Set) {
+	if s.n != r.n {
+		panic(fmt.Sprintf("rel: set universe %d does not match relation universe %d", s.n, r.n))
+	}
+}
+
+// Cross returns the full cartesian product src × dst.
+func Cross(src, dst Set) Rel {
+	out := New(src.n)
+	if dst.n != src.n {
+		panic("rel: Cross universe mismatch")
+	}
+	for i := 0; i < src.n; i++ {
+		if src.Has(i) {
+			copy(out.row(i), dst.bits)
+		}
+	}
+	return out
+}
+
+// Domain returns the set of sources of r.
+func (r Rel) Domain() Set {
+	s := NewSet(r.n)
+	for i := 0; i < r.n; i++ {
+		for _, w := range r.row(i) {
+			if w != 0 {
+				s.Add(i)
+				break
+			}
+		}
+	}
+	return s
+}
+
+// Range returns the set of targets of r.
+func (r Rel) Range() Set {
+	s := NewSet(r.n)
+	for i := 0; i < r.n; i++ {
+		row := r.row(i)
+		for w := range row {
+			s.bits[w] |= row[w]
+		}
+	}
+	return s
+}
+
+// CycleWitness returns one cycle of r as a sequence of elements
+// (each related to the next, last related to first), or nil if acyclic.
+func (r Rel) CycleWitness() []int {
+	colour := make([]byte, r.n)
+	parent := make([]int, r.n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var found []int
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		colour[u] = 1
+		for _, v := range r.Succ(u) {
+			switch colour[v] {
+			case 0:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case 1:
+				// Reconstruct cycle v -> ... -> u -> v.
+				cyc := []int{u}
+				for x := u; x != v; x = parent[x] {
+					cyc = append(cyc, parent[x])
+				}
+				// Reverse so it reads v ... u in edge order.
+				for a, b := 0, len(cyc)-1; a < b; a, b = a+1, b-1 {
+					cyc[a], cyc[b] = cyc[b], cyc[a]
+				}
+				found = cyc
+				return true
+			}
+		}
+		colour[u] = 2
+		return false
+	}
+	for i := 0; i < r.n; i++ {
+		if colour[i] == 0 && dfs(i) {
+			return found
+		}
+	}
+	return nil
+}
+
+// TopoSort returns a topological order of the universe consistent with r,
+// or ok=false if r has a cycle. Ties are broken by smallest element first,
+// which makes the output deterministic.
+func (r Rel) TopoSort() (order []int, ok bool) {
+	indeg := make([]int, r.n)
+	for _, p := range r.Pairs() {
+		indeg[p[1]]++
+	}
+	var ready []int
+	for i := 0; i < r.n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	for len(ready) > 0 {
+		sort.Ints(ready)
+		u := ready[0]
+		ready = ready[1:]
+		order = append(order, u)
+		for _, v := range r.Succ(u) {
+			indeg[v]--
+			if indeg[v] == 0 {
+				ready = append(ready, v)
+			}
+		}
+	}
+	return order, len(order) == r.n
+}
+
+// Linearisations calls yield with every total order extension of r
+// (as element sequences). It stops early if yield returns false.
+// r must be acyclic; if it is not, no order is yielded.
+func (r Rel) Linearisations(yield func([]int) bool) {
+	plus := r.Plus()
+	used := make([]bool, r.n)
+	order := make([]int, 0, r.n)
+	var rec func() bool
+	rec = func() bool {
+		if len(order) == r.n {
+			return yield(order)
+		}
+	next:
+		for v := 0; v < r.n; v++ {
+			if used[v] {
+				continue
+			}
+			// v can come next iff every plus-predecessor is already placed.
+			for u := 0; u < r.n; u++ {
+				if !used[u] && u != v && plus.Has(u, v) {
+					continue next
+				}
+			}
+			used[v] = true
+			order = append(order, v)
+			if !rec() {
+				return false
+			}
+			order = order[:len(order)-1]
+			used[v] = false
+		}
+		return true
+	}
+	rec()
+}
+
+// String renders the relation as a sorted pair list, for debugging.
+func (r Rel) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range r.Pairs() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%d,%d)", p[0], p[1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,198 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func newVars(s *Solver, n int) []Lit {
+	out := make([]Lit, n)
+	for i := range out {
+		out[i] = Lit(s.NewVar())
+	}
+	return out
+}
+
+func TestTrivial(t *testing.T) {
+	s := New()
+	v := newVars(s, 2)
+	s.AddClause(v[0])
+	s.AddClause(v[0].Neg(), v[1])
+	if !s.Solve() {
+		t.Fatal("expected SAT")
+	}
+	if !s.ValueLit(v[0]) || !s.ValueLit(v[1]) {
+		t.Errorf("model wrong: v0=%v v1=%v", s.ValueLit(v[0]), s.ValueLit(v[1]))
+	}
+}
+
+func TestUnsatPair(t *testing.T) {
+	s := New()
+	v := newVars(s, 1)
+	s.AddClause(v[0])
+	s.AddClause(v[0].Neg())
+	if s.Solve() {
+		t.Fatal("expected UNSAT")
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	newVars(s, 1)
+	s.AddClause()
+	if s.Solve() {
+		t.Fatal("empty clause must be UNSAT")
+	}
+}
+
+func TestTautologyDropped(t *testing.T) {
+	s := New()
+	v := newVars(s, 2)
+	s.AddClause(v[0], v[0].Neg()) // tautology: no constraint
+	s.AddClause(v[1])
+	if !s.Solve() {
+		t.Fatal("expected SAT")
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New()
+	v := newVars(s, 2)
+	s.AddClause(v[0].Neg(), v[1])
+	if !s.Solve(v[0]) {
+		t.Fatal("expected SAT under assumption v0")
+	}
+	if !s.ValueLit(v[1]) {
+		t.Error("v1 must follow from v0")
+	}
+	s.AddClause(v[1].Neg())
+	if s.Solve(v[0]) {
+		t.Error("expected UNSAT under assumption v0 with ¬v1 forced")
+	}
+	if !s.Solve(v[0].Neg()) {
+		t.Error("expected SAT under assumption ¬v0")
+	}
+}
+
+// TestPigeonhole: n+1 pigeons in n holes is UNSAT; n pigeons in n holes is
+// SAT. Exercises clause learning properly.
+func TestPigeonhole(t *testing.T) {
+	build := func(pigeons, holes int) *Solver {
+		s := New()
+		at := make([][]Lit, pigeons)
+		for p := range at {
+			at[p] = newVars(s, holes)
+			s.AddClause(at[p]...) // every pigeon in some hole
+		}
+		for h := 0; h < holes; h++ {
+			for p1 := 0; p1 < pigeons; p1++ {
+				for p2 := p1 + 1; p2 < pigeons; p2++ {
+					s.AddClause(at[p1][h].Neg(), at[p2][h].Neg())
+				}
+			}
+		}
+		return s
+	}
+	if build(5, 5).Solve() != true {
+		t.Error("PHP(5,5) should be SAT")
+	}
+	if build(6, 5).Solve() != false {
+		t.Error("PHP(6,5) should be UNSAT")
+	}
+}
+
+// bruteForce decides a CNF by exhaustive assignment (for cross-checking).
+func bruteForce(nVars int, cnf [][]Lit) bool {
+	for mask := 0; mask < 1<<nVars; mask++ {
+		ok := true
+		for _, cl := range cnf {
+			clauseSat := false
+			for _, l := range cl {
+				val := mask&(1<<(l.Var()-1)) != 0
+				if (l > 0) == val {
+					clauseSat = true
+					break
+				}
+			}
+			if !clauseSat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRandom3SATAgainstBruteForce cross-checks CDCL against exhaustive
+// search on hundreds of random instances around the phase transition.
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 300; iter++ {
+		nVars := 4 + rng.Intn(7) // 4..10
+		nClauses := int(float64(nVars) * (3.0 + rng.Float64()*2.5))
+		var cnf [][]Lit
+		for c := 0; c < nClauses; c++ {
+			var cl []Lit
+			for k := 0; k < 3; k++ {
+				v := 1 + rng.Intn(nVars)
+				if rng.Intn(2) == 0 {
+					cl = append(cl, Lit(v))
+				} else {
+					cl = append(cl, Lit(-v))
+				}
+			}
+			cnf = append(cnf, cl)
+		}
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		for _, cl := range cnf {
+			s.AddClause(cl...)
+		}
+		got := s.Solve()
+		want := bruteForce(nVars, cnf)
+		if got != want {
+			t.Fatalf("iter %d: CDCL=%v brute=%v\ncnf=%v", iter, got, want, cnf)
+		}
+		if got {
+			// Verify the model actually satisfies the CNF.
+			for _, cl := range cnf {
+				sat := false
+				for _, l := range cl {
+					if s.ValueLit(l) {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("iter %d: model does not satisfy clause %v", iter, cl)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkPigeonhole7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		at := make([][]Lit, 8)
+		for p := range at {
+			at[p] = newVars(s, 7)
+			s.AddClause(at[p]...)
+		}
+		for h := 0; h < 7; h++ {
+			for p1 := 0; p1 < 8; p1++ {
+				for p2 := p1 + 1; p2 < 8; p2++ {
+					s.AddClause(at[p1][h].Neg(), at[p2][h].Neg())
+				}
+			}
+		}
+		if s.Solve() {
+			b.Fatal("PHP(8,7) must be UNSAT")
+		}
+	}
+}

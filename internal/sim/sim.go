@@ -1,0 +1,142 @@
+// Package sim is the single-event axiomatic simulator at the heart of herd
+// (Sec. 8.3): it enumerates the candidate executions of a litmus test
+// (package exec) and validates each against a model, reporting which final
+// states are allowed and whether the test's condition is observable.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"herdcats/internal/core"
+	"herdcats/internal/events"
+	"herdcats/internal/exec"
+	"herdcats/internal/litmus"
+)
+
+// Checker validates one candidate execution. models.Model and cat-compiled
+// models both implement it.
+type Checker interface {
+	Name() string
+	Check(x *events.Execution) core.Result
+}
+
+// Outcome summarises a simulation run of one test under one model.
+type Outcome struct {
+	Test  *litmus.Test
+	Model string
+
+	// Candidates is the number of candidate executions enumerated;
+	// Valid counts those the model accepts.
+	Candidates int
+	Valid      int
+
+	// States histograms the final states of valid executions
+	// (keyed on the variables the condition mentions).
+	States map[string]int
+
+	// FailedBy histograms the checks that invalid executions violate —
+	// herd's explanation of *why* a behaviour is forbidden.
+	FailedBy map[string]int
+
+	// CondObserved is true iff some valid execution satisfies the
+	// test's condition.
+	CondObserved bool
+
+	// violations counts valid executions whose final state fails the
+	// condition (needed for the ForAll verdict).
+	violations int
+}
+
+// Allowed reports whether the condition is observable under the model —
+// the paper's "allowed/forbidden" verdict for a test.
+func (o *Outcome) Allowed() bool { return o.CondObserved }
+
+// OK interprets the outcome under the test's quantifier, like the litmus
+// tool's Ok/No verdict.
+func (o *Outcome) OK() bool {
+	switch o.Test.Quant {
+	case litmus.Exists:
+		return o.CondObserved
+	case litmus.NotExists:
+		return !o.CondObserved
+	case litmus.ForAll:
+		return o.Valid > 0 && o.violations == 0
+	}
+	return false
+}
+
+// Run simulates test under model. It visits every candidate execution.
+func Run(test *litmus.Test, model Checker) (*Outcome, error) {
+	p, err := exec.Compile(test)
+	if err != nil {
+		return nil, err
+	}
+	return RunCompiled(p, model)
+}
+
+// RunCompiled simulates an already-compiled program under model.
+func RunCompiled(p *exec.Program, model Checker) (*Outcome, error) {
+	out := &Outcome{
+		Test: p.Test, Model: model.Name(),
+		States: map[string]int{}, FailedBy: map[string]int{},
+	}
+	err := p.Enumerate(func(c *exec.Candidate) bool {
+		out.Candidates++
+		res := model.Check(c.X)
+		if !res.Valid {
+			for _, name := range res.FailedChecks {
+				out.FailedBy[name]++
+			}
+			return true
+		}
+		out.Valid++
+		out.States[c.State.Key(p.Test.Cond)]++
+		sat := p.Test.Cond == nil || p.Test.Cond.Eval(c.State)
+		if sat {
+			out.CondObserved = true
+		} else {
+			out.violations++
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// String renders the outcome in a herd-like summary.
+func (o *Outcome) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Test %s %s\n", o.Test.Name, o.Test.Quant)
+	fmt.Fprintf(&b, "Model %s\n", o.Model)
+	keys := make([]string, 0, len(o.States))
+	for k := range o.States {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(&b, "States %d\n", len(keys))
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %s\n", k)
+	}
+	if len(o.FailedBy) > 0 {
+		checks := make([]string, 0, len(o.FailedBy))
+		for k := range o.FailedBy {
+			checks = append(checks, k)
+		}
+		sort.Strings(checks)
+		b.WriteString("Violations")
+		for _, k := range checks {
+			fmt.Fprintf(&b, " %s:%d", k, o.FailedBy[k])
+		}
+		b.WriteByte('\n')
+	}
+	verdict := "No"
+	if o.OK() {
+		verdict = "Ok"
+	}
+	fmt.Fprintf(&b, "%s (%d/%d executions valid)\n", verdict, o.Valid, o.Candidates)
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package sim_test
+
+import (
+	"strings"
+	"testing"
+
+	"herdcats/internal/catalog"
+	"herdcats/internal/litmus"
+	"herdcats/internal/models"
+	"herdcats/internal/sim"
+)
+
+func TestOutcomeQuantifiers(t *testing.T) {
+	// sb under TSO: condition observable → exists is Ok, ~exists is No.
+	src := `X86 sbq
+{ }
+ P0 | P1 ;
+ MOV [x],$1 | MOV [y],$1 ;
+ MOV EAX,[y] | MOV EAX,[x] ;
+%s (0:EAX=0 /\ 1:EAX=0)`
+	for _, c := range []struct {
+		quant string
+		ok    bool
+	}{
+		{"exists", true},
+		{"~exists", false},
+		{"forall", false},
+	} {
+		test := litmus.MustParse(strings.Replace(src, "%s", c.quant, 1))
+		out, err := sim.Run(test, models.TSO)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.OK() != c.ok {
+			t.Errorf("%s: OK = %v, want %v", c.quant, out.OK(), c.ok)
+		}
+	}
+}
+
+func TestForallHolds(t *testing.T) {
+	// Under SC, coherence forces the final value of x to 1 or 2 — a
+	// tautological forall across both.
+	src := `PPC co-final
+{ 0:r1=x; 1:r1=x; }
+ P0 | P1 ;
+ li r2,1 | li r2,2 ;
+ stw r2,0(r1) | stw r2,0(r1) ;
+forall (x=1 \/ x=2)`
+	out, err := sim.Run(litmus.MustParse(src), models.SC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK() {
+		t.Errorf("forall should hold: %s", out)
+	}
+}
+
+func TestStatesHistogram(t *testing.T) {
+	e, _ := catalog.ByName("mp")
+	out, err := sim.Run(e.Test(), models.SC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.States) != 3 {
+		t.Errorf("SC allows 3 mp states, got %d: %v", len(out.States), out.States)
+	}
+	outP, err := sim.Run(e.Test(), models.Power)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outP.States) != 4 {
+		t.Errorf("Power allows all 4 mp states, got %d", len(outP.States))
+	}
+	if outP.Candidates != 4 || outP.Valid != 4 {
+		t.Errorf("counters: %d/%d", outP.Valid, outP.Candidates)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	e, _ := catalog.ByName("mp")
+	out, err := sim.Run(e.Test(), models.Power)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Test mp", "Model Power", "States 4", "Ok"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
