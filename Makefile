@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test vet race ci
+
+build:
+	$(GO) build ./...
+
+# Tier-1 verification (see ROADMAP.md).
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The campaign runner and the budgeted enumeration are concurrent code:
+# every PR must pass the race detector, not just the plain suite.
+race:
+	$(GO) test -race ./...
+
+ci: vet test race

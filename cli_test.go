@@ -1,6 +1,7 @@
 package herdcats_bench
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -36,6 +37,18 @@ func run(t *testing.T, bin string, args ...string) string {
 	return string(b)
 }
 
+// runExpectErr runs a binary that must exit nonzero and returns its
+// combined output.
+func runExpectErr(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	b, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v: expected nonzero exit\n%s", bin, args, b)
+	}
+	return string(b)
+}
+
 func TestCLI(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode: skip binary builds")
@@ -65,6 +78,36 @@ func TestCLI(t *testing.T) {
 		run(t, tools["herd"], "-model", "power", "-dot", dotDir, "testdata/litmus/mp.litmus")
 		if _, err := os.Stat(filepath.Join(dotDir, "mp.dot")); err != nil {
 			t.Errorf("dot file not written: %v", err)
+		}
+
+		// Robustness: a missing file is reported, the remaining files
+		// still simulate, and the exit status is nonzero at the end.
+		out = runExpectErr(t, tools["herd"], "-model", "power",
+			"testdata/litmus/no-such-test.litmus", "testdata/litmus/mp.litmus")
+		if !strings.Contains(out, "no-such-test") || !strings.Contains(out, "Allowed") {
+			t.Errorf("herd should report the bad file and still run mp: %s", out)
+		}
+
+		// Budgeted parallel batch with a machine-readable report.
+		out = run(t, tools["herd"], "-json", "-j", "2", "-timeout", "5s", "-model", "power",
+			"testdata/litmus/mp.litmus", "testdata/litmus/sb.litmus")
+		var rep struct {
+			Jobs   []struct{ Name, Status string }
+			Counts map[string]int
+		}
+		if err := json.Unmarshal([]byte(out), &rep); err != nil {
+			t.Fatalf("-json output is not JSON: %v\n%s", err, out)
+		}
+		if len(rep.Jobs) != 2 || rep.Counts["OK"]+rep.Counts["Forbidden"] != 2 {
+			t.Errorf("unexpected report: %+v", rep)
+		}
+
+		// A tiny candidate budget yields an Incomplete partial result,
+		// not a hang or a hard failure.
+		out = run(t, tools["herd"], "-json", "-max-candidates", "2", "-model", "power",
+			"testdata/litmus/mp.litmus")
+		if !strings.Contains(out, `"status": "Incomplete"`) || !strings.Contains(out, "budget exceeded") {
+			t.Errorf("budgeted run should report Incomplete with a reason: %s", out)
 		}
 	})
 

@@ -7,19 +7,25 @@
 //
 //	herd [-model power|sc|tso|arm|arm-llh|power-arm] test.litmus...
 //	herd -cat mymodel.cat test.litmus...
+//	herd -j 8 -timeout 2s -max-candidates 100000 -json tests/*.litmus
 //	herd -list-models
 //
 // "Given a specification of a model, the tool becomes a simulator for that
-// model."
+// model." Batches run on a fault-tolerant campaign: a test that exhausts
+// its budget is reported Incomplete with the states observed so far, a
+// panic or bad file costs only that test, and the exit status is nonzero
+// iff some test failed outright.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"herdcats/internal/campaign"
 	"herdcats/internal/cat"
 	"herdcats/internal/dot"
 	"herdcats/internal/exec"
@@ -34,6 +40,11 @@ func main() {
 	verbose := flag.Bool("v", false, "print every reachable final state")
 	dotDir := flag.String("dot", "", "write a Graphviz diagram of each test's condition-witnessing execution into this directory")
 	explain := flag.Bool("explain", false, "for forbidden tests, print the violated checks and their witness cycles")
+	timeout := flag.Duration("timeout", 0, "per-test wall-clock budget (0 = none); exceeding it yields an Incomplete partial result")
+	maxCand := flag.Int("max-candidates", 0, "per-test candidate-execution budget (0 = unlimited)")
+	workers := flag.Int("j", 1, "tests simulated in parallel (0 = GOMAXPROCS)")
+	contOnErr := flag.Bool("continue-on-error", true, "keep simulating remaining tests after a test errors or panics")
+	jsonOut := flag.Bool("json", false, "emit the machine-readable campaign report on stdout")
 	flag.Parse()
 
 	if *list {
@@ -65,48 +76,109 @@ func main() {
 		checker = m
 	}
 
-	exit := 0
-	for _, path := range flag.Args() {
+	// An unreadable or unparsable file becomes an Error job rather than
+	// aborting the run: the remaining files still simulate, and the
+	// failure is reported in order, in text and in the JSON report.
+	jobs := make([]campaign.Job, flag.NArg())
+	tests := make([]*litmus.Test, flag.NArg())
+	for i, path := range flag.Args() {
+		i, path := i, path
 		data, err := os.ReadFile(path)
 		if err != nil {
+			jobs[i] = errorJob(path, err)
+			continue
+		}
+		test, perr := litmus.Parse(string(data))
+		if perr != nil {
+			jobs[i] = errorJob(path, perr)
+			continue
+		}
+		tests[i] = test
+		jobs[i] = campaign.Job{Name: test.Name, Test: test, Model: checker}
+	}
+
+	cfg := campaign.Config{
+		Workers:     *workers,
+		Timeout:     *timeout,
+		Budget:      exec.Budget{MaxCandidates: *maxCand},
+		Retries:     -1, // the user's budget is a hard bound, not a hint
+		StopOnError: !*contOnErr,
+	}
+	rep := campaign.Run(context.Background(), cfg, jobs)
+
+	if *jsonOut {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
 			fatal(err)
 		}
-		test, err := litmus.Parse(string(data))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "herd: %s: %v\n", path, err)
-			exit = 1
-			continue
-		}
-		out, err := sim.Run(test, checker)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "herd: %s: %v\n", path, err)
-			exit = 1
-			continue
-		}
-		if *dotDir != "" {
-			if err := writeDot(*dotDir, test); err != nil {
-				fmt.Fprintf(os.Stderr, "herd: %s: %v\n", path, err)
-				exit = 1
+	} else {
+		printReport(rep, *verbose)
+	}
+
+	exit := 0
+	if rep.Failures() > 0 || rep.Counts[campaign.StatusSkipped] > 0 {
+		exit = 1
+	}
+
+	// Diagram/explanation passes run after the campaign, per test, so a
+	// failing test cannot take them down with it.
+	if *dotDir != "" || *explain {
+		for i, res := range rep.Jobs {
+			if tests[i] == nil || res.Failed() || res.Status == campaign.StatusSkipped {
+				continue
 			}
-		}
-		if *verbose {
-			fmt.Print(out)
-		} else {
-			verdict := "Forbidden"
-			if out.Allowed() {
-				verdict = "Allowed"
+			if *dotDir != "" {
+				if err := writeDot(*dotDir, tests[i]); err != nil {
+					fmt.Fprintf(os.Stderr, "herd: %s: %v\n", flag.Arg(i), err)
+					exit = 1
+				}
 			}
-			fmt.Printf("%-40s %s  %-9s (%d/%d executions valid)\n",
-				test.Name, checker.Name(), verdict, out.Valid, out.Candidates)
-		}
-		if *explain && !out.Allowed() {
-			if err := explainTest(test, checker); err != nil {
-				fmt.Fprintf(os.Stderr, "herd: %s: %v\n", path, err)
-				exit = 1
+			if *explain && res.Status == campaign.StatusForbidden {
+				if err := explainTest(tests[i], checker); err != nil {
+					fmt.Fprintf(os.Stderr, "herd: %s: %v\n", flag.Arg(i), err)
+					exit = 1
+				}
 			}
 		}
 	}
 	os.Exit(exit)
+}
+
+// errorJob records a file-level failure as a campaign result so it shows
+// up in the report without aborting the remaining files.
+func errorJob(path string, err error) campaign.Job {
+	return campaign.Job{Name: path, Run: func(context.Context, exec.Budget) (*sim.Outcome, error) {
+		return nil, err
+	}}
+}
+
+// printReport renders the campaign in herd's classic one-line-per-test
+// format; failures go to stderr.
+func printReport(rep *campaign.Report, verbose bool) {
+	for _, res := range rep.Jobs {
+		switch res.Status {
+		case campaign.StatusError, campaign.StatusPanicked, campaign.StatusSkipped:
+			fmt.Fprintf(os.Stderr, "herd: %s: %s: %s\n", res.Name, res.Status, res.Reason)
+			continue
+		}
+		if verbose && res.Outcome != nil {
+			fmt.Print(res.Outcome)
+			continue
+		}
+		verdict := "Forbidden"
+		if res.Status == campaign.StatusOK {
+			verdict = "Allowed"
+		}
+		note := ""
+		if res.Status == campaign.StatusIncomplete {
+			verdict = "Allowed?" // lower bound: unexplored candidates remain
+			if res.Outcome == nil || !res.Outcome.Allowed() {
+				verdict = "Unknown"
+			}
+			note = fmt.Sprintf("  Incomplete: %s", res.Reason)
+		}
+		fmt.Printf("%-40s %s  %-9s (%d/%d executions valid)%s\n",
+			res.Name, res.Model, verdict, res.Valid, res.Candidates, note)
+	}
 }
 
 func fatal(err error) {

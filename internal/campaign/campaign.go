@@ -1,0 +1,285 @@
+// Package campaign runs large batches of (litmus test, model) simulation
+// jobs the way the paper's evaluation does (Sec. 8: thousands of
+// diy-generated tests per table), but hardened: every job carries its own
+// enumeration budget and wall-clock timeout, a panicking model or checker
+// is contained to its job instead of taking down the batch, and jobs that
+// stop on budget pressure are retried once with a larger budget. The
+// result is a machine-readable report that distinguishes OK, Forbidden,
+// Incomplete, Panicked and Error — so one pathological test degrades one
+// row of a table, not the whole campaign.
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime/debug"
+	"time"
+
+	"herdcats/internal/exec"
+	"herdcats/internal/litmus"
+	"herdcats/internal/sim"
+)
+
+// Status classifies how one job ended.
+type Status string
+
+const (
+	// StatusOK: simulation completed and the test's condition is
+	// observable under the model (herd's "Allowed").
+	StatusOK Status = "OK"
+	// StatusForbidden: simulation completed and the condition is not
+	// observable (herd's "Forbidden").
+	StatusForbidden Status = "Forbidden"
+	// StatusIncomplete: the budget or timeout tripped; the result
+	// carries the partial outcome (states observed so far + reason).
+	StatusIncomplete Status = "Incomplete"
+	// StatusPanicked: the model/checker panicked; the panic was
+	// contained to this job and the stack captured.
+	StatusPanicked Status = "Panicked"
+	// StatusError: compilation or simulation failed outright.
+	StatusError Status = "Error"
+	// StatusSkipped: the job never ran (the campaign stopped early
+	// under Config.StopOnError or caller cancellation).
+	StatusSkipped Status = "Skipped"
+)
+
+// Job is one unit of campaign work: a litmus test simulated under a
+// model, or any custom function with the same shape.
+type Job struct {
+	Name  string
+	Test  *litmus.Test
+	Model sim.Checker
+
+	// Run, when set, replaces the default sim.RunCtx(Test, Model) body.
+	// It must honour ctx and the budget (incomplete work is reported via
+	// Outcome.Incomplete, hard failures via the error).
+	Run func(ctx context.Context, b exec.Budget) (*sim.Outcome, error)
+}
+
+// Config tunes a campaign. The zero value runs every job to completion on
+// GOMAXPROCS workers with unlimited budgets and one budget-retry.
+type Config struct {
+	Workers int           // pool size; <= 0 selects GOMAXPROCS
+	Timeout time.Duration // per-attempt wall clock (0 = none)
+	Budget  exec.Budget   // per-attempt enumeration budget
+
+	// Retries bounds the extra attempts granted to a job that comes
+	// back Incomplete under budget pressure; each retry scales the
+	// budget and timeout by BudgetGrowth. 0 means the default of 1;
+	// negative disables retrying.
+	Retries      int
+	BudgetGrowth int           // budget multiplier per retry; 0 means the default of 4
+	Backoff      time.Duration // pause before a retry; 0 means the default of 10ms
+
+	// StopOnError cancels the remaining jobs after the first Panicked
+	// or Error result (jobs never started are reported Skipped). The
+	// default — the fault-tolerant mode — keeps going.
+	StopOnError bool
+}
+
+func (c Config) retries() int {
+	if c.Retries < 0 {
+		return 0
+	}
+	if c.Retries == 0 {
+		return 1
+	}
+	return c.Retries
+}
+
+func (c Config) growth() int {
+	if c.BudgetGrowth <= 0 {
+		return 4
+	}
+	return c.BudgetGrowth
+}
+
+func (c Config) backoff() time.Duration {
+	if c.Backoff <= 0 {
+		return 10 * time.Millisecond
+	}
+	return c.Backoff
+}
+
+// JobResult records how one job ended. Outcome is kept for in-process
+// callers and omitted from the JSON report (States/Candidates/Valid carry
+// the machine-readable summary).
+type JobResult struct {
+	Name       string         `json:"name"`
+	Model      string         `json:"model,omitempty"`
+	Status     Status         `json:"status"`
+	Candidates int            `json:"candidates"`
+	Valid      int            `json:"valid"`
+	States     map[string]int `json:"states,omitempty"`
+	Reason     string         `json:"reason,omitempty"` // incomplete reason or error text
+	Stack      string         `json:"stack,omitempty"`  // captured panic stack
+	Attempts   int            `json:"attempts"`
+	ElapsedMS  int64          `json:"elapsed_ms"`
+
+	Outcome *sim.Outcome `json:"-"`
+}
+
+// Failed reports whether the job ended in a hard failure.
+func (r *JobResult) Failed() bool {
+	return r.Status == StatusPanicked || r.Status == StatusError
+}
+
+// Report is the JSON-serialisable summary of a campaign.
+type Report struct {
+	Jobs      []JobResult    `json:"jobs"`
+	Counts    map[Status]int `json:"counts"`
+	ElapsedMS int64          `json:"elapsed_ms"`
+}
+
+// Add appends a result (e.g. a pre-run failure synthesised by a caller)
+// and keeps the counts consistent.
+func (r *Report) Add(res JobResult) {
+	r.Jobs = append(r.Jobs, res)
+	if r.Counts == nil {
+		r.Counts = map[Status]int{}
+	}
+	r.Counts[res.Status]++
+}
+
+// Failures counts the jobs that ended Panicked or Error.
+func (r *Report) Failures() int {
+	return r.Counts[StatusPanicked] + r.Counts[StatusError]
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// errStop makes a failed job abort the pool under Config.StopOnError.
+var errStop = errors.New("campaign: stopping on first failure")
+
+// Run executes the jobs on a worker pool and never lets one job's failure
+// destroy another's result: panics are recovered per attempt, errors are
+// recorded per job, and (unless StopOnError) the pool keeps draining.
+// Results are returned in job order.
+func Run(ctx context.Context, cfg Config, jobs []Job) *Report {
+	start := time.Now()
+	results := make([]JobResult, len(jobs))
+	_ = ForEach(ctx, cfg.Workers, len(jobs), func(ctx context.Context, i int) error {
+		results[i] = runJob(ctx, cfg, jobs[i])
+		if cfg.StopOnError && results[i].Failed() {
+			return errStop
+		}
+		return nil
+	})
+	rep := &Report{Counts: map[Status]int{}}
+	for i, res := range results {
+		if res.Status == "" { // never started: pool stopped first
+			res.Name = jobs[i].Name
+			if jobs[i].Model != nil {
+				res.Model = jobs[i].Model.Name()
+			}
+			res.Status = StatusSkipped
+			res.Reason = "campaign stopped before this job ran"
+		}
+		rep.Add(res)
+	}
+	rep.ElapsedMS = time.Since(start).Milliseconds()
+	return rep
+}
+
+// runJob drives one job through its attempts. A job that comes back
+// Incomplete on budget pressure (not caller cancellation) is retried with
+// a budget scaled by cfg.growth(), after a short backoff — transient
+// pressure (a slightly-too-small bound) heals, truly pathological tests
+// settle as Incomplete with their partial outcome.
+func runJob(ctx context.Context, cfg Config, job Job) JobResult {
+	start := time.Now()
+	res := JobResult{Name: job.Name}
+	if job.Model != nil {
+		res.Model = job.Model.Name()
+	}
+	budget := cfg.Budget
+	timeout := cfg.Timeout
+	for attempt := 0; ; attempt++ {
+		res.Attempts++
+		out, err, stack := runAttempt(ctx, timeout, budget, job)
+		res.fill(out, err, stack)
+		retryable := res.Status == StatusIncomplete &&
+			ctx.Err() == nil && // the caller is not tearing the campaign down
+			attempt < cfg.retries()
+		if !retryable {
+			break
+		}
+		budget = budget.Scale(cfg.growth())
+		if timeout > 0 {
+			timeout *= time.Duration(cfg.growth())
+		}
+		select {
+		case <-time.After(cfg.backoff()):
+		case <-ctx.Done():
+		}
+	}
+	res.ElapsedMS = time.Since(start).Milliseconds()
+	return res
+}
+
+// runAttempt executes one attempt with panic containment: a panic in the
+// model, the checker or the enumeration surfaces as an error plus the
+// captured stack, never further.
+func runAttempt(ctx context.Context, timeout time.Duration, b exec.Budget, job Job) (out *sim.Outcome, err error, stack string) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = nil
+			err = fmt.Errorf("panic: %v", r)
+			stack = string(debug.Stack())
+		}
+	}()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	if job.Run != nil {
+		out, err = job.Run(ctx, b)
+		return out, err, ""
+	}
+	out, err = sim.RunCtx(ctx, job.Test, job.Model, b)
+	return out, err, ""
+}
+
+// fill classifies one attempt's result into the JobResult.
+func (r *JobResult) fill(out *sim.Outcome, err error, stack string) {
+	r.Stack = stack
+	r.Outcome = out
+	r.Reason = ""
+	switch {
+	case stack != "":
+		r.Status = StatusPanicked
+		r.Reason = err.Error()
+	case err != nil:
+		r.Status = StatusError
+		r.Reason = err.Error()
+	case out == nil:
+		r.Status = StatusError
+		r.Reason = "job returned no outcome"
+	case out.Incomplete:
+		r.Status = StatusIncomplete
+		if out.Reason != nil {
+			r.Reason = out.Reason.Error()
+		}
+	case out.Allowed():
+		r.Status = StatusOK
+	default:
+		r.Status = StatusForbidden
+	}
+	if out != nil {
+		r.Candidates = out.Candidates
+		r.Valid = out.Valid
+		r.States = out.States
+		if r.Model == "" {
+			r.Model = out.Model
+		}
+	}
+}

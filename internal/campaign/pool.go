@@ -1,0 +1,74 @@
+package campaign
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn over 0..n-1 on a bounded worker pool. The first error
+// cancels the context handed to every in-flight call and stops new work
+// from being fed, so a cancellation-aware fn (anything built on
+// exec.EnumerateCtx) winds down promptly instead of running to
+// completion. workers <= 0 selects GOMAXPROCS. ForEach returns the first
+// error, or the context's error if the caller canceled it.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(ctx, i); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil { // don't race a ready worker against Done
+			break
+		}
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

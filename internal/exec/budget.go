@@ -1,0 +1,224 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// The enumeration of Sec. 3 is combinatorial: read-value vectors, rf maps
+// and per-location co orders multiply, and diy-generated corpora contain
+// tests whose candidate space exceeds any practical bound (the paper's
+// Tab. IV reports tests herd could not process). A Budget makes the search
+// interruptible: enumeration stops early, reporting the structured reason,
+// and every candidate yielded before the stop remains valid.
+
+// ErrBudgetExceeded is the sentinel matched (with errors.Is) by every
+// budget-exhaustion error returned from EnumerateCtx.
+var ErrBudgetExceeded = errors.New("enumeration budget exceeded")
+
+// ErrCanceled is the sentinel matched by errors returned when the caller's
+// context is canceled mid-search.
+var ErrCanceled = errors.New("enumeration canceled")
+
+// Budget bounds one enumeration. The zero value is unlimited.
+type Budget struct {
+	// MaxCandidates stops the search after this many candidates have
+	// been yielded (0 = unlimited). A search that stops here may or may
+	// not have had more candidates to find; it is reported incomplete.
+	MaxCandidates int
+
+	// MaxTracesPerThread truncates the per-thread control-flow trace
+	// enumeration (0 = unlimited). Truncation is reported as incomplete
+	// after the (partial) candidate space has been enumerated.
+	MaxTracesPerThread int
+
+	// Timeout is a wall-clock bound on the whole search (0 = none).
+	Timeout time.Duration
+}
+
+// Unlimited reports whether the budget imposes no bound at all.
+func (b Budget) Unlimited() bool {
+	return b.MaxCandidates == 0 && b.MaxTracesPerThread == 0 && b.Timeout == 0
+}
+
+// Scale multiplies every finite bound by f (for retry-with-larger-budget).
+func (b Budget) Scale(f int) Budget {
+	if f <= 1 {
+		return b
+	}
+	out := b
+	if b.MaxCandidates > 0 {
+		out.MaxCandidates = b.MaxCandidates * f
+	}
+	if b.MaxTracesPerThread > 0 {
+		out.MaxTracesPerThread = b.MaxTracesPerThread * f
+	}
+	if b.Timeout > 0 {
+		out.Timeout = b.Timeout * time.Duration(f)
+	}
+	return out
+}
+
+// LimitError reports which bound of a Budget tripped. It matches
+// ErrBudgetExceeded under errors.Is.
+type LimitError struct {
+	Limit      string // "candidates", "traces" or "timeout"
+	Max        int    // the configured bound (0 for "timeout")
+	Candidates int    // candidates yielded before the search stopped
+}
+
+func (e *LimitError) Error() string {
+	if e.Limit == "timeout" {
+		return fmt.Sprintf("enumeration budget exceeded: timeout after %d candidates", e.Candidates)
+	}
+	return fmt.Sprintf("enumeration budget exceeded: %s limit %d after %d candidates",
+		e.Limit, e.Max, e.Candidates)
+}
+
+func (e *LimitError) Is(target error) bool { return target == ErrBudgetExceeded }
+
+// CancelError reports a context cancellation observed mid-search. It
+// matches ErrCanceled under errors.Is and unwraps to the context's error.
+type CancelError struct {
+	Cause      error
+	Candidates int // candidates yielded before the search stopped
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("enumeration canceled after %d candidates: %v", e.Candidates, e.Cause)
+}
+
+func (e *CancelError) Is(target error) bool { return target == ErrCanceled }
+func (e *CancelError) Unwrap() error        { return e.Cause }
+
+// search carries the cancellation and accounting state of one EnumerateCtx
+// call through the nested recursions of the candidate enumeration.
+type search struct {
+	ctx      context.Context
+	b        Budget
+	deadline time.Time // zero if no wall-clock bound
+	yield    func(*Candidate) bool
+
+	cands   int   // candidates yielded so far
+	stopped bool  // stop the recursion (user stop, budget, or cancel)
+	err     error // non-nil iff stopped abnormally
+	tick    uint  // throttle for the deadline/cancellation checks
+}
+
+// halt stops the search abnormally, recording the reason. The first
+// reason wins.
+func (s *search) halt(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+	s.stopped = true
+}
+
+// alive reports whether the search may continue. Cancellation and the
+// wall clock are polled every 64th call to keep the inner loops cheap;
+// force makes the poll unconditional (used immediately before a yield, so
+// a cancellation is honoured within one candidate).
+func (s *search) alive(force bool) bool {
+	if s.stopped {
+		return false
+	}
+	s.tick++
+	if !force && s.tick&63 != 0 {
+		return true
+	}
+	select {
+	case <-s.ctx.Done():
+		s.halt(&CancelError{Cause: context.Cause(s.ctx), Candidates: s.cands})
+		return false
+	default:
+	}
+	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		s.halt(&LimitError{Limit: "timeout", Candidates: s.cands})
+		return false
+	}
+	return true
+}
+
+// emit hands one candidate to the caller and applies the candidate budget.
+// It returns false when the search must stop.
+func (s *search) emit(c *Candidate) bool {
+	if !s.alive(true) {
+		return false
+	}
+	s.cands++
+	if !s.yield(c) {
+		s.stopped = true // user stop: not an error
+		return false
+	}
+	if s.b.MaxCandidates > 0 && s.cands >= s.b.MaxCandidates {
+		s.halt(&LimitError{Limit: "candidates", Max: s.b.MaxCandidates, Candidates: s.cands})
+		return false
+	}
+	return true
+}
+
+// EnumerateCtx is Enumerate with cancellation and budgets: the search
+// stops as soon as ctx is canceled (within one yield) or a Budget bound
+// trips, returning an error matching ErrCanceled or ErrBudgetExceeded.
+// Candidates yielded before the stop are fully derived and remain valid,
+// so callers can report a partial outcome.
+func (p *Program) EnumerateCtx(ctx context.Context, b Budget, yield func(*Candidate) bool) error {
+	s := &search{ctx: ctx, b: b, yield: yield}
+	if b.Timeout > 0 {
+		s.deadline = time.Now().Add(b.Timeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (s.deadline.IsZero() || d.Before(s.deadline)) {
+		s.deadline = d
+	}
+	if !s.alive(true) { // already canceled or expired before the search starts
+		return s.err
+	}
+
+	allTraces := make([][]Trace, len(p.Threads))
+	truncated := false
+	for tid := range p.Threads {
+		ts, trunc, err := p.threadTraces(s, tid)
+		if err != nil {
+			return err
+		}
+		if s.err != nil {
+			return s.err
+		}
+		if len(ts) == 0 {
+			return fmt.Errorf("exec: thread %d has no feasible trace", tid)
+		}
+		allTraces[tid] = ts
+		truncated = truncated || trunc
+	}
+
+	// Cartesian product over per-thread traces.
+	choice := make([]int, len(p.Threads))
+	var product func(tid int) error
+	product = func(tid int) error {
+		if !s.alive(false) {
+			return nil
+		}
+		if tid == len(p.Threads) {
+			return p.expand(s, allTraces, choice)
+		}
+		for i := range allTraces[tid] {
+			choice[tid] = i
+			if err := product(tid + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := product(0); err != nil {
+		return err
+	}
+	if s.err != nil {
+		return s.err
+	}
+	if truncated {
+		return &LimitError{Limit: "traces", Max: b.MaxTracesPerThread, Candidates: s.cands}
+	}
+	return nil
+}

@@ -12,6 +12,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -224,6 +225,15 @@ type Trace struct {
 
 // ThreadTraces enumerates the traces of one thread over the value domain.
 func (p *Program) ThreadTraces(tid int) ([]Trace, error) {
+	ts, _, err := p.threadTraces(&search{ctx: context.Background()}, tid)
+	return ts, err
+}
+
+// threadTraces is ThreadTraces under a search: the recursion polls the
+// search's cancellation state, and MaxTracesPerThread truncates the result
+// (reported via the second return, not an error — the truncated trace set
+// still yields a sound partial candidate space).
+func (p *Program) threadTraces(s *search, tid int) ([]Trace, bool, error) {
 	regInit := map[string]int{}
 	for k, v := range p.Test.RegInit {
 		if k.Tid != tid {
@@ -231,17 +241,25 @@ func (p *Program) ThreadTraces(tid int) ([]Trace, error) {
 		}
 		enc, err := p.encode(v)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		regInit[k.Reg] = enc
 	}
 
 	var out []Trace
+	truncated := false
 	// vals is the read-value vector under construction; position i holds
 	// the value of the i-th dynamic read of the thread.
 	var vals []int
 	var rec func() error
 	rec = func() error {
+		if !s.alive(false) {
+			return nil
+		}
+		if s.b.MaxTracesPerThread > 0 && len(out) >= s.b.MaxTracesPerThread {
+			truncated = true
+			return nil
+		}
 		b := &isa.Builder{}
 		idx := 0
 		needMore := false
@@ -283,51 +301,21 @@ func (p *Program) ThreadTraces(tid int) ([]Trace, error) {
 		return nil
 	}
 	if err := rec(); err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return out, nil
+	return out, truncated, nil
 }
 
 // Enumerate yields every candidate execution of the test. The callback may
 // return false to stop early. Executions handed to yield are fully derived.
+// Use EnumerateCtx for a cancellable, budgeted search.
 func (p *Program) Enumerate(yield func(*Candidate) bool) error {
-	allTraces := make([][]Trace, len(p.Threads))
-	for tid := range p.Threads {
-		ts, err := p.ThreadTraces(tid)
-		if err != nil {
-			return err
-		}
-		if len(ts) == 0 {
-			return fmt.Errorf("exec: thread %d has no feasible trace", tid)
-		}
-		allTraces[tid] = ts
-	}
-
-	// Cartesian product over per-thread traces.
-	choice := make([]int, len(p.Threads))
-	stopped := false
-	var product func(tid int) error
-	product = func(tid int) error {
-		if stopped {
-			return nil
-		}
-		if tid == len(p.Threads) {
-			return p.expand(allTraces, choice, yield, &stopped)
-		}
-		for i := range allTraces[tid] {
-			choice[tid] = i
-			if err := product(tid + 1); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	return product(0)
+	return p.EnumerateCtx(context.Background(), Budget{}, yield)
 }
 
 // expand assembles the global event structure for one trace combination and
 // enumerates rf and co over it.
-func (p *Program) expand(allTraces [][]Trace, choice []int, yield func(*Candidate) bool, stopped *bool) error {
+func (p *Program) expand(s *search, allTraces [][]Trace, choice []int) error {
 	// Initial writes first: one per location, value from MemInit.
 	var evs []events.Event
 	initWriteOf := map[string]int{}
@@ -431,7 +419,7 @@ func (p *Program) expand(allTraces [][]Trace, choice []int, yield func(*Candidat
 	coPerm := map[string][]int{}
 
 	buildCandidate := func() error {
-		if *stopped {
+		if s.stopped {
 			return nil
 		}
 		cx := events.NewExecution(n)
@@ -461,14 +449,12 @@ func (p *Program) expand(allTraces [][]Trace, choice []int, yield func(*Candidat
 		}
 		cx.Derive()
 		state := &litmus.State{Regs: finalRegs, Mem: finalMem}
-		if !yield(&Candidate{X: cx, State: state}) {
-			*stopped = true
-		}
+		s.emit(&Candidate{X: cx, State: state})
 		return nil
 	}
 
 	enumerateCO = func(li int) error {
-		if *stopped {
+		if !s.alive(false) {
 			return nil
 		}
 		if li == len(locNames) {
@@ -487,7 +473,7 @@ func (p *Program) expand(allTraces [][]Trace, choice []int, yield func(*Candidat
 	}
 
 	enumerateRF = func(ri int) error {
-		if *stopped {
+		if !s.alive(false) {
 			return nil
 		}
 		if ri == len(reads) {

@@ -5,12 +5,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
 	"strings"
 	"sync"
 
+	"herdcats/internal/campaign"
 	"herdcats/internal/catalog"
 	"herdcats/internal/core"
 	"herdcats/internal/diy"
@@ -93,6 +95,7 @@ type Table5Row struct {
 	Tests   int
 	Invalid int // tests observed on hardware yet forbidden by the model
 	Unseen  int // tests allowed by the model yet never observed
+	Errors  int // tests that could not be processed (skipped, not fatal)
 }
 
 // Table5 reproduces Tab. V: corpus size, invalid and unseen counts for the
@@ -125,53 +128,64 @@ func Table5(minLen, maxLen, maxTests int) ([]Table5Row, error) {
 
 // confront runs every corpus test under the model and on every (distinct)
 // machine profile of the family, classifying tests as invalid/unseen.
-// Tests are independent, so the corpus is swept on a worker pool.
+// Tests are independent, so the corpus is swept on the campaign runner:
+// a test that panics or errors is counted in Errors and skipped, never
+// aborting the whole confrontation.
 func confront(c *Corpus, model models.Model, family hardware.Arch) (Table5Row, error) {
 	row := Table5Row{Arch: string(family), Model: model.Name(), Tests: len(c.Tests)}
 	profiles := machineProfiles(family)
-	var mu sync.Mutex
-	err := forEachParallel(len(c.Tests), func(i int) error {
-		t := c.Tests[i]
-		p, err := exec.Compile(t)
-		if err != nil {
-			return fmt.Errorf("%s: %v", t.Name, err)
-		}
-		out, err := sim.RunCompiled(p, model)
-		if err != nil {
-			return err
-		}
-		observed := false
-		for _, m := range profiles {
-			obs, err := m.RunCompiled(p)
+	observed := make([]bool, len(c.Tests))
+	jobs := make([]campaign.Job, len(c.Tests))
+	for i, t := range c.Tests {
+		i, t := i, t
+		jobs[i] = campaign.Job{Name: t.Name, Run: func(ctx context.Context, b exec.Budget) (*sim.Outcome, error) {
+			p, err := exec.Compile(t)
 			if err != nil {
-				return err
+				return nil, fmt.Errorf("%s: %v", t.Name, err)
 			}
-			if obs.CondObserved {
-				observed = true
-				break
+			out, err := sim.RunCompiledCtx(ctx, p, model, b)
+			if err != nil {
+				return nil, err
 			}
+			for _, m := range profiles {
+				obs, err := m.RunCompiled(p)
+				if err != nil {
+					return nil, err
+				}
+				if obs.CondObserved {
+					observed[i] = true
+					break
+				}
+			}
+			return out, nil
+		}}
+	}
+	rep := campaign.Run(context.Background(), campaign.Config{Retries: -1}, jobs)
+	for i, res := range rep.Jobs {
+		switch res.Status {
+		case campaign.StatusOK, campaign.StatusForbidden:
+			allowed := res.Status == campaign.StatusOK
+			switch {
+			case observed[i] && !allowed:
+				row.Invalid++
+			case !observed[i] && allowed:
+				row.Unseen++
+			}
+		default: // Error, Panicked, Incomplete, Skipped
+			row.Errors++
 		}
-		mu.Lock()
-		defer mu.Unlock()
-		switch {
-		case observed && !out.Allowed():
-			row.Invalid++
-		case !observed && out.Allowed():
-			row.Unseen++
-		}
-		return nil
-	})
-	return row, err
+	}
+	return row, nil
 }
 
 // RenderTable5 formats the rows like Tab. V.
 func RenderTable5(rows []Table5Row) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table V: model vs. hardware over generated corpora\n")
-	fmt.Fprintf(&b, "%-28s %8s %8s %8s\n", "model (hardware family)", "tests", "invalid", "unseen")
+	fmt.Fprintf(&b, "%-28s %8s %8s %8s %8s\n", "model (hardware family)", "tests", "invalid", "unseen", "errors")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-28s %8d %8d %8d\n",
-			fmt.Sprintf("%s (%s)", r.Model, r.Arch), r.Tests, r.Invalid, r.Unseen)
+		fmt.Fprintf(&b, "%-28s %8d %8d %8d %8d\n",
+			fmt.Sprintf("%s (%s)", r.Model, r.Arch), r.Tests, r.Invalid, r.Unseen, r.Errors)
 	}
 	return b.String()
 }
@@ -300,14 +314,28 @@ func Table8(minLen, maxLen, maxTests int) ([]Table8Row, error) {
 	}
 	checkers := []models.Model{models.PowerARM, models.ARMllh}
 
+	// The sweep survives a single bad test: per-test panics and errors
+	// are contained here and counted, and cancellation (should a caller
+	// ever wrap this in a deadline) propagates into the enumeration.
 	var mu sync.Mutex
-	err := forEachParallel(len(corpus.Tests), func(ti int) error {
+	skipped := 0
+	err := campaign.ForEach(context.Background(), 0, len(corpus.Tests), func(ctx context.Context, ti int) error {
+		defer func() {
+			if r := recover(); r != nil {
+				mu.Lock()
+				skipped++
+				mu.Unlock()
+			}
+		}()
 		t := corpus.Tests[ti]
 		p, err := exec.Compile(t)
 		if err != nil {
-			return fmt.Errorf("%s: %v", t.Name, err)
+			mu.Lock()
+			skipped++
+			mu.Unlock()
+			return nil
 		}
-		return p.Enumerate(func(c *exec.Candidate) bool {
+		return p.EnumerateCtx(ctx, exec.Budget{}, func(c *exec.Candidate) bool {
 			observed := false
 			for _, m := range profiles {
 				if m.ObservesTest(c.X, t.Name) {

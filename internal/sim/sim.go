@@ -5,6 +5,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -44,6 +46,16 @@ type Outcome struct {
 	// test's condition.
 	CondObserved bool
 
+	// Incomplete is true when enumeration stopped before exhausting the
+	// candidate space — the budget tripped or the context was canceled.
+	// Counters and States then cover only the candidates visited;
+	// CondObserved and the quantifier verdicts are lower bounds.
+	Incomplete bool
+
+	// Reason explains an incomplete outcome; it matches
+	// exec.ErrBudgetExceeded or exec.ErrCanceled under errors.Is.
+	Reason error
+
 	// violations counts valid executions whose final state fails the
 	// condition (needed for the ForAll verdict).
 	violations int
@@ -69,20 +81,32 @@ func (o *Outcome) OK() bool {
 
 // Run simulates test under model. It visits every candidate execution.
 func Run(test *litmus.Test, model Checker) (*Outcome, error) {
+	return RunCtx(context.Background(), test, model, exec.Budget{})
+}
+
+// RunCtx simulates test under model with cancellation and budgets. When
+// the budget trips or ctx is canceled mid-search, the partial outcome is
+// returned (not an error) with Incomplete set and Reason explaining why.
+func RunCtx(ctx context.Context, test *litmus.Test, model Checker, b exec.Budget) (*Outcome, error) {
 	p, err := exec.Compile(test)
 	if err != nil {
 		return nil, err
 	}
-	return RunCompiled(p, model)
+	return RunCompiledCtx(ctx, p, model, b)
 }
 
 // RunCompiled simulates an already-compiled program under model.
 func RunCompiled(p *exec.Program, model Checker) (*Outcome, error) {
+	return RunCompiledCtx(context.Background(), p, model, exec.Budget{})
+}
+
+// RunCompiledCtx is RunCtx for an already-compiled program.
+func RunCompiledCtx(ctx context.Context, p *exec.Program, model Checker, b exec.Budget) (*Outcome, error) {
 	out := &Outcome{
 		Test: p.Test, Model: model.Name(),
 		States: map[string]int{}, FailedBy: map[string]int{},
 	}
-	err := p.Enumerate(func(c *exec.Candidate) bool {
+	err := p.EnumerateCtx(ctx, b, func(c *exec.Candidate) bool {
 		out.Candidates++
 		res := model.Check(c.X)
 		if !res.Valid {
@@ -102,6 +126,11 @@ func RunCompiled(p *exec.Program, model Checker) (*Outcome, error) {
 		return true
 	})
 	if err != nil {
+		if errors.Is(err, exec.ErrBudgetExceeded) || errors.Is(err, exec.ErrCanceled) {
+			out.Incomplete = true
+			out.Reason = err
+			return out, nil
+		}
 		return nil, err
 	}
 	return out, nil
@@ -132,6 +161,9 @@ func (o *Outcome) String() string {
 			fmt.Fprintf(&b, " %s:%d", k, o.FailedBy[k])
 		}
 		b.WriteByte('\n')
+	}
+	if o.Incomplete {
+		fmt.Fprintf(&b, "Incomplete (%v)\n", o.Reason)
 	}
 	verdict := "No"
 	if o.OK() {

@@ -1,10 +1,14 @@
 package sim_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"herdcats/internal/catalog"
+	"herdcats/internal/exec"
 	"herdcats/internal/litmus"
 	"herdcats/internal/models"
 	"herdcats/internal/sim"
@@ -73,6 +77,67 @@ func TestStatesHistogram(t *testing.T) {
 	}
 	if outP.Candidates != 4 || outP.Valid != 4 {
 		t.Errorf("counters: %d/%d", outP.Valid, outP.Candidates)
+	}
+}
+
+// TestIncompleteOutcome is the paper's Tab. IV situation in miniature: a
+// test whose candidate space explodes must, under a tiny budget, come back
+// promptly as a partial outcome — the states observed so far plus a
+// structured reason — instead of wedging the simulator.
+func TestIncompleteOutcome(t *testing.T) {
+	// The reads sit on a store-free third thread so that early candidates
+	// are model-valid and the partial state histogram is populated.
+	src := `PPC pathological
+{ 0:r1=x; 1:r1=x; 2:r1=x; }
+ P0 | P1 | P2 ;
+ li r2,1 | li r2,5 | lwz r3,0(r1) ;
+ stw r2,0(r1) | stw r2,0(r1) | lwz r4,0(r1) ;
+ li r2,2 | li r2,6 | li r5,0 ;
+ stw r2,0(r1) | stw r2,0(r1) | li r5,0 ;
+ li r2,3 | li r2,7 | li r5,0 ;
+ stw r2,0(r1) | stw r2,0(r1) | li r5,0 ;
+ li r2,4 | li r2,4 | li r5,0 ;
+ stw r2,0(r1) | stw r2,0(r1) | li r5,0 ;
+exists (2:r3=1 /\ 2:r4=2)`
+	test := litmus.MustParse(src)
+	start := time.Now()
+	out, err := sim.RunCtx(context.Background(), test, models.SC,
+		exec.Budget{MaxCandidates: 100, Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("budgeted run took %v, want prompt termination", elapsed)
+	}
+	if !out.Incomplete {
+		t.Fatal("outcome should be Incomplete under a 100-candidate budget")
+	}
+	if !errors.Is(out.Reason, exec.ErrBudgetExceeded) {
+		t.Errorf("Reason = %v, want ErrBudgetExceeded", out.Reason)
+	}
+	if out.Candidates != 100 {
+		t.Errorf("visited %d candidates, want exactly the budget of 100", out.Candidates)
+	}
+	if len(out.States) == 0 {
+		t.Error("partial outcome should carry the states observed so far")
+	}
+	if !strings.Contains(out.String(), "Incomplete") {
+		t.Errorf("String() should flag incompleteness:\n%s", out)
+	}
+}
+
+// TestCanceledRun: cancelling the context mid-run surfaces as an
+// Incomplete outcome with a cancellation reason, not as a hard error.
+func TestCanceledRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e, _ := catalog.ByName("mp")
+	out, err := sim.RunCtx(ctx, e.Test(), models.SC, exec.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Incomplete || !errors.Is(out.Reason, exec.ErrCanceled) {
+		t.Errorf("outcome = Incomplete:%v Reason:%v, want canceled", out.Incomplete, out.Reason)
 	}
 }
 
