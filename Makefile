@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race ci
+.PHONY: build test vet race ci serve
 
 build:
 	$(GO) build ./...
@@ -18,3 +18,8 @@ race:
 	$(GO) test -race ./...
 
 ci: vet test race
+
+# The litmus-simulation service (cmd/herdd): HTTP verdicts with a
+# content-addressed cache. See the "herdd" section of README.md.
+serve:
+	$(GO) run ./cmd/herdd

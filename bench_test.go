@@ -5,6 +5,10 @@
 package herdcats_bench
 
 import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"herdcats/internal/bmc"
@@ -19,6 +23,7 @@ import (
 	"herdcats/internal/mole"
 	"herdcats/internal/multi"
 	"herdcats/internal/opsim"
+	"herdcats/internal/serve"
 	"herdcats/internal/sim"
 )
 
@@ -292,5 +297,60 @@ func BenchmarkCheckCatPower(b *testing.B) {
 		for _, c := range cands {
 			m.Check(c.X)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Serving layer (cmd/herdd): the warm path — a content-addressed cache hit
+// — against the cold path that parses, compiles and enumerates. The
+// acceptance bar is a >= 10x speedup for a repeated verdict.
+
+// serveRunBody builds the /v1/run request for a catalogued test.
+func serveRunBody(b *testing.B, model string) []byte {
+	e, ok := catalog.ByName("iriw")
+	if !ok {
+		b.Fatal("catalogue has no iriw test")
+	}
+	body, err := json.Marshal(serve.RunRequest{
+		Litmus: e.Source,
+		Model:  serve.ModelSpec{Name: model},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
+}
+
+// servePost drives one request through the handler without a network.
+func servePost(b *testing.B, h http.Handler, body []byte) {
+	req := httptest.NewRequest(http.MethodPost, "/v1/run", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+}
+
+func BenchmarkServeWarmCache(b *testing.B) {
+	s := serve.New(serve.Config{})
+	h := s.Handler()
+	body := serveRunBody(b, "power")
+	servePost(b, h, body) // populate the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		servePost(b, h, body)
+	}
+}
+
+func BenchmarkServeColdCache(b *testing.B) {
+	body := serveRunBody(b, "power")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh server per iteration: every request misses and pays the
+		// full parse + compile + enumerate + check pipeline.
+		s := serve.New(serve.Config{})
+		servePost(b, s.Handler(), body)
 	}
 }

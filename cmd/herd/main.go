@@ -30,6 +30,7 @@ import (
 	"herdcats/internal/dot"
 	"herdcats/internal/exec"
 	"herdcats/internal/litmus"
+	"herdcats/internal/memo"
 	"herdcats/internal/sim"
 )
 
@@ -76,6 +77,12 @@ func main() {
 		checker = m
 	}
 
+	// Every simulation goes through a verdict cache (internal/memo): the
+	// same file listed twice — or two files holding the same test — is
+	// simulated once, and the -dot/-explain passes reuse the batch's
+	// compiled programs instead of recompiling.
+	cache := memo.New(0)
+
 	// An unreadable or unparsable file becomes an Error job rather than
 	// aborting the run: the remaining files still simulate, and the
 	// failure is reported in order, in text and in the JSON report.
@@ -94,7 +101,11 @@ func main() {
 			continue
 		}
 		tests[i] = test
-		jobs[i] = campaign.Job{Name: test.Name, Test: test, Model: checker}
+		jobs[i] = campaign.Job{Name: test.Name, Model: checker,
+			Run: func(ctx context.Context, b exec.Budget) (*sim.Outcome, error) {
+				out, _, err := cache.Run(ctx, test, checker, b)
+				return out, err
+			}}
 	}
 
 	cfg := campaign.Config{
@@ -126,14 +137,20 @@ func main() {
 			if tests[i] == nil || res.Failed() || res.Status == campaign.StatusSkipped {
 				continue
 			}
+			p, err := cache.Program(tests[i])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "herd: %s: %v\n", flag.Arg(i), err)
+				exit = 1
+				continue
+			}
 			if *dotDir != "" {
-				if err := writeDot(*dotDir, tests[i]); err != nil {
+				if err := writeDot(*dotDir, tests[i], p); err != nil {
 					fmt.Fprintf(os.Stderr, "herd: %s: %v\n", flag.Arg(i), err)
 					exit = 1
 				}
 			}
 			if *explain && res.Status == campaign.StatusForbidden {
-				if err := explainTest(tests[i], checker); err != nil {
+				if err := explainTest(tests[i], p, checker); err != nil {
 					fmt.Fprintf(os.Stderr, "herd: %s: %v\n", flag.Arg(i), err)
 					exit = 1
 				}
@@ -187,18 +204,15 @@ func fatal(err error) {
 }
 
 // explainTest prints, for the first candidate execution satisfying the
-// test's condition, the checks it violates and their witness cycles.
-func explainTest(test *litmus.Test, checker sim.Checker) error {
+// test's condition, the checks it violates and their witness cycles. The
+// program comes pre-compiled from the batch's cache.
+func explainTest(test *litmus.Test, p *exec.Program, checker sim.Checker) error {
 	catModel, ok := checker.(*cat.Model)
 	if !ok {
 		return fmt.Errorf("-explain requires a cat model")
 	}
-	p, err := exec.Compile(test)
-	if err != nil {
-		return err
-	}
 	found := false
-	err = p.Enumerate(func(c *exec.Candidate) bool {
+	err := p.Enumerate(func(c *exec.Candidate) bool {
 		if test.Cond != nil && !test.Cond.Eval(c.State) {
 			return true
 		}
@@ -231,17 +245,14 @@ func explainTest(test *litmus.Test, checker sim.Checker) error {
 
 // writeDot renders the first candidate execution satisfying the test's
 // condition (the behaviour the test asks about) as a Graphviz file, in the
-// style of the paper's figures.
-func writeDot(dir string, test *litmus.Test) error {
+// style of the paper's figures. The program comes pre-compiled from the
+// batch's cache.
+func writeDot(dir string, test *litmus.Test, p *exec.Program) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	p, err := exec.Compile(test)
-	if err != nil {
-		return err
-	}
 	var rendered string
-	err = p.Enumerate(func(c *exec.Candidate) bool {
+	err := p.Enumerate(func(c *exec.Candidate) bool {
 		if test.Cond == nil || test.Cond.Eval(c.State) {
 			rendered = dot.Render(test.Name, c.X)
 			return false

@@ -1,0 +1,72 @@
+// Command herdd is the litmus-simulation service: herd's verdict
+// computation behind a long-running HTTP API, with a content-addressed
+// verdict cache and request deduplication (internal/memo, internal/serve).
+// Where cmd/herd re-parses, re-compiles and re-enumerates on every
+// invocation, herdd answers a repeated (test, model, budget) query from
+// memory and collapses concurrent identical queries into one simulation.
+//
+// Usage:
+//
+//	herdd [-addr :8787] [-j 0] [-cache-entries 4096] [-timeout 30s]
+//
+// Endpoints and metrics are documented in README.md ("herdd: the verdict
+// service"). SIGINT/SIGTERM drain in-flight requests before the process
+// exits; a second signal, or an expired drain, force-closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"herdcats/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8787", "listen address")
+	workers := flag.Int("j", 0, "simulations run in parallel per /v1/batch request (0 = GOMAXPROCS)")
+	cacheEntries := flag.Int("cache-entries", 4096, "entries kept per cache layer (verdicts, compiled tests, compiled models)")
+	timeout := flag.Duration("timeout", 30*time.Second, "hard wall-clock cap on one simulation (0 = uncapped)")
+	drain := flag.Duration("drain", 15*time.Second, "grace period for in-flight requests on shutdown")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Workers:       *workers,
+		CacheEntries:  *cacheEntries,
+		MaxSimTimeout: *timeout,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	log.Printf("herdd: listening on %s (workers=%d cache-entries=%d sim-timeout=%s)",
+		*addr, *workers, *cacheEntries, *timeout)
+
+	select {
+	case err := <-errc:
+		// The listener died on its own (e.g. the port was taken).
+		log.Fatalf("herdd: %v", err)
+	case <-ctx.Done():
+	}
+
+	stop() // a second signal now kills the process the default way
+	log.Printf("herdd: draining in-flight requests (up to %s)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("herdd: drain expired, closing: %v", err)
+		_ = srv.Close()
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("herdd: %v", err)
+	}
+	log.Print("herdd: bye")
+}

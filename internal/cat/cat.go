@@ -1,6 +1,7 @@
 package cat
 
 import (
+	"crypto/sha256"
 	"fmt"
 
 	"herdcats/internal/core"
@@ -89,11 +90,18 @@ type sCheck struct {
 // Model is a compiled cat model; it implements the simulator's Checker.
 type Model struct {
 	name  string
+	fp    string // sha256 of the source, the model's content identity
 	stmts []stmt
 }
 
 // Name returns the model's declared name.
 func (m *Model) Name() string { return m.name }
+
+// Fingerprint returns the hex SHA-256 of the model's source text. Two
+// models compiled from byte-identical sources share a fingerprint even if
+// they declare the same name, so caches (internal/memo) can use it as the
+// model's identity instead of the ambiguous declared name.
+func (m *Model) Fingerprint() string { return m.fp }
 
 // --- Parser ------------------------------------------------------------
 
@@ -125,7 +133,7 @@ func Compile(src string) (*Model, error) {
 		return nil, err
 	}
 	p := &parser{toks: toks}
-	m := &Model{name: "cat-model"}
+	m := &Model{name: "cat-model", fp: fmt.Sprintf("%x", sha256.Sum256([]byte(src)))}
 
 	// Optional leading model name: a bare identifier or string on its own.
 	if p.at(tokString) {

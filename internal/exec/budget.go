@@ -38,6 +38,14 @@ type Budget struct {
 	Timeout time.Duration
 }
 
+// Key renders the budget canonically for content-addressed caching
+// (internal/memo): two budgets with equal bounds have equal keys. The
+// wall-clock Timeout participates because an outcome truncated by it is a
+// different (and non-reproducible) artifact from an unbounded one.
+func (b Budget) Key() string {
+	return fmt.Sprintf("candidates=%d;traces=%d;timeout=%d", b.MaxCandidates, b.MaxTracesPerThread, int64(b.Timeout))
+}
+
 // Unlimited reports whether the budget imposes no bound at all.
 func (b Budget) Unlimited() bool {
 	return b.MaxCandidates == 0 && b.MaxTracesPerThread == 0 && b.Timeout == 0

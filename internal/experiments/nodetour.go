@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,7 +9,6 @@ import (
 	"herdcats/internal/exec"
 	"herdcats/internal/litmus"
 	"herdcats/internal/models"
-	"herdcats/internal/sim"
 )
 
 // NoDetourRow reports the Sec. 8.2 ablation for one architecture: how many
@@ -51,15 +51,15 @@ func NoDetour(minLen, maxLen, maxTests int) ([]NoDetourRow, error) {
 		}
 		row := NoDetourRow{Arch: string(cfg.arch), Tests: len(corpus.Tests)}
 		for _, t := range corpus.Tests {
-			p, err := exec.Compile(t)
+			// Both model variants run through the sweep cache: they share
+			// one compiled program per test, and a corpus test already
+			// checked under the same variant (e.g. a catalogue test that
+			// also appeared in Table V) is a verdict-cache hit.
+			fullOut, _, err := sweepCache.Run(context.Background(), t, cfg.full, exec.Budget{})
 			if err != nil {
 				return nil, fmt.Errorf("%s: %v", t.Name, err)
 			}
-			fullOut, err := sim.RunCompiled(p, cfg.full)
-			if err != nil {
-				return nil, err
-			}
-			staticOut, err := sim.RunCompiled(p, cfg.static)
+			staticOut, _, err := sweepCache.Run(context.Background(), t, cfg.static, exec.Budget{})
 			if err != nil {
 				return nil, err
 			}

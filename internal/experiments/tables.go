@@ -19,9 +19,17 @@ import (
 	"herdcats/internal/exec"
 	"herdcats/internal/hardware"
 	"herdcats/internal/litmus"
+	"herdcats/internal/memo"
 	"herdcats/internal/models"
 	"herdcats/internal/sim"
 )
+
+// sweepCache memoises compiled programs and verdicts across every table
+// and ablation in the process: the nodetour ablation re-checks one corpus
+// under model variants, and Table V confronts the same ARM corpus with two
+// models, so repeated (test, model) pairs are served from memory instead
+// of re-enumerating and every model shares one compiled program per test.
+var sweepCache = memo.New(0)
 
 // Corpus is a generated set of litmus tests for one architecture.
 type Corpus struct {
@@ -139,11 +147,11 @@ func confront(c *Corpus, model models.Model, family hardware.Arch) (Table5Row, e
 	for i, t := range c.Tests {
 		i, t := i, t
 		jobs[i] = campaign.Job{Name: t.Name, Run: func(ctx context.Context, b exec.Budget) (*sim.Outcome, error) {
-			p, err := exec.Compile(t)
+			p, err := sweepCache.Program(t)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %v", t.Name, err)
 			}
-			out, err := sim.RunCompiledCtx(ctx, p, model, b)
+			out, _, err := sweepCache.Run(ctx, t, model, b)
 			if err != nil {
 				return nil, err
 			}
@@ -231,7 +239,7 @@ exists (0:r1=1 /\ 0:r2=0)`}
 			}
 		}
 		test := entry.Test()
-		out, err := sim.Run(test, models.PowerARM)
+		out, _, err := sweepCache.Run(context.Background(), test, models.PowerARM, exec.Budget{})
 		if err != nil {
 			return nil, err
 		}

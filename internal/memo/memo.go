@@ -1,0 +1,316 @@
+// Package memo is the content-addressed verdict cache behind the serving
+// layer (cmd/herdd) and the experiment sweeps: a (litmus test, model,
+// budget) triple is a pure function of its inputs, so its simulation
+// outcome can be addressed by the SHA-256 of a canonical rendering of those
+// inputs and computed exactly once.
+//
+// The cache has three layers, each LRU-bounded and instrumented:
+//
+//   - verdicts: key → *sim.Outcome, the expensive product;
+//   - programs: canonical test → *exec.Program, so distinct models share
+//     one compiled test;
+//   - models: cat source → *cat.Model, so inline model sources are
+//     compiled once.
+//
+// Concurrent identical requests are deduplicated with a stdlib-only
+// singleflight: the first caller (the leader) simulates, every concurrent
+// duplicate waits on the leader's result, and the counters record exactly
+// how the work was shared (Misses = simulations started, Waits = joins on
+// an in-flight simulation, Hits = served from the finished cache).
+//
+// Cached values are shared, not copied: treat a returned *sim.Outcome,
+// *exec.Program or *cat.Model as immutable.
+package memo
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"sync"
+
+	"herdcats/internal/cat"
+	"herdcats/internal/exec"
+	"herdcats/internal/litmus"
+	"herdcats/internal/sim"
+)
+
+// DefaultMaxEntries bounds each cache layer when New is given no bound.
+const DefaultMaxEntries = 4096
+
+// Fingerprinter is implemented by checkers whose identity is their content
+// (cat.Model hashes its source); checkers without it are identified by
+// Name, which must then be unique per behaviour (internal/models is).
+type Fingerprinter interface {
+	Fingerprint() string
+}
+
+// ModelID derives the cache identity of a checker: the content fingerprint
+// when the checker provides one, its declared name otherwise.
+func ModelID(m sim.Checker) string {
+	if f, ok := m.(Fingerprinter); ok {
+		return "src:" + f.Fingerprint()
+	}
+	return "name:" + m.Name()
+}
+
+// CanonicalTest renders a test in the normalised litmus syntax, so sources
+// differing only in comments, whitespace or initialisation order map to
+// the same cache key.
+func CanonicalTest(t *litmus.Test) string { return t.String() }
+
+// Key is the content address of a verdict: the hex SHA-256 over the
+// length-prefixed canonical test, model identity and budget key.
+func Key(canonicalTest, modelID string, b exec.Budget) string {
+	h := sha256.New()
+	for _, field := range []string{canonicalTest, modelID, b.Key()} {
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], uint64(len(field)))
+		h.Write(n[:])
+		h.Write([]byte(field))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	// Verdict layer. Misses counts simulations actually started — the
+	// "singleflight counter": N concurrent identical requests cost one
+	// miss plus N-1 waits/hits.
+	Hits      uint64 `json:"hits"`
+	Waits     uint64 `json:"waits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+
+	// Intermediate layers.
+	ProgramHits   uint64 `json:"program_hits"`
+	ProgramMisses uint64 `json:"program_misses"`
+	ModelHits     uint64 `json:"model_hits"`
+	ModelMisses   uint64 `json:"model_misses"`
+
+	// Occupancy.
+	Entries  int `json:"entries"`  // verdicts resident
+	Inflight int `json:"inflight"` // simulations running right now
+}
+
+// Cache is a bounded, concurrency-safe verdict cache with request
+// deduplication. The zero value is not usable; call New.
+type Cache struct {
+	mu       sync.Mutex
+	verdicts *lruMap
+	programs *lruMap
+	models   *lruMap
+	inflight map[string]*call
+	stats    Stats
+}
+
+// call is one in-flight simulation; waiters block on done.
+type call struct {
+	done chan struct{}
+	out  *sim.Outcome
+	err  error
+}
+
+// New builds a cache; maxEntries bounds each layer (<= 0 selects
+// DefaultMaxEntries).
+func New(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	return &Cache{
+		verdicts: newLRUMap(maxEntries),
+		programs: newLRUMap(maxEntries),
+		models:   newLRUMap(maxEntries),
+		inflight: map[string]*call{},
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.verdicts.len()
+	s.Inflight = len(c.inflight)
+	return s
+}
+
+// Run simulates test under model with the given budget, through the cache:
+// a repeated triple is served from memory, a concurrent duplicate joins the
+// in-flight simulation, and only a genuinely new triple enumerates. The
+// boolean reports whether the outcome came from the cache or an in-flight
+// leader (true) rather than a simulation this call performed (false).
+func (c *Cache) Run(ctx context.Context, t *litmus.Test, model sim.Checker, b exec.Budget) (*sim.Outcome, bool, error) {
+	return c.RunKeyed(ctx, Key(CanonicalTest(t), ModelID(model), b), t, model, b)
+}
+
+// RunKeyed is Run for callers that have already computed the key (e.g. to
+// report it); key must equal Key(CanonicalTest(t), ModelID(model), b).
+func (c *Cache) RunKeyed(ctx context.Context, key string, t *litmus.Test, model sim.Checker, b exec.Budget) (*sim.Outcome, bool, error) {
+	c.mu.Lock()
+	if v, ok := c.verdicts.get(key); ok {
+		c.stats.Hits++
+		c.mu.Unlock()
+		return v.(*sim.Outcome), true, nil
+	}
+	if cl, ok := c.inflight[key]; ok {
+		c.stats.Waits++
+		c.mu.Unlock()
+		select {
+		case <-cl.done:
+			return cl.out, true, cl.err
+		case <-ctx.Done():
+			// The leader keeps simulating for the other waiters; only
+			// this caller gives up.
+			return nil, false, context.Cause(ctx)
+		}
+	}
+	cl := &call{done: make(chan struct{})}
+	c.inflight[key] = cl
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	out, err := c.simulate(ctx, t, model, b)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if err == nil && cacheable(out) {
+		c.stats.Evictions += uint64(c.verdicts.add(key, out))
+	}
+	c.mu.Unlock()
+
+	cl.out, cl.err = out, err
+	close(cl.done)
+	return out, false, err
+}
+
+// simulate runs the cold path, sharing the compiled program.
+func (c *Cache) simulate(ctx context.Context, t *litmus.Test, model sim.Checker, b exec.Budget) (*sim.Outcome, error) {
+	p, err := c.Program(t)
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunCompiledCtx(ctx, p, model, b)
+}
+
+// cacheable decides whether an outcome is a function of its key alone.
+// Complete outcomes are; so are outcomes truncated by the deterministic
+// bounds (candidate or trace limits — enumeration order is fixed). An
+// outcome truncated by the wall clock or a caller's cancellation depends
+// on scheduling, so it is returned but never stored.
+func cacheable(out *sim.Outcome) bool {
+	if out == nil {
+		return false
+	}
+	if !out.Incomplete {
+		return true
+	}
+	var lim *exec.LimitError
+	if errors.As(out.Reason, &lim) {
+		return lim.Limit == "candidates" || lim.Limit == "traces"
+	}
+	return false
+}
+
+// Program returns the compiled program for a test, memoised on the
+// canonical source so every model (and the dot/explain passes) shares one
+// compilation. Compile errors are not cached.
+func (c *Cache) Program(t *litmus.Test) (*exec.Program, error) {
+	key := sha256.Sum256([]byte(CanonicalTest(t)))
+	k := string(key[:])
+	c.mu.Lock()
+	if v, ok := c.programs.get(k); ok {
+		c.stats.ProgramHits++
+		c.mu.Unlock()
+		return v.(*exec.Program), nil
+	}
+	c.mu.Unlock()
+	// Compiling outside the lock keeps slow compiles from serialising the
+	// cache; a concurrent duplicate compile is rare and harmless (last
+	// writer wins, both programs are equivalent).
+	p, err := exec.Compile(t)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.stats.ProgramMisses++
+	c.programs.add(k, p)
+	c.mu.Unlock()
+	return p, nil
+}
+
+// Model compiles a cat model source, memoised on its SHA-256, so an inline
+// model shipped with every API request is compiled once. Compile errors
+// are not cached.
+func (c *Cache) Model(src string) (*cat.Model, error) {
+	key := sha256.Sum256([]byte(src))
+	k := string(key[:])
+	c.mu.Lock()
+	if v, ok := c.models.get(k); ok {
+		c.stats.ModelHits++
+		c.mu.Unlock()
+		return v.(*cat.Model), nil
+	}
+	c.mu.Unlock()
+	m, err := cat.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.stats.ModelMisses++
+	c.models.add(k, m)
+	c.mu.Unlock()
+	return m, nil
+}
+
+// --- bounded LRU -----------------------------------------------------------
+
+// lruMap is a string-keyed LRU map. Not safe for concurrent use; the Cache
+// serialises access under its mutex.
+type lruMap struct {
+	max   int
+	ll    *list.List // front = most recently used
+	byKey map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRUMap(max int) *lruMap {
+	return &lruMap{max: max, ll: list.New(), byKey: map[string]*list.Element{}}
+}
+
+func (m *lruMap) len() int { return m.ll.Len() }
+
+// get fetches a value and marks it most recently used.
+func (m *lruMap) get(key string) (any, bool) {
+	e, ok := m.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	m.ll.MoveToFront(e)
+	return e.Value.(*lruEntry).val, true
+}
+
+// add inserts (or refreshes) a value and returns how many entries were
+// evicted to stay within the bound.
+func (m *lruMap) add(key string, val any) int {
+	if e, ok := m.byKey[key]; ok {
+		e.Value.(*lruEntry).val = val
+		m.ll.MoveToFront(e)
+		return 0
+	}
+	m.byKey[key] = m.ll.PushFront(&lruEntry{key: key, val: val})
+	evicted := 0
+	for m.ll.Len() > m.max {
+		back := m.ll.Back()
+		m.ll.Remove(back)
+		delete(m.byKey, back.Value.(*lruEntry).key)
+		evicted++
+	}
+	return evicted
+}

@@ -1,0 +1,285 @@
+package memo_test
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"herdcats/internal/catalog"
+	"herdcats/internal/core"
+	"herdcats/internal/events"
+	"herdcats/internal/exec"
+	"herdcats/internal/litmus"
+	"herdcats/internal/memo"
+	"herdcats/internal/models"
+	"herdcats/internal/sim"
+)
+
+func mustTest(t *testing.T, name string) *litmus.Test {
+	t.Helper()
+	e, ok := catalog.ByName(name)
+	if !ok {
+		t.Fatalf("catalogue has no test %q", name)
+	}
+	return e.Test()
+}
+
+// TestKeyCanonicalisation: sources that parse to the same test share a key;
+// any input of the triple changing changes the key.
+func TestKeyCanonicalisation(t *testing.T) {
+	a := litmus.MustParse(`X86 sb
+{ }
+ P0 | P1 ;
+ MOV [x],$1 | MOV [y],$1 ;
+ MOV EAX,[y] | MOV EAX,[x] ;
+exists (0:EAX=0 /\ 1:EAX=0)`)
+	b := litmus.MustParse(`X86 sb   (* store buffering, reformatted *)
+{
+}
+ P0          | P1 ;
+ MOV [x],$1  | MOV [y],$1 ;
+ MOV EAX,[y] | MOV EAX,[x] ;
+exists (0:EAX=0 /\ 1:EAX=0)`)
+	if memo.CanonicalTest(a) != memo.CanonicalTest(b) {
+		t.Fatalf("canonical forms differ:\n%s\nvs\n%s", memo.CanonicalTest(a), memo.CanonicalTest(b))
+	}
+	base := memo.Key(memo.CanonicalTest(a), "name:TSO", exec.Budget{})
+	if got := memo.Key(memo.CanonicalTest(b), "name:TSO", exec.Budget{}); got != base {
+		t.Fatal("equivalent sources produced different keys")
+	}
+	if memo.Key(memo.CanonicalTest(a), "name:SC", exec.Budget{}) == base {
+		t.Fatal("model identity not part of the key")
+	}
+	if memo.Key(memo.CanonicalTest(a), "name:TSO", exec.Budget{MaxCandidates: 7}) == base {
+		t.Fatal("budget not part of the key")
+	}
+}
+
+// TestModelID: cat models are identified by content, native models by name.
+func TestModelID(t *testing.T) {
+	if id := memo.ModelID(models.TSO); id != "name:TSO" {
+		t.Fatalf("ModelID(TSO) = %q", id)
+	}
+	static := memo.ModelID(models.PowerStatic)
+	full := memo.ModelID(models.Power)
+	if static == full {
+		t.Fatalf("static and full Power models share identity %q", full)
+	}
+}
+
+// TestHitMissAndSharing: the second identical run is a hit and performs no
+// model work; distinct models share one compiled program.
+func TestHitMissAndSharing(t *testing.T) {
+	c := memo.New(0)
+	test := mustTest(t, "mp")
+	ctx := context.Background()
+
+	out1, cached, err := c.Run(ctx, test, models.Power, exec.Budget{})
+	if err != nil || cached {
+		t.Fatalf("first run: cached=%v err=%v", cached, err)
+	}
+	out2, cached, err := c.Run(ctx, test, models.Power, exec.Budget{})
+	if err != nil || !cached {
+		t.Fatalf("second run: cached=%v err=%v", cached, err)
+	}
+	if out1 != out2 {
+		t.Fatal("cached run returned a different outcome object")
+	}
+
+	// A different model on the same test must simulate again but reuse the
+	// compiled program.
+	if _, cached, err = c.Run(ctx, test, models.SC, exec.Budget{}); err != nil || cached {
+		t.Fatalf("distinct model: cached=%v err=%v", cached, err)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 2 || s.Waits != 0 {
+		t.Fatalf("stats = %+v, want hits=1 misses=2 waits=0", s)
+	}
+	if s.ProgramMisses != 1 || s.ProgramHits != 1 {
+		t.Fatalf("program stats = %+v, want one compile shared once", s)
+	}
+}
+
+// TestLRUEviction: the verdict layer stays within its bound and re-running
+// an evicted triple is a miss again.
+func TestLRUEviction(t *testing.T) {
+	c := memo.New(2)
+	ctx := context.Background()
+	names := []string{"coWW", "coWR", "coRW1"}
+	for _, n := range names {
+		if _, _, err := c.Run(ctx, mustTest(t, n), models.SC, exec.Budget{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Entries != 2 || s.Evictions != 1 {
+		t.Fatalf("stats = %+v, want entries=2 evictions=1", s)
+	}
+	// coWW was least recently used → evicted → miss again.
+	if _, cached, err := c.Run(ctx, mustTest(t, "coWW"), models.SC, exec.Budget{}); err != nil || cached {
+		t.Fatalf("evicted entry served from cache (cached=%v err=%v)", cached, err)
+	}
+}
+
+// TestDeterministicIncompleteCached: an outcome truncated by the candidate
+// budget is reproducible, so it is cached; a canceled run is not.
+func TestDeterministicIncompleteCached(t *testing.T) {
+	c := memo.New(0)
+	test := mustTest(t, "mp")
+	b := exec.Budget{MaxCandidates: 1}
+
+	out, _, err := c.Run(context.Background(), test, models.Power, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Incomplete {
+		t.Fatal("candidate budget of 1 should truncate mp")
+	}
+	if _, cached, _ := c.Run(context.Background(), test, models.Power, b); !cached {
+		t.Fatal("budget-truncated outcome was not cached")
+	}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, _, err = c.Run(canceled, test, models.Power, exec.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Incomplete {
+		t.Fatal("canceled run should be incomplete")
+	}
+	if _, cached, _ := c.Run(context.Background(), test, models.Power, exec.Budget{}); cached {
+		t.Fatal("canceled (non-reproducible) outcome was cached")
+	}
+}
+
+// TestModelMemoised: inline cat sources compile once per distinct source.
+func TestModelMemoised(t *testing.T) {
+	c := memo.New(0)
+	src := `demo
+let com = rf | co | fr
+acyclic po | com as sc`
+	m1, err := c.Model(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := c.Model(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatal("same source compiled twice")
+	}
+	if _, err := c.Model("not a model ("); err == nil {
+		t.Fatal("bad source must not compile")
+	}
+	s := c.Stats()
+	if s.ModelMisses != 1 || s.ModelHits != 1 {
+		t.Fatalf("model stats = %+v", s)
+	}
+}
+
+// gateChecker blocks its first Check call until released, so a test can
+// hold a simulation in flight while concurrent duplicates pile up.
+type gateChecker struct {
+	started chan struct{}
+	release chan struct{}
+	once    sync.Once
+	calls   atomic.Int64
+}
+
+func (g *gateChecker) Name() string { return "gate" }
+
+func (g *gateChecker) Check(*events.Execution) core.Result {
+	g.calls.Add(1)
+	g.once.Do(func() { close(g.started) })
+	<-g.release
+	return core.Result{Valid: true}
+}
+
+// TestSingleflightDeduplication is the dedup proof: N concurrent identical
+// requests perform exactly one simulation (Misses == 1) while the other
+// N-1 join the in-flight leader (Waits == N-1) and receive the same
+// outcome.
+func TestSingleflightDeduplication(t *testing.T) {
+	const n = 8
+	c := memo.New(0)
+	test := mustTest(t, "mp")
+	gate := &gateChecker{started: make(chan struct{}), release: make(chan struct{})}
+
+	outs := make([]*sim.Outcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, _, err := c.Run(context.Background(), test, gate, exec.Budget{})
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+			}
+			outs[i] = out
+		}(i)
+	}
+
+	<-gate.started // the leader is inside the simulation
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Stats().Waits != n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d duplicates joined the in-flight run", c.Stats().Waits, n-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate.release)
+	wg.Wait()
+
+	s := c.Stats()
+	if s.Misses != 1 {
+		t.Fatalf("singleflight counter: %d simulations, want exactly 1 (stats %+v)", s.Misses, s)
+	}
+	if s.Waits != n-1 || s.Hits != 0 {
+		t.Fatalf("stats = %+v, want waits=%d hits=0", s, n-1)
+	}
+	if s.Inflight != 0 {
+		t.Fatalf("inflight = %d after completion", s.Inflight)
+	}
+	for i := 1; i < n; i++ {
+		if outs[i] != outs[0] {
+			t.Fatalf("request %d received a different outcome", i)
+		}
+	}
+}
+
+// TestWaiterCancellation: a waiter whose context dies abandons the wait
+// with its context's error; the leader is unaffected.
+func TestWaiterCancellation(t *testing.T) {
+	c := memo.New(0)
+	test := mustTest(t, "mp")
+	gate := &gateChecker{started: make(chan struct{}), release: make(chan struct{})}
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Run(context.Background(), test, gate, exec.Budget{})
+		leaderDone <- err
+	}()
+	<-gate.started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Run(ctx, test, gate, exec.Budget{})
+		waiterDone <- err
+	}()
+	for c.Stats().Waits != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-waiterDone; err == nil {
+		t.Fatal("canceled waiter returned no error")
+	}
+	close(gate.release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader failed: %v", err)
+	}
+}

@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"herdcats/internal/campaign"
+	"herdcats/internal/cat"
+	"herdcats/internal/exec"
+	"herdcats/internal/litmus"
+	"herdcats/internal/memo"
+	"herdcats/internal/sim"
+)
+
+// ModelSpec selects the model of a request: exactly one of Name (a
+// built-in cat model, see GET /v1/models) or Cat (an inline cat source,
+// compiled once and memoised by content).
+type ModelSpec struct {
+	Name string `json:"name,omitempty"`
+	Cat  string `json:"cat,omitempty"`
+}
+
+func (m ModelSpec) validate() error {
+	switch {
+	case m.Name == "" && m.Cat == "":
+		return errors.New("model: one of name or cat is required")
+	case m.Name != "" && m.Cat != "":
+		return errors.New("model: name and cat are mutually exclusive")
+	}
+	return nil
+}
+
+// BudgetSpec maps onto exec.Budget; zero fields mean unlimited (subject to
+// the server's MaxSimTimeout cap).
+type BudgetSpec struct {
+	MaxCandidates      int   `json:"max_candidates,omitempty"`
+	MaxTracesPerThread int   `json:"max_traces_per_thread,omitempty"`
+	TimeoutMS          int64 `json:"timeout_ms,omitempty"`
+}
+
+func (b BudgetSpec) validate() error {
+	if b.MaxCandidates < 0 || b.MaxTracesPerThread < 0 || b.TimeoutMS < 0 {
+		return errors.New("budget: bounds must be non-negative")
+	}
+	return nil
+}
+
+// RunRequest is the body of POST /v1/run.
+type RunRequest struct {
+	Litmus string     `json:"litmus"`
+	Model  ModelSpec  `json:"model"`
+	Budget BudgetSpec `json:"budget"`
+}
+
+func (r *RunRequest) validate() error {
+	if strings.TrimSpace(r.Litmus) == "" {
+		return errors.New("litmus: a litmus test source is required")
+	}
+	if err := r.Model.validate(); err != nil {
+		return err
+	}
+	return r.Budget.validate()
+}
+
+// RunResponse is the body of a successful POST /v1/run.
+type RunResponse struct {
+	// Key is the verdict's content address (cache-key semantics are
+	// documented in README.md).
+	Key string `json:"key"`
+	// Cached is true when the verdict came from the cache or from an
+	// in-flight duplicate simulation rather than a fresh enumeration.
+	Cached    bool            `json:"cached"`
+	Verdict   string          `json:"verdict"` // "Allowed" | "Forbidden" | "Unknown"
+	Outcome   sim.OutcomeJSON `json:"outcome"`
+	ElapsedMS int64           `json:"elapsed_ms"`
+}
+
+// BatchRequest is the body of POST /v1/batch: many tests under one model
+// and budget, swept on the campaign pool.
+type BatchRequest struct {
+	Tests  []string   `json:"tests"`
+	Model  ModelSpec  `json:"model"`
+	Budget BudgetSpec `json:"budget"`
+}
+
+// BatchResponse is the body of a successful POST /v1/batch. Report.Jobs,
+// Cached and Keys are all in request order.
+type BatchResponse struct {
+	Report *campaign.Report `json:"report"`
+	Cached []bool           `json:"cached"`
+	Keys   []string         `json:"keys"`
+}
+
+// ModelInfo describes one built-in model in GET /v1/models.
+type ModelInfo struct {
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody decodes one JSON value into v, rejecting trailing garbage.
+// It never panics on malformed input (see fuzz_test.go).
+func decodeBody(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("body: trailing data after the request object")
+	}
+	return nil
+}
+
+// decodeStatus maps a decode error to its HTTP status: 413 when the body
+// limit tripped, 400 otherwise.
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// resolveModel turns a ModelSpec into a checker: built-ins come from the
+// embedded catalogue, inline sources from the content-addressed model
+// cache.
+func (s *Server) resolveModel(spec ModelSpec) (sim.Checker, int, error) {
+	if spec.Name != "" {
+		m, err := cat.Builtin(spec.Name)
+		if err != nil {
+			return nil, http.StatusNotFound, err
+		}
+		return m, 0, nil
+	}
+	m, err := s.cache.Model(spec.Cat)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	return m, 0, nil
+}
+
+// budget maps a BudgetSpec onto exec.Budget, clamping the wall clock to
+// the server's cap. The clamped budget is what enters the cache key, so
+// "no timeout" and "a timeout beyond the cap" address the same verdict.
+func (s *Server) budget(spec BudgetSpec) exec.Budget {
+	b := exec.Budget{
+		MaxCandidates:      spec.MaxCandidates,
+		MaxTracesPerThread: spec.MaxTracesPerThread,
+	}
+	if spec.TimeoutMS > 0 {
+		b.Timeout = time.Duration(spec.TimeoutMS) * time.Millisecond
+	}
+	if lim := s.cfg.MaxSimTimeout; lim > 0 && (b.Timeout == 0 || b.Timeout > lim) {
+		b.Timeout = lim
+	}
+	return b
+}
+
+// verdict folds an outcome into the API's three-valued verdict: an
+// incomplete search that never observed the condition cannot distinguish
+// Forbidden from not-yet-found.
+func verdict(out *sim.Outcome) string {
+	switch {
+	case out.Allowed():
+		return "Allowed"
+	case out.Incomplete:
+		return "Unknown"
+	default:
+		return "Forbidden"
+	}
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := decodeBody(http.MaxBytesReader(w, r.Body, s.cfg.maxRequestBytes()), &req); err != nil {
+		writeError(w, decodeStatus(err), "%v", err)
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	test, err := litmus.Parse(req.Litmus)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "litmus: %v", err)
+		return
+	}
+	checker, status, err := s.resolveModel(req.Model)
+	if err != nil {
+		writeError(w, status, "model: %v", err)
+		return
+	}
+	b := s.budget(req.Budget)
+	key := memo.Key(memo.CanonicalTest(test), memo.ModelID(checker), b)
+
+	start := time.Now()
+	out, cached, err := s.cache.RunKeyed(r.Context(), key, test, checker, b)
+	if err != nil {
+		// The inputs parsed but could not be simulated (e.g. an
+		// instruction the enumerator rejects): the client's data is at
+		// fault, not the service.
+		writeError(w, http.StatusUnprocessableEntity, "simulate: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RunResponse{
+		Key:       key,
+		Cached:    cached,
+		Verdict:   verdict(out),
+		Outcome:   out.JSON(),
+		ElapsedMS: time.Since(start).Milliseconds(),
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeBody(http.MaxBytesReader(w, r.Body, s.cfg.maxRequestBytes()), &req); err != nil {
+		writeError(w, decodeStatus(err), "%v", err)
+		return
+	}
+	if len(req.Tests) == 0 {
+		writeError(w, http.StatusBadRequest, "tests: at least one litmus source is required")
+		return
+	}
+	if len(req.Tests) > s.cfg.maxBatchTests() {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"tests: %d exceeds the batch limit of %d", len(req.Tests), s.cfg.maxBatchTests())
+		return
+	}
+	if err := req.Model.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := req.Budget.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	checker, status, err := s.resolveModel(req.Model)
+	if err != nil {
+		writeError(w, status, "model: %v", err)
+		return
+	}
+	b := s.budget(req.Budget)
+	modelID := memo.ModelID(checker)
+
+	// A test that fails to parse costs only its own row, like an
+	// unreadable file in a cmd/herd batch.
+	cached := make([]bool, len(req.Tests))
+	keys := make([]string, len(req.Tests))
+	jobs := make([]campaign.Job, len(req.Tests))
+	for i, src := range req.Tests {
+		i := i
+		test, perr := litmus.Parse(src)
+		if perr != nil {
+			perr := fmt.Errorf("litmus: %w", perr)
+			jobs[i] = campaign.Job{
+				Name: fmt.Sprintf("tests[%d]", i),
+				Run: func(context.Context, exec.Budget) (*sim.Outcome, error) {
+					return nil, perr
+				},
+			}
+			continue
+		}
+		keys[i] = memo.Key(memo.CanonicalTest(test), modelID, b)
+		jobs[i] = campaign.Job{
+			Name:  test.Name,
+			Model: checker,
+			Run: func(ctx context.Context, jb exec.Budget) (*sim.Outcome, error) {
+				out, hit, err := s.cache.RunKeyed(ctx, keys[i], test, checker, jb)
+				cached[i] = hit
+				return out, err
+			},
+		}
+	}
+	rep := campaign.Run(r.Context(), campaign.Config{
+		Workers: s.cfg.Workers,
+		Budget:  b,
+		Retries: -1, // the client's budget is a hard bound, and keys must match
+	}, jobs)
+	writeJSON(w, http.StatusOK, BatchResponse{Report: rep, Cached: cached, Keys: keys})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	names := cat.BuiltinNames()
+	infos := make([]ModelInfo, 0, len(names))
+	for _, n := range names {
+		m, err := cat.Builtin(n)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "model %s: %v", n, err)
+			return
+		}
+		infos = append(infos, ModelInfo{Name: n, Fingerprint: m.Fingerprint()})
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, "ok\n")
+}

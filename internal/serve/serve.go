@@ -1,0 +1,189 @@
+// Package serve is herdd's HTTP layer: a JSON API over the memoised
+// simulator (internal/memo) and the fault-tolerant campaign pool
+// (internal/campaign), so litmus verdicts can be served as a long-running
+// service instead of recomputed per process.
+//
+// Endpoints:
+//
+//	POST /v1/run     simulate one litmus test under one model
+//	POST /v1/batch   simulate many tests under one model on the worker pool
+//	GET  /v1/models  list the built-in cat models and their fingerprints
+//	GET  /healthz    liveness probe
+//	GET  /debug/vars expvar metrics (herdd_cache, herdd_http)
+//
+// Requests are bounded (body size, batch size, simulation wall clock),
+// malformed input is answered with a JSON error and a 4xx status, and
+// Shutdown drains in-flight requests before closing.
+package serve
+
+import (
+	"context"
+	"expvar"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"herdcats/internal/memo"
+)
+
+// Config tunes a Server. The zero value serves with the documented
+// defaults.
+type Config struct {
+	// Workers bounds the campaign pool used by /v1/batch
+	// (<= 0 selects GOMAXPROCS), mirroring herd's -j.
+	Workers int
+
+	// CacheEntries bounds each layer of the verdict cache
+	// (<= 0 selects memo.DefaultMaxEntries).
+	CacheEntries int
+
+	// MaxSimTimeout caps the wall clock of one simulation. A request
+	// asking for no timeout, or a longer one, is clamped to the cap
+	// (0 = uncapped; cmd/herdd defaults it to 30s).
+	MaxSimTimeout time.Duration
+
+	// MaxRequestBytes bounds a request body (<= 0 selects 1 MiB).
+	MaxRequestBytes int64
+
+	// MaxBatchTests bounds the tests of one /v1/batch request
+	// (<= 0 selects 256).
+	MaxBatchTests int
+}
+
+func (c Config) maxRequestBytes() int64 {
+	if c.MaxRequestBytes <= 0 {
+		return 1 << 20
+	}
+	return c.MaxRequestBytes
+}
+
+func (c Config) maxBatchTests() int {
+	if c.MaxBatchTests <= 0 {
+		return 256
+	}
+	return c.MaxBatchTests
+}
+
+// Server is the herdd HTTP service.
+type Server struct {
+	cfg   Config
+	cache *memo.Cache
+	mux   *http.ServeMux
+	http  *http.Server
+
+	requests atomic.Int64 // requests completed
+	errors   atomic.Int64 // requests answered with a 4xx/5xx status
+	inflight atomic.Int64 // requests being handled right now
+}
+
+// New builds a server and registers its expvar metrics.
+func New(cfg Config) *Server {
+	s := &Server{cfg: cfg, cache: memo.New(cfg.CacheEntries)}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.http = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	liveServer.Store(s)
+	publishExpvars()
+	return s
+}
+
+// Cache exposes the verdict cache (for stats and tests).
+func (s *Server) Cache() *memo.Cache { return s.cache }
+
+// Handler returns the service's HTTP handler (also usable without a
+// listening server, e.g. under httptest).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w}
+		s.mux.ServeHTTP(sw, r)
+		s.requests.Add(1)
+		if sw.status >= 400 {
+			s.errors.Add(1)
+		}
+	})
+}
+
+// ListenAndServe serves on addr until Shutdown or a listener error.
+func (s *Server) ListenAndServe(addr string) error {
+	s.http.Addr = addr
+	return s.http.ListenAndServe()
+}
+
+// Serve serves on an existing listener until Shutdown or an error.
+func (s *Server) Serve(ln net.Listener) error {
+	return s.http.Serve(ln)
+}
+
+// Shutdown gracefully stops the server: the listener closes immediately,
+// in-flight requests drain until ctx expires, then connections are forced
+// closed (http.Server.Shutdown semantics).
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.http.Shutdown(ctx)
+}
+
+// Close force-closes the server and its connections.
+func (s *Server) Close() error { return s.http.Close() }
+
+// statusWriter records the status code written by a handler.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// HTTPStats is the herdd_http expvar payload.
+type HTTPStats struct {
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	InFlight int64 `json:"in_flight"`
+}
+
+// expvar names are global per process; publish once, reading through the
+// most recently constructed server so tests building several servers do
+// not collide on registration.
+var (
+	expvarOnce sync.Once
+	liveServer atomic.Pointer[Server]
+)
+
+func publishExpvars() {
+	expvarOnce.Do(func() {
+		expvar.Publish("herdd_cache", expvar.Func(func() any {
+			if s := liveServer.Load(); s != nil {
+				return s.cache.Stats()
+			}
+			return memo.Stats{}
+		}))
+		expvar.Publish("herdd_http", expvar.Func(func() any {
+			if s := liveServer.Load(); s != nil {
+				return HTTPStats{
+					Requests: s.requests.Load(),
+					Errors:   s.errors.Load(),
+					InFlight: s.inflight.Load(),
+				}
+			}
+			return HTTPStats{}
+		}))
+	})
+}

@@ -6,6 +6,7 @@ package sim
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -134,6 +135,76 @@ func RunCompiledCtx(ctx context.Context, p *exec.Program, model Checker, b exec.
 		return nil, err
 	}
 	return out, nil
+}
+
+// StateCount is one row of the final-state histogram in the JSON encoding.
+type StateCount struct {
+	State string `json:"state"`
+	Count int    `json:"count"`
+}
+
+// CheckCount is one row of the failed-check histogram in the JSON encoding.
+type CheckCount struct {
+	Check string `json:"check"`
+	Count int    `json:"count"`
+}
+
+// OutcomeJSON is the deterministic wire form of an Outcome: histograms
+// are arrays sorted by key, the error reason is its text, and the embedded
+// test shrinks to its name and quantifier. It round-trips through
+// encoding/json, so API clients can decode it.
+type OutcomeJSON struct {
+	Test       string       `json:"test"`
+	Quantifier string       `json:"quantifier,omitempty"`
+	Model      string       `json:"model"`
+	Candidates int          `json:"candidates"`
+	Valid      int          `json:"valid"`
+	States     []StateCount `json:"states"`
+	FailedBy   []CheckCount `json:"failed_by,omitempty"`
+	Allowed    bool         `json:"allowed"`
+	OK         bool         `json:"ok"`
+	Incomplete bool         `json:"incomplete,omitempty"`
+	Reason     string       `json:"reason,omitempty"`
+}
+
+// JSON converts the outcome to its wire form.
+func (o *Outcome) JSON() OutcomeJSON {
+	states := make([]StateCount, 0, len(o.States))
+	for k, n := range o.States {
+		states = append(states, StateCount{State: k, Count: n})
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i].State < states[j].State })
+	failed := make([]CheckCount, 0, len(o.FailedBy))
+	for k, n := range o.FailedBy {
+		failed = append(failed, CheckCount{Check: k, Count: n})
+	}
+	sort.Slice(failed, func(i, j int) bool { return failed[i].Check < failed[j].Check })
+
+	v := OutcomeJSON{
+		Model:      o.Model,
+		Candidates: o.Candidates,
+		Valid:      o.Valid,
+		States:     states,
+		FailedBy:   failed,
+		Allowed:    o.Allowed(),
+		Incomplete: o.Incomplete,
+	}
+	if o.Test != nil {
+		v.Test = o.Test.Name
+		v.Quantifier = o.Test.Quant.String()
+		v.OK = o.OK()
+	}
+	if o.Reason != nil {
+		v.Reason = o.Reason.Error()
+	}
+	return v
+}
+
+// MarshalJSON renders the outcome deterministically (see OutcomeJSON):
+// identical outcomes encode to identical bytes, so API responses and
+// campaign reports are diffable across runs.
+func (o *Outcome) MarshalJSON() ([]byte, error) {
+	return json.Marshal(o.JSON())
 }
 
 // String renders the outcome in a herd-like summary.

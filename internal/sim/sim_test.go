@@ -1,8 +1,11 @@
 package sim_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -152,5 +155,68 @@ func TestOutcomeString(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("String() missing %q:\n%s", want, s)
 		}
+	}
+}
+
+// TestOutcomeJSONDeterministic: the JSON encoding must be byte-stable
+// across runs (sorted histograms, no map iteration order) so API responses
+// and campaign reports are diffable.
+func TestOutcomeJSONDeterministic(t *testing.T) {
+	e, ok := catalog.ByName("mp")
+	if !ok {
+		t.Fatal("catalogue has no mp test")
+	}
+	test := e.Test()
+	var first []byte
+	for i := 0; i < 20; i++ {
+		out, err := sim.Run(test, models.Power)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = data
+			continue
+		}
+		if !bytes.Equal(first, data) {
+			t.Fatalf("encoding not byte-stable:\n%s\nvs\n%s", first, data)
+		}
+	}
+	// States must appear sorted by key, and the reason must be a string.
+	var dec struct {
+		Test   string           `json:"test"`
+		States []sim.StateCount `json:"states"`
+	}
+	if err := json.Unmarshal(first, &dec); err != nil {
+		t.Fatal(err)
+	}
+	if dec.Test != test.Name {
+		t.Fatalf("test name %q, want %q", dec.Test, test.Name)
+	}
+	if len(dec.States) < 2 {
+		t.Fatalf("mp should reach several final states, got %d", len(dec.States))
+	}
+	if !sort.SliceIsSorted(dec.States, func(i, j int) bool { return dec.States[i].State < dec.States[j].State }) {
+		t.Fatalf("states not sorted: %v", dec.States)
+	}
+}
+
+// TestOutcomeJSONIncomplete: incomplete outcomes carry their reason as text.
+func TestOutcomeJSONIncomplete(t *testing.T) {
+	e, _ := catalog.ByName("mp")
+	out, err := sim.RunCtx(context.Background(), e.Test(), models.Power, exec.Budget{MaxCandidates: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, `"incomplete":true`) || !strings.Contains(s, "candidates limit") {
+		t.Fatalf("incomplete outcome not encoded: %s", s)
 	}
 }
