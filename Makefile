@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race ci serve
+.PHONY: build test vet race bench ci serve
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,12 @@ vet:
 # every PR must pass the race detector, not just the plain suite.
 race:
 	$(GO) test -race ./...
+
+# Time the sharded candidate enumeration at 1/2/4/8 workers, verify the
+# streams are byte-identical to the sequential one, and record the result
+# (with the runner's core count) in BENCH_enumerate.json.
+bench:
+	BENCH_ENUM_OUT=$(CURDIR)/BENCH_enumerate.json $(GO) test -run TestBenchEnumerateJSON -count=1 -v .
 
 ci: vet test race
 

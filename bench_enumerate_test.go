@@ -1,0 +1,168 @@
+package herdcats_bench
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"herdcats/internal/exec"
+	"herdcats/internal/litmus"
+)
+
+// coHeavySrc is the parallel-enumeration workload: four threads of three
+// writes each over three locations. Every location collects four writes
+// plus its initial one, so the candidate count is the pure coherence
+// product 4!³ = 13824 — no reads, so rf contributes nothing and pruning
+// never fires. The shard tree is wide at the top (the co positions of the
+// first thread's writes), which is exactly the shape
+// exec.EnumerateParallelCtx splits across workers.
+const coHeavySrc = `PPC coheavy
+{ 0:r1=x; 0:r2=y; 0:r3=z;
+  1:r1=x; 1:r2=y; 1:r3=z;
+  2:r1=x; 2:r2=y; 2:r3=z;
+  3:r1=x; 3:r2=y; 3:r3=z; }
+ P0 | P1 | P2 | P3 ;
+ li r4,1 | li r4,2 | li r4,3 | li r4,4 ;
+ stw r4,0(r1) | stw r4,0(r1) | stw r4,0(r1) | stw r4,0(r1) ;
+ stw r4,0(r2) | stw r4,0(r2) | stw r4,0(r2) | stw r4,0(r2) ;
+ stw r4,0(r3) | stw r4,0(r3) | stw r4,0(r3) | stw r4,0(r3) ;
+exists (x=1 /\ y=2 /\ z=3)`
+
+// enumerateHash drives one full enumeration and folds every candidate into
+// a SHA-256 of the stream, so equal hashes mean byte-identical streams.
+func enumerateHash(tb testing.TB, workers int) (string, int) {
+	tb.Helper()
+	p := compileBench(tb, coHeavySrc)
+	h := sha256.New()
+	n := 0
+	err := p.EnumerateOptsCtx(context.Background(), exec.Budget{},
+		exec.Options{Workers: workers}, func(c *exec.Candidate) bool {
+			n++
+			fmt.Fprintf(h, "%s|%v|%v\n", c.State.Key(nil), c.X.RF.Pairs(), c.X.CO.Pairs())
+			return true
+		})
+	if err != nil {
+		tb.Fatalf("workers=%d: %v", workers, err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), n
+}
+
+func compileBench(tb testing.TB, src string) *exec.Program {
+	tb.Helper()
+	p, err := exec.Compile(litmus.MustParse(src))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkEnumerateParallel measures the sharded enumeration of the
+// co-heavy workload at increasing worker counts. The candidate stream is
+// identical at every width (TestBenchEnumerateJSON verifies the hash), so
+// the sub-benchmarks are directly comparable.
+func BenchmarkEnumerateParallel(b *testing.B) {
+	p := compileBench(b, coHeavySrc)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				err := p.EnumerateOptsCtx(context.Background(), exec.Budget{},
+					exec.Options{Workers: workers}, func(*exec.Candidate) bool {
+						n++
+						return true
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != 13824 {
+					b.Fatalf("enumerated %d candidates, want 13824", n)
+				}
+			}
+		})
+	}
+}
+
+// benchRow is one line of BENCH_enumerate.json.
+type benchRow struct {
+	Workers    int     `json:"workers"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+	Candidates int     `json:"candidates"`
+	StreamOK   bool    `json:"stream_identical"`
+}
+
+// TestBenchEnumerateJSON, gated on BENCH_ENUM_OUT, times the co-heavy
+// enumeration at 1/2/4/8 workers, verifies every stream is byte-identical
+// to the sequential one, and writes the machine-readable record the CI
+// bench step commits as BENCH_enumerate.json. Speedups are honest for the
+// recorded core count: on a single-core runner they hover around 1x.
+func TestBenchEnumerateJSON(t *testing.T) {
+	out := os.Getenv("BENCH_ENUM_OUT")
+	if out == "" {
+		t.Skip("set BENCH_ENUM_OUT=<path> to run the bench and write the JSON record")
+	}
+	wantHash, wantN := enumerateHash(t, 0) // sequential reference
+	p := compileBench(t, coHeavySrc)
+	rows := make([]benchRow, 0, 4)
+	var baseline int64
+	for _, workers := range []int{1, 2, 4, 8} {
+		hash, n := enumerateHash(t, workers)
+		reps := make([]int64, 0, 3)
+		for r := 0; r < 3; r++ {
+			start := time.Now()
+			err := p.EnumerateOptsCtx(context.Background(), exec.Budget{},
+				exec.Options{Workers: workers}, func(*exec.Candidate) bool { return true })
+			if err != nil {
+				t.Fatal(err)
+			}
+			reps = append(reps, time.Since(start).Nanoseconds())
+		}
+		sort.Slice(reps, func(i, j int) bool { return reps[i] < reps[j] })
+		median := reps[1]
+		if workers == 1 {
+			baseline = median
+		}
+		rows = append(rows, benchRow{
+			Workers:    workers,
+			NsPerOp:    median,
+			Speedup:    float64(baseline) / float64(median),
+			Candidates: n,
+			StreamOK:   hash == wantHash && n == wantN,
+		})
+		if hash != wantHash {
+			t.Errorf("workers=%d: stream hash %s differs from sequential %s", workers, hash, wantHash)
+		}
+	}
+	record := struct {
+		Test       string     `json:"test"`
+		Candidates int        `json:"candidates"`
+		Cores      int        `json:"cores"`
+		GoMaxProcs int        `json:"gomaxprocs"`
+		Rows       []benchRow `json:"rows"`
+	}{
+		Test:       "coheavy (4 threads x 3 writes, 4!^3 candidates)",
+		Candidates: wantN,
+		Cores:      runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Rows:       rows,
+	}
+	data, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (cores=%d)", out, record.Cores)
+	for _, r := range rows {
+		t.Logf("workers=%d: %v/op, speedup %.2fx", r.Workers, time.Duration(r.NsPerOp), r.Speedup)
+	}
+}

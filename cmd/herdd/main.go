@@ -7,7 +7,8 @@
 //
 // Usage:
 //
-//	herdd [-addr :8787] [-j 0] [-cache-entries 4096] [-timeout 30s]
+//	herdd [-addr :8787] [-j 0] [-enum-workers 1] [-prune]
+//	      [-cache-entries 4096] [-timeout 30s]
 //
 // Endpoints and metrics are documented in README.md ("herdd: the verdict
 // service"). SIGINT/SIGTERM drain in-flight requests before the process
@@ -22,6 +23,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -34,12 +36,20 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 4096, "entries kept per cache layer (verdicts, compiled tests, compiled models)")
 	timeout := flag.Duration("timeout", 30*time.Second, "hard wall-clock cap on one simulation (0 = uncapped)")
 	drain := flag.Duration("drain", 15*time.Second, "grace period for in-flight requests on shutdown")
+	enumWorkers := flag.Int("enum-workers", 1, "workers per candidate enumeration (0 = GOMAXPROCS, 1 = sequential); never changes verdicts or cache keys")
+	prune := flag.Bool("prune", false, "skip SC-per-location-violating candidates for models that declare the pruning sound")
 	flag.Parse()
 
+	ew := *enumWorkers
+	if ew <= 0 {
+		ew = runtime.GOMAXPROCS(0)
+	}
 	srv := serve.New(serve.Config{
 		Workers:       *workers,
 		CacheEntries:  *cacheEntries,
 		MaxSimTimeout: *timeout,
+		EnumWorkers:   ew,
+		Prune:         *prune,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -47,8 +57,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*addr) }()
-	log.Printf("herdd: listening on %s (workers=%d cache-entries=%d sim-timeout=%s)",
-		*addr, *workers, *cacheEntries, *timeout)
+	log.Printf("herdd: listening on %s (workers=%d enum-workers=%d prune=%v cache-entries=%d sim-timeout=%s)",
+		*addr, *workers, ew, *prune, *cacheEntries, *timeout)
 
 	select {
 	case err := <-errc:

@@ -53,10 +53,16 @@ type Job struct {
 	Test  *litmus.Test
 	Model sim.Checker
 
-	// Run, when set, replaces the default sim.RunCtx(Test, Model) body.
-	// It must honour ctx and the budget (incomplete work is reported via
-	// Outcome.Incomplete, hard failures via the error).
+	// Run, when set, replaces the default sim.RunOptsCtx(Test, Model)
+	// body. It must honour ctx and the budget (incomplete work is
+	// reported via Outcome.Incomplete, hard failures via the error).
 	Run func(ctx context.Context, b exec.Budget) (*sim.Outcome, error)
+
+	// EnumWorkers overrides Config.EnumWorkers for this job when > 0: a
+	// known-huge test can fan its enumeration out wider than the rest of
+	// the campaign. The candidate stream is identical for every worker
+	// count, so this is purely a scheduling knob.
+	EnumWorkers int
 }
 
 // Config tunes a campaign. The zero value runs every job to completion on
@@ -78,6 +84,17 @@ type Config struct {
 	// or Error result (jobs never started are reported Skipped). The
 	// default — the fault-tolerant mode — keeps going.
 	StopOnError bool
+
+	// EnumWorkers parallelises each job's candidate enumeration
+	// (exec.EnumerateParallelCtx); <= 1 keeps it sequential. Unlike
+	// Workers (how many jobs run at once), this widens one job, without
+	// changing its outcome. Job.EnumWorkers overrides it per job.
+	EnumWorkers int
+
+	// Prune enables early SC-per-location pruning for checkers that
+	// declare it sound (sim.Options.Prune). Outcome verdicts and states
+	// are unchanged; Candidates counts shrink.
+	Prune bool
 }
 
 func (c Config) retries() int {
@@ -202,9 +219,10 @@ func runJob(ctx context.Context, cfg Config, job Job) JobResult {
 	}
 	budget := cfg.Budget
 	timeout := cfg.Timeout
+attempts:
 	for attempt := 0; ; attempt++ {
 		res.Attempts++
-		out, err, stack := runAttempt(ctx, timeout, budget, job)
+		out, err, stack := runAttempt(ctx, cfg, timeout, budget, job)
 		res.fill(out, err, stack)
 		retryable := res.Status == StatusIncomplete &&
 			ctx.Err() == nil && // the caller is not tearing the campaign down
@@ -216,9 +234,18 @@ func runJob(ctx context.Context, cfg Config, job Job) JobResult {
 		if timeout > 0 {
 			timeout *= time.Duration(cfg.growth())
 		}
+		// Back off with a stoppable timer: bare time.After would leave a
+		// live timer behind on every cancellation, and a campaign retries
+		// often enough for those to pile up. A cancellation during the
+		// backoff also ends the job now — the retry it pre-empts could
+		// only come back Incomplete(canceled) and overwrite the partial
+		// outcome the last real attempt already produced.
+		backoff := time.NewTimer(cfg.backoff())
 		select {
-		case <-time.After(cfg.backoff()):
+		case <-backoff.C:
 		case <-ctx.Done():
+			backoff.Stop()
+			break attempts
 		}
 	}
 	res.ElapsedMS = time.Since(start).Milliseconds()
@@ -228,7 +255,7 @@ func runJob(ctx context.Context, cfg Config, job Job) JobResult {
 // runAttempt executes one attempt with panic containment: a panic in the
 // model, the checker or the enumeration surfaces as an error plus the
 // captured stack, never further.
-func runAttempt(ctx context.Context, timeout time.Duration, b exec.Budget, job Job) (out *sim.Outcome, err error, stack string) {
+func runAttempt(ctx context.Context, cfg Config, timeout time.Duration, b exec.Budget, job Job) (out *sim.Outcome, err error, stack string) {
 	defer func() {
 		if r := recover(); r != nil {
 			out = nil
@@ -245,7 +272,11 @@ func runAttempt(ctx context.Context, timeout time.Duration, b exec.Budget, job J
 		out, err = job.Run(ctx, b)
 		return out, err, ""
 	}
-	out, err = sim.RunCtx(ctx, job.Test, job.Model, b)
+	o := sim.Options{Workers: cfg.EnumWorkers, Prune: cfg.Prune}
+	if job.EnumWorkers > 0 {
+		o.Workers = job.EnumWorkers
+	}
+	out, err = sim.RunOptsCtx(ctx, job.Test, job.Model, b, o)
 	return out, err, ""
 }
 

@@ -208,3 +208,54 @@ func TestReportJSONRoundTrip(t *testing.T) {
 		t.Error("JSON report should carry the state histogram")
 	}
 }
+
+// TestBackoffHonoursCancellation: a cancellation arriving during the
+// retry backoff must end the job promptly — no extra attempt, no stuck
+// timer wait — and keep the partial outcome of the last real attempt.
+func TestBackoffHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var attempts atomic.Int32
+	job := campaign.Job{Name: "slow", Run: func(ctx context.Context, b exec.Budget) (*sim.Outcome, error) {
+		attempts.Add(1)
+		cancel() // the caller tears the campaign down during the backoff
+		return &sim.Outcome{Candidates: 7, Incomplete: true, Reason: exec.ErrBudgetExceeded, Model: "m"}, nil
+	}}
+	cfg := campaign.Config{Retries: 5, Backoff: time.Hour}
+	done := make(chan *campaign.Report, 1)
+	go func() { done <- campaign.Run(ctx, cfg, []campaign.Job{job}) }()
+	select {
+	case rep := <-done:
+		res := rep.Jobs[0]
+		if got := attempts.Load(); got != 1 {
+			t.Errorf("ran %d attempts, want 1", got)
+		}
+		if res.Status != campaign.StatusIncomplete || res.Candidates != 7 {
+			t.Errorf("result = %s with %d candidates, want the partial outcome kept", res.Status, res.Candidates)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("campaign still blocked in backoff after cancellation")
+	}
+}
+
+// TestEnumWorkersAndPrune: the enumeration knobs reach the simulator and
+// leave the verdicts untouched; Job.EnumWorkers overrides the config.
+func TestEnumWorkersAndPrune(t *testing.T) {
+	test := litmus.MustParse(sbSrc)
+	base := campaign.Run(context.Background(), campaign.Config{}, []campaign.Job{
+		{Name: "sb", Test: test, Model: models.TSO},
+	}).Jobs[0]
+	cfg := campaign.Config{EnumWorkers: 4, Prune: true}
+	jobs := []campaign.Job{
+		{Name: "sb", Test: test, Model: models.TSO},
+		{Name: "sb-wide", Test: test, Model: models.TSO, EnumWorkers: 8},
+	}
+	rep := campaign.Run(context.Background(), cfg, jobs)
+	for _, res := range rep.Jobs {
+		if res.Status != base.Status || res.Valid != base.Valid {
+			t.Errorf("%s: status %s valid %d, want %s/%d", res.Name, res.Status, res.Valid, base.Status, base.Valid)
+		}
+		if res.Candidates > base.Candidates {
+			t.Errorf("%s: pruned run enumerated %d candidates, unpruned %d", res.Name, res.Candidates, base.Candidates)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package cat
+
+import "herdcats/internal/exec"
+
+// PruneLevel declares the early SC-per-location pruning level sound for
+// this model (sim.PruneCapable), by syntactic analysis of its checks.
+//
+// The argument: a candidate is pruned when some per-location projection of
+// po-loc ∪ rf ∪ fr ∪ co has a cycle. If the model contains an acyclic
+// check over a relation that is (syntactically) a superset of that union,
+// the check necessarily fails on such a candidate, so the model rejects it
+// and pruning cannot change any verdict. Extra union terms only enlarge
+// the checked relation, so they never invalidate the conclusion; `po`
+// counts for `po-loc` (a superset) and `com` for rf, fr and co together.
+// The llh shape `po-loc \ RR(po-loc)` licenses only the relaxed
+// PruneSCPerLocNoRR level, which exempts read-read pairs exactly as the
+// check does.
+//
+// Models without such a check — including ones that deliberately *select*
+// uniproc-violating executions, e.g. with `reflexive po-loc;fr;rf` —
+// report PruneNone and run unpruned. Top-level `let` definitions are
+// inlined (depth-bounded) before the analysis, so a model writing
+// `let com = rf | co | fr` followed by `acyclic po-loc | com` still
+// qualifies; anything the analysis cannot resolve is conservatively
+// treated as an unknown extra term.
+func (m *Model) PruneLevel() exec.Prune {
+	lets := map[string]expr{}
+	for _, st := range m.stmts {
+		if l, ok := st.(sLet); ok {
+			for _, b := range l.binds {
+				lets[b.name] = b.e
+			}
+		}
+	}
+	best := exec.PruneNone
+	for _, st := range m.stmts {
+		c, ok := st.(sCheck)
+		if !ok || c.kind != checkAcyclic {
+			continue
+		}
+		if lv := scPruneLevel(c.e, lets); lv > best {
+			best = lv
+		}
+	}
+	return best
+}
+
+// scPruneLevel classifies one acyclic check's expression.
+func scPruneLevel(e expr, lets map[string]expr) exec.Prune {
+	var terms []expr
+	flattenUnion(e, lets, 0, &terms)
+	var hasRF, hasFR, hasCO, hasPoLoc, hasPoLocNoRR bool
+	for _, t := range terms {
+		switch t := t.(type) {
+		case eIdent:
+			switch t.name {
+			case "rf":
+				hasRF = true
+			case "fr":
+				hasFR = true
+			case "co":
+				hasCO = true
+			case "com":
+				hasRF, hasFR, hasCO = true, true, true
+			case "po", "po-loc":
+				hasPoLoc = true
+			}
+		case eBin:
+			if t.op == '\\' && isPoLoc(t.l, lets) && isRRPoLoc(t.r, lets) {
+				hasPoLocNoRR = true
+			}
+		}
+	}
+	if !(hasRF && hasFR && hasCO) {
+		return exec.PruneNone
+	}
+	if hasPoLoc {
+		return exec.PruneSCPerLoc
+	}
+	if hasPoLocNoRR {
+		return exec.PruneSCPerLocNoRR
+	}
+	return exec.PruneNone
+}
+
+// flattenUnion splits e into its top-level union terms, inlining let
+// definitions (depth-bounded, so recursive lets terminate as unknowns).
+func flattenUnion(e expr, lets map[string]expr, depth int, out *[]expr) {
+	if depth > 16 {
+		*out = append(*out, e)
+		return
+	}
+	switch t := e.(type) {
+	case eBin:
+		if t.op == '|' {
+			flattenUnion(t.l, lets, depth+1, out)
+			flattenUnion(t.r, lets, depth+1, out)
+			return
+		}
+	case eIdent:
+		if def, ok := lets[t.name]; ok {
+			flattenUnion(def, lets, depth+1, out)
+			return
+		}
+	}
+	*out = append(*out, e)
+}
+
+// isPoLoc reports whether e resolves (through lets) to the po-loc builtin.
+func isPoLoc(e expr, lets map[string]expr) bool {
+	for i := 0; i < 16; i++ {
+		id, ok := e.(eIdent)
+		if !ok {
+			return false
+		}
+		def, redefined := lets[id.name]
+		if !redefined {
+			return id.name == "po-loc"
+		}
+		e = def
+	}
+	return false
+}
+
+// isRRPoLoc matches the load-load-hazard exemption RR(po-loc).
+func isRRPoLoc(e expr, lets map[string]expr) bool {
+	r, ok := e.(eRestrict)
+	return ok && r.dirs == "RR" && isPoLoc(r.x, lets)
+}

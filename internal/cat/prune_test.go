@@ -1,0 +1,109 @@
+package cat
+
+import (
+	"testing"
+
+	"herdcats/internal/exec"
+)
+
+func TestPruneLevelBuiltins(t *testing.T) {
+	// Every builtin except arm-llh carries the full sc-per-location check;
+	// arm-llh exempts read-read pairs and gets the relaxed level.
+	for _, name := range BuiltinNames() {
+		m, err := Builtin(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := exec.PruneSCPerLoc
+		if name == "arm-llh" {
+			want = exec.PruneSCPerLocNoRR
+		}
+		if got := m.PruneLevel(); got != want {
+			t.Errorf("%s: PruneLevel() = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestPruneLevelShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want exec.Prune
+	}{
+		{
+			// The union spelled through a let chain still qualifies.
+			"let-inlined",
+			`"m"
+let com = rf | co | fr
+let uni = po-loc | com
+acyclic uni as sc-per-location`,
+			exec.PruneSCPerLoc,
+		},
+		{
+			// po is a superset of po-loc, so `acyclic po | com` qualifies.
+			"po-superset",
+			`"m"
+acyclic po | rf | fr | co as sc`,
+			exec.PruneSCPerLoc,
+		},
+		{
+			// Extra terms only enlarge the relation: still sound.
+			"extra-terms",
+			`"m"
+let dep = addr | data
+acyclic po-loc | rf | fr | co | dep as uniproc-plus`,
+			exec.PruneSCPerLoc,
+		},
+		{
+			// The llh exemption shape, with po-loc behind a let.
+			"llh-shape",
+			`"m"
+let pl = po-loc
+acyclic (pl \ RR(pl)) | rf | fr | co as llh`,
+			exec.PruneSCPerLocNoRR,
+		},
+		{
+			// A missing communication component disqualifies the check.
+			"no-fr",
+			`"m"
+acyclic po-loc | rf | co as partial`,
+			exec.PruneNone,
+		},
+		{
+			// Sequencing is not a union: the whole expression is one
+			// opaque term, so nothing qualifies.
+			"sequence-not-union",
+			`"m"
+acyclic po-loc;rf;fr;co as seq`,
+			exec.PruneNone,
+		},
+		{
+			// Irreflexivity over the union does NOT license pruning: only
+			// acyclic checks reject every cyclic candidate.
+			"irreflexive-only",
+			`"m"
+irreflexive po-loc | rf | fr | co as weak`,
+			exec.PruneNone,
+		},
+		{
+			// No sc-per-location check at all: a model like this may
+			// accept uniproc-violating candidates on purpose.
+			"unconstrained",
+			`"m"
+let hb = po | rf
+acyclic hb as no-thin-air`,
+			exec.PruneNone,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := Compile(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := m.PruneLevel(); got != tc.want {
+				t.Errorf("PruneLevel() = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}

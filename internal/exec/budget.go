@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -52,21 +53,41 @@ func (b Budget) Unlimited() bool {
 }
 
 // Scale multiplies every finite bound by f (for retry-with-larger-budget).
+// Multiplication saturates instead of wrapping: repeated scaling of a large
+// bound stays at the maximum representable value, so a finite budget can
+// never silently turn negative (which the enumeration would read as
+// instantly exceeded) or wrap back to a small bound.
 func (b Budget) Scale(f int) Budget {
 	if f <= 1 {
 		return b
 	}
 	out := b
 	if b.MaxCandidates > 0 {
-		out.MaxCandidates = b.MaxCandidates * f
+		out.MaxCandidates = satMul(b.MaxCandidates, f)
 	}
 	if b.MaxTracesPerThread > 0 {
-		out.MaxTracesPerThread = b.MaxTracesPerThread * f
+		out.MaxTracesPerThread = satMul(b.MaxTracesPerThread, f)
 	}
 	if b.Timeout > 0 {
-		out.Timeout = b.Timeout * time.Duration(f)
+		out.Timeout = time.Duration(satMul64(int64(b.Timeout), int64(f)))
 	}
 	return out
+}
+
+// satMul multiplies two positive ints, saturating at math.MaxInt.
+func satMul(a, f int) int {
+	if a > math.MaxInt/f {
+		return math.MaxInt
+	}
+	return a * f
+}
+
+// satMul64 multiplies two positive int64s, saturating at math.MaxInt64.
+func satMul64(a, f int64) int64 {
+	if a > math.MaxInt64/f {
+		return math.MaxInt64
+	}
+	return a * f
 }
 
 // LimitError reports which bound of a Budget tripped. It matches
@@ -167,12 +188,9 @@ func (s *search) emit(c *Candidate) bool {
 	return true
 }
 
-// EnumerateCtx is Enumerate with cancellation and budgets: the search
-// stops as soon as ctx is canceled (within one yield) or a Budget bound
-// trips, returning an error matching ErrCanceled or ErrBudgetExceeded.
-// Candidates yielded before the stop are fully derived and remain valid,
-// so callers can report a partial outcome.
-func (p *Program) EnumerateCtx(ctx context.Context, b Budget, yield func(*Candidate) bool) error {
+// newSearch builds a search with the effective deadline: the earlier of
+// the budget's Timeout and the context's own deadline.
+func newSearch(ctx context.Context, b Budget, yield func(*Candidate) bool) *search {
 	s := &search{ctx: ctx, b: b, yield: yield}
 	if b.Timeout > 0 {
 		s.deadline = time.Now().Add(b.Timeout)
@@ -180,53 +198,20 @@ func (p *Program) EnumerateCtx(ctx context.Context, b Budget, yield func(*Candid
 	if d, ok := ctx.Deadline(); ok && (s.deadline.IsZero() || d.Before(s.deadline)) {
 		s.deadline = d
 	}
-	if !s.alive(true) { // already canceled or expired before the search starts
-		return s.err
-	}
+	return s
+}
 
-	allTraces := make([][]Trace, len(p.Threads))
-	truncated := false
-	for tid := range p.Threads {
-		ts, trunc, err := p.threadTraces(s, tid)
-		if err != nil {
-			return err
-		}
-		if s.err != nil {
-			return s.err
-		}
-		if len(ts) == 0 {
-			return fmt.Errorf("exec: thread %d has no feasible trace", tid)
-		}
-		allTraces[tid] = ts
-		truncated = truncated || trunc
-	}
+// errNoTrace reports a thread with no feasible control-flow trace.
+func errNoTrace(tid int) error {
+	return fmt.Errorf("exec: thread %d has no feasible trace", tid)
+}
 
-	// Cartesian product over per-thread traces.
-	choice := make([]int, len(p.Threads))
-	var product func(tid int) error
-	product = func(tid int) error {
-		if !s.alive(false) {
-			return nil
-		}
-		if tid == len(p.Threads) {
-			return p.expand(s, allTraces, choice)
-		}
-		for i := range allTraces[tid] {
-			choice[tid] = i
-			if err := product(tid + 1); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := product(0); err != nil {
-		return err
-	}
-	if s.err != nil {
-		return s.err
-	}
-	if truncated {
-		return &LimitError{Limit: "traces", Max: b.MaxTracesPerThread, Candidates: s.cands}
-	}
-	return nil
+// EnumerateCtx is Enumerate with cancellation and budgets: the search
+// stops as soon as ctx is canceled (within one yield) or a Budget bound
+// trips, returning an error matching ErrCanceled or ErrBudgetExceeded.
+// Candidates yielded before the stop are fully derived and remain valid,
+// so callers can report a partial outcome. For a parallel or pruned
+// search, see EnumerateOptsCtx and EnumerateParallelCtx.
+func (p *Program) EnumerateCtx(ctx context.Context, b Budget, yield func(*Candidate) bool) error {
+	return p.EnumerateOptsCtx(ctx, b, Options{}, yield)
 }

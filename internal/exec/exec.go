@@ -313,200 +313,6 @@ func (p *Program) Enumerate(yield func(*Candidate) bool) error {
 	return p.EnumerateCtx(context.Background(), Budget{}, yield)
 }
 
-// expand assembles the global event structure for one trace combination and
-// enumerates rf and co over it.
-func (p *Program) expand(s *search, allTraces [][]Trace, choice []int) error {
-	// Initial writes first: one per location, value from MemInit.
-	var evs []events.Event
-	initWriteOf := map[string]int{}
-	for _, loc := range p.locs {
-		v, err := p.encode(p.Test.MemInit[loc])
-		if err != nil {
-			return err
-		}
-		id := len(evs)
-		evs = append(evs, events.Event{
-			ID: id, Tid: events.InitTid, PC: -1,
-			Kind: events.MemWrite, Loc: loc, Val: v,
-		})
-		initWriteOf[loc] = id
-	}
-
-	var iico, iicoAddr, iicoData, rfReg [][2]int
-	finalRegs := map[litmus.RegKey]litmus.Value{}
-	for tid := range p.Threads {
-		tr := allTraces[tid][choice[tid]]
-		off := len(evs)
-		for _, e := range tr.Events {
-			e.ID += off
-			evs = append(evs, e)
-		}
-		shift := func(edges [][2]int, dst *[][2]int) {
-			for _, e := range edges {
-				*dst = append(*dst, [2]int{e[0] + off, e[1] + off})
-			}
-		}
-		shift(tr.IICO, &iico)
-		shift(tr.IICOAddr, &iicoAddr)
-		shift(tr.IICOData, &iicoData)
-		shift(tr.RFReg, &rfReg)
-		for r, v := range tr.FinalRegs {
-			finalRegs[litmus.RegKey{Tid: tid, Reg: r}] = p.Decode(v)
-		}
-	}
-
-	n := len(evs)
-	x := events.NewExecution(n)
-	x.Events = evs
-	for _, e := range iico {
-		x.IICO.Add(e[0], e[1])
-	}
-	for _, e := range iicoAddr {
-		x.IICOAddr.Add(e[0], e[1])
-	}
-	for _, e := range iicoData {
-		x.IICOData.Add(e[0], e[1])
-	}
-	for _, e := range rfReg {
-		x.RFReg.Add(e[0], e[1])
-	}
-	// Program order: same thread, strictly increasing PC.
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if evs[i].Tid != events.InitTid && evs[i].Tid == evs[j].Tid && evs[i].PC < evs[j].PC {
-				x.PO.Add(i, j)
-			}
-		}
-	}
-
-	// Gather reads and per-location writes.
-	var reads []int
-	writesOf := map[string][]int{}
-	for _, e := range evs {
-		switch e.Kind {
-		case events.MemRead:
-			reads = append(reads, e.ID)
-		case events.MemWrite:
-			writesOf[e.Loc] = append(writesOf[e.Loc], e.ID)
-		}
-	}
-	// rf candidates per read: same location, same value.
-	rfCands := make([][]int, len(reads))
-	for i, r := range reads {
-		re := evs[r]
-		for _, w := range writesOf[re.Loc] {
-			if evs[w].Val == re.Val {
-				rfCands[i] = append(rfCands[i], w)
-			}
-		}
-		if len(rfCands[i]) == 0 {
-			return nil // no write can feed this read: infeasible combination
-		}
-	}
-
-	// Enumerate rf choices, then per-location co orders.
-	rfPick := make([]int, len(reads))
-	var locNames []string
-	for _, l := range p.locs {
-		if len(writesOf[l]) > 1 { // init write plus at least one store
-			locNames = append(locNames, l)
-		}
-	}
-
-	var enumerateCO func(li int) error
-	var enumerateRF func(ri int) error
-
-	coPerm := map[string][]int{}
-
-	buildCandidate := func() error {
-		if s.stopped {
-			return nil
-		}
-		cx := events.NewExecution(n)
-		cx.Events = evs
-		cx.PO = x.PO
-		cx.IICO = x.IICO
-		cx.IICOAddr = x.IICOAddr
-		cx.IICOData = x.IICOData
-		cx.RFReg = x.RFReg
-		cx.RF = x.RF.Clone()
-		for i, r := range reads {
-			cx.RF.Add(rfPick[i], r)
-		}
-		finalMem := map[string]litmus.Value{}
-		for _, loc := range p.locs {
-			ws := writesOf[loc]
-			order := coPerm[loc]
-			if order == nil {
-				order = ws // just the init write (or single chain)
-			}
-			for i := 0; i < len(order); i++ {
-				for j := i + 1; j < len(order); j++ {
-					cx.CO.Add(order[i], order[j])
-				}
-			}
-			finalMem[loc] = p.Decode(evs[order[len(order)-1]].Val)
-		}
-		cx.Derive()
-		state := &litmus.State{Regs: finalRegs, Mem: finalMem}
-		s.emit(&Candidate{X: cx, State: state})
-		return nil
-	}
-
-	enumerateCO = func(li int) error {
-		if !s.alive(false) {
-			return nil
-		}
-		if li == len(locNames) {
-			return buildCandidate()
-		}
-		loc := locNames[li]
-		ws := writesOf[loc]
-		// The initial write is first by convention; permute the rest.
-		rest := append([]int(nil), ws[1:]...)
-		return permute(rest, 0, func(perm []int) error {
-			order := append([]int{ws[0]}, perm...)
-			coPerm[loc] = order
-			defer delete(coPerm, loc)
-			return enumerateCO(li + 1)
-		})
-	}
-
-	enumerateRF = func(ri int) error {
-		if !s.alive(false) {
-			return nil
-		}
-		if ri == len(reads) {
-			return enumerateCO(0)
-		}
-		for _, w := range rfCands[ri] {
-			rfPick[ri] = w
-			if err := enumerateRF(ri + 1); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	return enumerateRF(0)
-}
-
-// permute enumerates permutations of s in place (Heap-like recursion) and
-// calls f with each.
-func permute(s []int, k int, f func([]int) error) error {
-	if k == len(s) {
-		return f(s)
-	}
-	for i := k; i < len(s); i++ {
-		s[k], s[i] = s[i], s[k]
-		if err := permute(s, k+1, f); err != nil {
-			return err
-		}
-		s[k], s[i] = s[i], s[k]
-	}
-	return nil
-}
-
 // Candidates collects every candidate execution of a test (convenience).
 func Candidates(t *litmus.Test) ([]*Candidate, error) {
 	p, err := Compile(t)

@@ -1,0 +1,377 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options tunes one enumeration. The zero value reproduces EnumerateCtx
+// exactly: sequential, unpruned.
+type Options struct {
+	// Workers is the number of goroutines sharding the rf/co decision
+	// tree (<= 1 enumerates sequentially on the calling goroutine). The
+	// candidate stream is identical — same candidates, same order, same
+	// deterministic truncation point — for every worker count, so Workers
+	// is a pure throughput knob: it never changes a verdict, and caches
+	// (internal/memo) deliberately exclude it from their keys.
+	Workers int
+
+	// Prune sets the early SC-per-location pruning level. Only enable a
+	// level the downstream checker has declared sound (see Prune); the
+	// default PruneNone reproduces the full candidate space.
+	Prune Prune
+}
+
+// EnumerateParallelCtx is EnumerateCtx with the decision tree sharded over
+// a pool of workers goroutines. Workers walk disjoint subtrees into
+// per-shard buffers; the calling goroutine yields the buffers in canonical
+// shard order, so the candidate stream (including the truncation point of
+// a MaxCandidates budget) is identical to the sequential enumeration.
+func (p *Program) EnumerateParallelCtx(ctx context.Context, b Budget, workers int, yield func(*Candidate) bool) error {
+	return p.EnumerateOptsCtx(ctx, b, Options{Workers: workers}, yield)
+}
+
+// EnumerateOptsCtx is EnumerateCtx with Options.
+func (p *Program) EnumerateOptsCtx(ctx context.Context, b Budget, o Options, yield func(*Candidate) bool) error {
+	if o.Workers > 1 {
+		return p.enumerateParallel(ctx, b, o, yield)
+	}
+	s := newSearch(ctx, b, yield)
+	if !s.alive(true) { // already canceled or expired before the search starts
+		return s.err
+	}
+	allTraces, truncated, err := p.allTraces(s)
+	if err != nil {
+		return err
+	}
+	if s.err != nil {
+		return s.err
+	}
+
+	// Cartesian product over per-thread traces, thread 0 outermost.
+	choice := make([]int, len(p.Threads))
+	var product func(tid int) error
+	product = func(tid int) error {
+		if !s.alive(false) {
+			return nil
+		}
+		if tid == len(p.Threads) {
+			e, err := p.newExpansion(allTraces, choice)
+			if err != nil {
+				return err
+			}
+			if e != nil {
+				newWalker(e, s, o.Prune).walk(0)
+			}
+			return nil
+		}
+		for i := range allTraces[tid] {
+			choice[tid] = i
+			if err := product(tid + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := product(0); err != nil {
+		return err
+	}
+	if s.err != nil {
+		return s.err
+	}
+	if truncated {
+		return &LimitError{Limit: "traces", Max: b.MaxTracesPerThread, Candidates: s.cands}
+	}
+	return nil
+}
+
+// allTraces enumerates every thread's traces under the search's budget.
+func (p *Program) allTraces(s *search) (traces [][]Trace, truncated bool, err error) {
+	traces = make([][]Trace, len(p.Threads))
+	for tid := range p.Threads {
+		ts, trunc, err := p.threadTraces(s, tid)
+		if err != nil {
+			return nil, false, err
+		}
+		if s.err != nil {
+			return traces, truncated, nil
+		}
+		if len(ts) == 0 {
+			return nil, false, errNoTrace(tid)
+		}
+		traces[tid] = ts
+		truncated = truncated || trunc
+	}
+	return traces, truncated, nil
+}
+
+// --- sharding --------------------------------------------------------------
+
+const (
+	// shardsPerWorker oversubscribes the shard count so uneven subtrees
+	// balance across the pool.
+	shardsPerWorker = 4
+	// maxShardsPerCombo caps the by-prefix split of one trace combination.
+	maxShardsPerCombo = 1024
+	// maxCombos guards the combo-indexing arithmetic; a candidate space
+	// this size is unenumerable anyway, so past it we stay sequential.
+	maxCombos = 1 << 40
+)
+
+// shard is one unit of parallel work: either a contiguous range of trace
+// combinations (exp == nil), or a decision-prefix subtree of one pre-built
+// expansion. Workers fill out and set err before closing out; the merger
+// drains shards strictly in slice order.
+type shard struct {
+	lo, hi int        // combo range [lo, hi), when exp == nil
+	exp    *expansion // shared, read-only
+	prefix []int      // decision choices fixed for this shard
+	out    chan *Candidate
+	err    error // terminal status; published by close(out)
+}
+
+// comboChoice decodes combo index ci (thread 0 most significant) into the
+// per-thread trace choice vector.
+func comboChoice(allTraces [][]Trace, ci int, choice []int) {
+	for tid := len(allTraces) - 1; tid >= 0; tid-- {
+		n := len(allTraces[tid])
+		choice[tid] = ci % n
+		ci /= n
+	}
+}
+
+// enumerateParallel runs the sharded enumeration with a deterministic
+// ordered merge. The merger (the calling goroutine) owns the real budget;
+// workers run with per-worker search state bounded by the same candidate
+// cap, which no shard can exceed usefully.
+func (p *Program) enumerateParallel(ctx context.Context, b Budget, o Options, yield func(*Candidate) bool) error {
+	ms := newSearch(ctx, b, yield) // the merger's search: budget + yield
+	if !ms.alive(true) {
+		return ms.err
+	}
+	allTraces, truncated, err := p.allTraces(ms)
+	if err != nil {
+		return err
+	}
+	if ms.err != nil {
+		return ms.err
+	}
+
+	nc := 1
+	for _, ts := range allTraces {
+		if nc > maxCombos/len(ts) {
+			nc = -1
+			break
+		}
+		nc *= len(ts)
+	}
+	if nc < 0 {
+		// Astronomically many trace combinations: indexing them is not
+		// worth hardening, and the trace product dominates anyway.
+		seq := o
+		seq.Workers = 1
+		return p.EnumerateOptsCtx(ctx, b, seq, yield)
+	}
+
+	shards, err := p.buildShards(allTraces, nc, o.Workers)
+	if err != nil {
+		return err
+	}
+
+	// Workers claim shards via an atomic cursor and wind down when wctx is
+	// canceled — either the caller's cancellation or the merger tearing
+	// down after a stop. Every claimed shard has its channel closed, and
+	// the cursor always drains, so the merger can never block forever.
+	wctx, wcancel := context.WithCancel(ctx)
+	defer wcancel()
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < o.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(shards) {
+					return
+				}
+				sh := &shards[i]
+				sh.err = p.runShard(wctx, ms.deadline, b, o.Prune, allTraces, sh)
+				close(sh.out)
+			}
+		}()
+	}
+
+	var hardErr error
+drain:
+	for i := range shards {
+		sh := &shards[i]
+		for c := range sh.out {
+			if !ms.emit(c) {
+				break drain
+			}
+		}
+		if sh.err == nil {
+			continue
+		}
+		var lim *LimitError
+		if errors.As(sh.err, &lim) && lim.Limit == "candidates" {
+			// The per-shard cap equals the global MaxCandidates: if this
+			// shard filled it, the merger's own budget tripped while
+			// consuming it, so there is nothing left to report here.
+			continue
+		}
+		// Timeout, cancellation or a hard error: stop, re-reporting the
+		// stop with the merged candidate count.
+		switch e := sh.err.(type) {
+		case *LimitError:
+			ms.halt(&LimitError{Limit: e.Limit, Max: e.Max, Candidates: ms.cands})
+		case *CancelError:
+			ms.halt(&CancelError{Cause: e.Cause, Candidates: ms.cands})
+		default:
+			hardErr = sh.err
+		}
+		break drain
+	}
+	wcancel()
+	wg.Wait()
+
+	if hardErr != nil {
+		return hardErr
+	}
+	if ms.err != nil {
+		return ms.err
+	}
+	if truncated {
+		return &LimitError{Limit: "traces", Max: b.MaxTracesPerThread, Candidates: ms.cands}
+	}
+	return nil
+}
+
+// buildShards partitions the decision forest into canonically-ordered
+// shards. With at least one combo per shard slot, shards are contiguous
+// combo ranges (workers build their own expansions, in parallel); with few
+// combos, each combo's expansion is built once here and split by decision
+// prefix. Either way, concatenating the shards' depth-first streams in
+// slice order reproduces the sequential visit order exactly.
+func (p *Program) buildShards(allTraces [][]Trace, nc, workers int) ([]shard, error) {
+	target := workers * shardsPerWorker
+	var shards []shard
+	if nc >= target {
+		for i := 0; i < target; i++ {
+			lo, hi := i*nc/target, (i+1)*nc/target
+			if lo < hi {
+				shards = append(shards, shard{lo: lo, hi: hi})
+			}
+		}
+	} else {
+		per := (target + nc - 1) / nc
+		choice := make([]int, len(p.Threads))
+		for ci := 0; ci < nc; ci++ {
+			comboChoice(allTraces, ci, choice)
+			e, err := p.newExpansion(allTraces, choice)
+			if err != nil {
+				return nil, err
+			}
+			if e == nil {
+				continue // infeasible combination
+			}
+			k, count := prefixSplit(e.widths, per)
+			if count <= 1 {
+				shards = append(shards, shard{exp: e})
+				continue
+			}
+			pref := make([]int, k)
+			for {
+				shards = append(shards, shard{exp: e, prefix: append([]int(nil), pref...)})
+				j := k - 1
+				for ; j >= 0; j-- {
+					if pref[j]++; pref[j] < e.widths[j] {
+						break
+					}
+					pref[j] = 0
+				}
+				if j < 0 {
+					break
+				}
+			}
+		}
+	}
+	for i := range shards {
+		shards[i].out = make(chan *Candidate, 32)
+	}
+	return shards, nil
+}
+
+// prefixSplit picks the shortest decision prefix whose choice count
+// reaches want (capped), returning the prefix length and the count.
+func prefixSplit(widths []int, want int) (k, count int) {
+	count = 1
+	for k = 0; k < len(widths) && count < want; k++ {
+		if count > maxShardsPerCombo/widths[k] {
+			break
+		}
+		count *= widths[k]
+	}
+	return k, count
+}
+
+// runShard walks one shard's subtrees with a fresh per-worker search,
+// pushing candidates into the shard's buffer. The per-shard candidate cap
+// mirrors the global one — a shard never needs to produce more than the
+// merger could consume — and the buffered channel applies backpressure so
+// workers cannot run unboundedly ahead of the merger.
+func (p *Program) runShard(ctx context.Context, deadline time.Time, b Budget, prune Prune, allTraces [][]Trace, sh *shard) error {
+	ws := &search{
+		ctx:      ctx,
+		b:        Budget{MaxCandidates: b.MaxCandidates},
+		deadline: deadline,
+	}
+	ws.yield = func(c *Candidate) bool {
+		select {
+		case sh.out <- c:
+			return true
+		case <-ctx.Done():
+			ws.halt(&CancelError{Cause: context.Cause(ctx), Candidates: ws.cands})
+			return false
+		}
+	}
+	if !ws.alive(true) {
+		return ws.err
+	}
+	if sh.exp != nil {
+		w := newWalker(sh.exp, ws, prune)
+		admissible := true
+		for lvl, c := range sh.prefix {
+			if !w.apply(lvl, c) {
+				admissible = false // the whole shard is pruned
+				break
+			}
+		}
+		if admissible {
+			w.walk(len(sh.prefix))
+		}
+		return ws.err
+	}
+	choice := make([]int, len(p.Threads))
+	for ci := sh.lo; ci < sh.hi; ci++ {
+		if !ws.alive(false) {
+			break
+		}
+		comboChoice(allTraces, ci, choice)
+		e, err := p.newExpansion(allTraces, choice)
+		if err != nil {
+			return err
+		}
+		if e != nil {
+			newWalker(e, ws, prune).walk(0)
+		}
+		if ws.stopped {
+			break
+		}
+	}
+	return ws.err
+}

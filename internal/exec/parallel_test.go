@@ -1,0 +1,304 @@
+package exec_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"herdcats/internal/core"
+	"herdcats/internal/exec"
+)
+
+// fingerprint renders a candidate deterministically: final state plus the
+// rf and co edge lists. Two candidates with equal fingerprints are the
+// same execution, so comparing fingerprint sequences compares streams.
+func fingerprint(c *exec.Candidate) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "state{%s}", c.State.Key(nil))
+	fmt.Fprintf(&b, " rf=%v co=%v", c.X.RF.Pairs(), c.X.CO.Pairs())
+	return b.String()
+}
+
+// stream collects the full fingerprint sequence of one enumeration.
+func stream(t *testing.T, p *exec.Program, b exec.Budget, o exec.Options) ([]string, error) {
+	t.Helper()
+	var out []string
+	err := p.EnumerateOptsCtx(context.Background(), b, o, func(c *exec.Candidate) bool {
+		out = append(out, fingerprint(c))
+		return true
+	})
+	return out, err
+}
+
+// propertyTests are the shapes the determinism property is checked on:
+// read-heavy (iriw), mixed (mp), and the write-heavy pathological test
+// whose co permutations dominate.
+func propertyTests(t *testing.T) map[string]*exec.Program {
+	t.Helper()
+	const iriwSrc = `PPC iriw
+{ 0:r1=x; 1:r1=x; 1:r2=y; 2:r1=y; 3:r1=y; 3:r2=x; }
+ P0 | P1 | P2 | P3 ;
+ li r4,1 | lwz r5,0(r1) | li r4,1 | lwz r5,0(r1) ;
+ stw r4,0(r1) | lwz r6,0(r2) | stw r4,0(r1) | lwz r6,0(r2) ;
+exists (1:r5=1 /\ 1:r6=0 /\ 3:r5=1 /\ 3:r6=0)`
+	const wonlySrc = `PPC wonly
+{ 0:r1=x; 0:r2=y; 1:r1=x; 1:r2=y; 2:r1=x; 2:r2=y; }
+ P0 | P1 | P2 ;
+ li r3,1 | li r3,2 | li r3,3 ;
+ stw r3,0(r1) | stw r3,0(r1) | stw r3,0(r1) ;
+ stw r3,0(r2) | stw r3,0(r2) | stw r3,0(r2) ;
+exists (x=1 /\ y=2)`
+	return map[string]*exec.Program{
+		"mp":     compile(t, mpSrc),
+		"iriw":   compile(t, iriwSrc),
+		"wonly":  compile(t, wonlySrc),
+		"pathom": compile(t, smallPathologicalSrc(t)),
+	}
+}
+
+// smallPathologicalSrc trims the budget-test shape to a size that can be
+// enumerated to completion: five same-location writes and two reads.
+func smallPathologicalSrc(t *testing.T) string {
+	t.Helper()
+	return `PPC pathosmall
+{ 0:r1=x; 1:r1=x; }
+ P0 | P1 ;
+ li r2,1 | li r2,4 ;
+ stw r2,0(r1) | stw r2,0(r1) ;
+ li r2,2 | lwz r3,0(r1) ;
+ stw r2,0(r1) | lwz r4,0(r1) ;
+ li r2,3 | ;
+ stw r2,0(r1) | ;
+exists (1:r3=1 /\ 1:r4=2)`
+}
+
+// TestParallelMatchesSequential is the determinism property of the issue:
+// for workers in {1, 2, 8} the parallel enumeration yields exactly the
+// sequential candidate sequence.
+func TestParallelMatchesSequential(t *testing.T) {
+	for name, p := range propertyTests(t) {
+		t.Run(name, func(t *testing.T) {
+			want, err := stream(t, p, exec.Budget{}, exec.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(want) == 0 {
+				t.Fatal("sequential enumeration yielded no candidates")
+			}
+			for _, workers := range []int{1, 2, 8} {
+				got, err := stream(t, p, exec.Budget{}, exec.Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d: %d candidates, want %d", workers, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("workers=%d: candidate %d differs:\n got %s\nwant %s",
+							workers, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelTruncationDeterministic: under a MaxCandidates budget the
+// parallel enumeration truncates at exactly the sequential point, with the
+// same structured error.
+func TestParallelTruncationDeterministic(t *testing.T) {
+	p := compile(t, smallPathologicalSrc(t))
+	for _, max := range []int{1, 7, 100} {
+		b := exec.Budget{MaxCandidates: max}
+		want, wantErr := stream(t, p, b, exec.Options{})
+		if len(want) != max {
+			t.Fatalf("max=%d: sequential yielded %d candidates", max, len(want))
+		}
+		var wantLim *exec.LimitError
+		if !errors.As(wantErr, &wantLim) {
+			t.Fatalf("max=%d: sequential error = %v", max, wantErr)
+		}
+		for _, workers := range []int{2, 8} {
+			got, err := stream(t, p, b, exec.Options{Workers: workers})
+			var lim *exec.LimitError
+			if !errors.As(err, &lim) {
+				t.Fatalf("max=%d workers=%d: error = %v", max, workers, err)
+			}
+			if lim.Limit != wantLim.Limit || lim.Max != wantLim.Max || lim.Candidates != wantLim.Candidates {
+				t.Fatalf("max=%d workers=%d: limit error %+v, want %+v", max, workers, lim, wantLim)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("max=%d workers=%d: %d candidates, want %d", max, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("max=%d workers=%d: candidate %d differs", max, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelEarlyStop: a yield returning false stops the parallel search
+// cleanly (nil error) after the same prefix as the sequential one.
+func TestParallelEarlyStop(t *testing.T) {
+	p := compile(t, smallPathologicalSrc(t))
+	first := func(o exec.Options, n int) ([]string, error) {
+		var out []string
+		err := p.EnumerateOptsCtx(context.Background(), exec.Budget{}, o, func(c *exec.Candidate) bool {
+			out = append(out, fingerprint(c))
+			return len(out) < n
+		})
+		return out, err
+	}
+	want, err := first(exec.Options{}, 5)
+	if err != nil || len(want) != 5 {
+		t.Fatalf("sequential: %d candidates, err %v", len(want), err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := first(exec.Options{Workers: workers}, 5)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: candidate %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestParallelCancel: canceling the context stops the sharded search and
+// reports ErrCanceled, with no goroutine deadlock.
+func TestParallelCancel(t *testing.T) {
+	p := compile(t, smallPathologicalSrc(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	err := p.EnumerateOptsCtx(ctx, exec.Budget{}, exec.Options{Workers: 4}, func(*exec.Candidate) bool {
+		if n++; n == 3 {
+			cancel()
+		}
+		return true
+	})
+	if !errors.Is(err, exec.ErrCanceled) {
+		t.Fatalf("error = %v, want ErrCanceled", err)
+	}
+}
+
+// TestPruneSoundAndExact: the pruned enumeration yields exactly the
+// candidates whose po-loc ∪ com union is acyclic — no violator survives,
+// no conforming candidate is lost — in the unpruned relative order.
+func TestPruneSoundAndExact(t *testing.T) {
+	for name, p := range propertyTests(t) {
+		t.Run(name, func(t *testing.T) {
+			var kept []string
+			err := p.Enumerate(func(c *exec.Candidate) bool {
+				if core.SCPerLocationHolds(c.X, core.Options{}) {
+					kept = append(kept, fingerprint(c))
+				}
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4} {
+				got, err := stream(t, p, exec.Budget{}, exec.Options{Workers: workers, Prune: exec.PruneSCPerLoc})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if len(got) != len(kept) {
+					t.Fatalf("workers=%d: pruned stream has %d candidates, want %d", workers, len(got), len(kept))
+				}
+				for i := range kept {
+					if got[i] != kept[i] {
+						t.Fatalf("workers=%d: candidate %d differs", workers, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPruneNoRRKeepsHazards: under the load-load-hazard level, candidates
+// whose only uniproc violation is a read-read reordering survive, and
+// everything the relaxed check rejects is pruned.
+func TestPruneNoRRKeepsHazards(t *testing.T) {
+	// coRR: two po-adjacent reads of x observing new-then-old — the
+	// classic hazard allowed by ARM llh.
+	const coRRSrc = `PPC coRR
+{ 0:r2=x; 1:r2=x; }
+ P0 | P1 ;
+ li r1,1 | lwz r3,0(r2) ;
+ stw r1,0(r2) | lwz r4,0(r2) ;
+exists (1:r3=1 /\ 1:r4=0)`
+	p := compile(t, coRRSrc)
+	var kept []string
+	err := p.Enumerate(func(c *exec.Candidate) bool {
+		if core.SCPerLocationHolds(c.X, core.Options{AllowLoadLoadHazard: true}) {
+			kept = append(kept, fingerprint(c))
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := stream(t, p, exec.Budget{}, exec.Options{Prune: exec.PruneSCPerLocNoRR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(kept) {
+		t.Fatalf("pruned stream has %d candidates, want %d", len(got), len(kept))
+	}
+	for i := range kept {
+		if got[i] != kept[i] {
+			t.Fatalf("candidate %d differs", i)
+		}
+	}
+	// The hazard itself must survive: some kept candidate observes r3=1, r4=0.
+	hazard := false
+	for _, fp := range kept {
+		if strings.Contains(fp, "1:r3=1") && strings.Contains(fp, "1:r4=0") {
+			hazard = true
+		}
+	}
+	if !hazard {
+		t.Fatalf("no load-load-hazard candidate survived NoRR pruning:\n%s", strings.Join(kept, "\n"))
+	}
+
+	// The full level must reject strictly more than the NoRR level here.
+	full, err := stream(t, p, exec.Budget{}, exec.Options{Prune: exec.PruneSCPerLoc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) >= len(got) {
+		t.Fatalf("full prune kept %d, NoRR kept %d: expected full < NoRR", len(full), len(got))
+	}
+}
+
+// TestParallelSameSetUnordered is a defence-in-depth check: even if the
+// ordering contract were relaxed, the candidate multiset must match.
+func TestParallelSameSetUnordered(t *testing.T) {
+	p := compile(t, mpSrc)
+	want, err := stream(t, p, exec.Budget{}, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := stream(t, p, exec.Budget{}, exec.Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(want)
+	sort.Strings(got)
+	if len(got) != len(want) {
+		t.Fatalf("%d candidates, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("multiset differs at %d", i)
+		}
+	}
+}

@@ -63,6 +63,19 @@ func CanonicalTest(t *litmus.Test) string { return t.String() }
 
 // Key is the content address of a verdict: the hex SHA-256 over the
 // length-prefixed canonical test, model identity and budget key.
+//
+// Enumeration options (worker count, pruning) are deliberately not part of
+// the key. Workers never change the outcome — the parallel candidate
+// stream is identical to the sequential one — and pruning is fixed per
+// Cache instance (see Options), so neither can make one key ambiguous.
+//
+// The budget's timeout is part of the key, but a COMPLETE outcome does not
+// depend on it: the cache stores complete outcomes under the timeout-free
+// variant of their key and consults that variant on lookup, so a verdict
+// computed under a 10s timeout is served to the same request made with 30s
+// (Stats.CrossTimeoutHits counts these). Outcomes truncated by the
+// deterministic bounds keep their full key — whether the wall clock or the
+// candidate bound trips first does depend on the timeout.
 func Key(canonicalTest, modelID string, b exec.Budget) string {
 	h := sha256.New()
 	for _, field := range []string{canonicalTest, modelID, b.Key()} {
@@ -84,6 +97,11 @@ type Stats struct {
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
 
+	// CrossTimeoutHits counts the subset of Hits served from a complete
+	// outcome computed under a different timeout (same test, model and
+	// deterministic bounds).
+	CrossTimeoutHits uint64 `json:"cross_timeout_hits"`
+
 	// Intermediate layers.
 	ProgramHits   uint64 `json:"program_hits"`
 	ProgramMisses uint64 `json:"program_misses"`
@@ -96,14 +114,34 @@ type Stats struct {
 }
 
 // Cache is a bounded, concurrency-safe verdict cache with request
-// deduplication. The zero value is not usable; call New.
+// deduplication. The zero value is not usable; call New or NewWithOptions.
 type Cache struct {
 	mu       sync.Mutex
+	opts     Options
 	verdicts *lruMap
 	programs *lruMap
 	models   *lruMap
 	inflight map[string]*call
 	stats    Stats
+}
+
+// Options tunes how the cache simulates on a miss. The options are fixed
+// for the lifetime of the cache and are NOT part of the verdict keys:
+//
+//   - Workers cannot be keyed because it does not need to be — the
+//     parallel candidate stream is byte-identical to the sequential one,
+//     so the outcome is a pure function of (test, model, budget) alone.
+//   - Prune does change the Candidates count and the FailedBy histogram
+//     (uniproc-violating candidates are never built), though never the
+//     verdict. Keeping it per-instance rather than per-key means one
+//     cache never mixes pruned and unpruned counters.
+type Options struct {
+	// Workers parallelises each simulation's candidate enumeration;
+	// <= 1 keeps it sequential.
+	Workers int
+	// Prune enables early SC-per-location pruning at the level each
+	// checker declares sound (sim.PruneLevelFor).
+	Prune bool
 }
 
 // call is one in-flight simulation; waiters block on done.
@@ -116,10 +154,17 @@ type call struct {
 // New builds a cache; maxEntries bounds each layer (<= 0 selects
 // DefaultMaxEntries).
 func New(maxEntries int) *Cache {
+	return NewWithOptions(maxEntries, Options{})
+}
+
+// NewWithOptions builds a cache that simulates with the given enumeration
+// options on every miss.
+func NewWithOptions(maxEntries int, o Options) *Cache {
 	if maxEntries <= 0 {
 		maxEntries = DefaultMaxEntries
 	}
 	return &Cache{
+		opts:     o,
 		verdicts: newLRUMap(maxEntries),
 		programs: newLRUMap(maxEntries),
 		models:   newLRUMap(maxEntries),
@@ -149,11 +194,33 @@ func (c *Cache) Run(ctx context.Context, t *litmus.Test, model sim.Checker, b ex
 // RunKeyed is Run for callers that have already computed the key (e.g. to
 // report it); key must equal Key(CanonicalTest(t), ModelID(model), b).
 func (c *Cache) RunKeyed(ctx context.Context, key string, t *litmus.Test, model sim.Checker, b exec.Budget) (*sim.Outcome, bool, error) {
+	// completeKey addresses the same request with the timeout zeroed: a
+	// complete outcome is independent of the timeout it beat, so that is
+	// where complete outcomes live (see Key). With no timeout the two
+	// keys coincide and the extra lookup disappears.
+	completeKey := key
+	if b.Timeout != 0 {
+		tb := b
+		tb.Timeout = 0
+		completeKey = Key(CanonicalTest(t), ModelID(model), tb)
+	}
 	c.mu.Lock()
 	if v, ok := c.verdicts.get(key); ok {
 		c.stats.Hits++
 		c.mu.Unlock()
 		return v.(*sim.Outcome), true, nil
+	}
+	if completeKey != key {
+		// Only a complete outcome may cross timeouts: the timeout-free
+		// key is also a regular key (for requests made with Timeout=0),
+		// so it can hold a deterministically-truncated outcome — valid
+		// there, but not an answer for a different timeout.
+		if v, ok := c.verdicts.get(completeKey); ok && !v.(*sim.Outcome).Incomplete {
+			c.stats.Hits++
+			c.stats.CrossTimeoutHits++
+			c.mu.Unlock()
+			return v.(*sim.Outcome), true, nil
+		}
 	}
 	if cl, ok := c.inflight[key]; ok {
 		c.stats.Waits++
@@ -177,7 +244,14 @@ func (c *Cache) RunKeyed(ctx context.Context, key string, t *litmus.Test, model 
 	c.mu.Lock()
 	delete(c.inflight, key)
 	if err == nil && cacheable(out) {
-		c.stats.Evictions += uint64(c.verdicts.add(key, out))
+		storeKey := key
+		if !out.Incomplete {
+			// Complete verdicts are re-keyed timeout-free so every
+			// timeout variant of this request finds them. Truncated
+			// (but deterministic) outcomes keep the full key.
+			storeKey = completeKey
+		}
+		c.stats.Evictions += uint64(c.verdicts.add(storeKey, out))
 	}
 	c.mu.Unlock()
 
@@ -192,7 +266,8 @@ func (c *Cache) simulate(ctx context.Context, t *litmus.Test, model sim.Checker,
 	if err != nil {
 		return nil, err
 	}
-	return sim.RunCompiledCtx(ctx, p, model, b)
+	o := sim.Options{Workers: c.opts.Workers, Prune: c.opts.Prune}
+	return sim.RunCompiledOptsCtx(ctx, p, model, b, o)
 }
 
 // cacheable decides whether an outcome is a function of its key alone.

@@ -283,3 +283,76 @@ func TestWaiterCancellation(t *testing.T) {
 		t.Fatalf("leader failed: %v", err)
 	}
 }
+
+// TestCrossTimeoutHit is the cache-key regression: a COMPLETE verdict
+// computed under one timeout must be served to the same request made with
+// any other timeout (the outcome cannot depend on a deadline it beat),
+// while truncated outcomes stay confined to their exact budget key.
+func TestCrossTimeoutHit(t *testing.T) {
+	c := memo.New(0)
+	test := mustTest(t, "mp")
+	ctx := context.Background()
+
+	out1, cached, err := c.Run(ctx, test, models.Power, exec.Budget{Timeout: time.Minute})
+	if err != nil || cached {
+		t.Fatalf("first run: cached=%v err=%v", cached, err)
+	}
+	if out1.Incomplete {
+		t.Fatal("mp under a minute should complete")
+	}
+	for _, timeout := range []time.Duration{time.Hour, 0, 30 * time.Second} {
+		out2, cached, err := c.Run(ctx, test, models.Power, exec.Budget{Timeout: timeout})
+		if err != nil || !cached {
+			t.Fatalf("timeout=%v: cached=%v err=%v", timeout, cached, err)
+		}
+		if out2 != out1 {
+			t.Fatalf("timeout=%v: served a different outcome object", timeout)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 3 || s.CrossTimeoutHits != 2 {
+		t.Fatalf("stats = %+v, want misses=1 hits=3 cross_timeout_hits=2", s)
+	}
+
+	// A candidate-truncated outcome is keyed with its timeout: the same
+	// bounds under a different timeout must simulate again, and the
+	// timeout-free entry it does store must never satisfy a
+	// timeout-bearing request.
+	tb := exec.Budget{MaxCandidates: 1}
+	out, _, err := c.Run(ctx, test, models.Power, tb)
+	if err != nil || !out.Incomplete {
+		t.Fatalf("truncated run: out=%+v err=%v", out, err)
+	}
+	tb.Timeout = time.Minute
+	if _, cached, err := c.Run(ctx, test, models.Power, tb); err != nil || cached {
+		t.Fatalf("truncated outcome crossed timeouts: cached=%v err=%v", cached, err)
+	}
+}
+
+// TestOptionsPreserveOutcome: a pruned, parallel cache returns the same
+// verdict and states as a plain one — only the Candidates counter may
+// legitimately differ.
+func TestOptionsPreserveOutcome(t *testing.T) {
+	plain := memo.New(0)
+	tuned := memo.NewWithOptions(0, memo.Options{Workers: 4, Prune: true})
+	ctx := context.Background()
+	for _, name := range []string{"mp", "sb", "iriw"} {
+		test := mustTest(t, name)
+		for _, m := range []sim.Checker{models.SC, models.Power, models.ARMllh} {
+			a, _, err := plain.Run(ctx, test, m, exec.Budget{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _, err := tuned.Run(ctx, test, m, exec.Budget{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Valid != b.Valid || a.CondObserved != b.CondObserved || a.OK() != b.OK() {
+				t.Errorf("%s/%s: tuned cache changed the verdict", name, m.Name())
+			}
+			if b.Candidates > a.Candidates {
+				t.Errorf("%s/%s: pruning grew candidates %d -> %d", name, m.Name(), a.Candidates, b.Candidates)
+			}
+		}
+	}
+}

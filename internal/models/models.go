@@ -7,6 +7,7 @@ package models
 import (
 	"herdcats/internal/core"
 	"herdcats/internal/events"
+	"herdcats/internal/exec"
 	"herdcats/internal/rel"
 )
 
@@ -23,6 +24,19 @@ func (m Model) Name() string { return m.Arch.Name() }
 // Check validates a candidate execution against the model.
 func (m Model) Check(x *events.Execution) core.Result {
 	return core.CheckWith(m.Arch, x, m.Opts)
+}
+
+// PruneLevel declares the early SC-per-location pruning level sound for
+// this model (sim.PruneCapable): core.CheckWith evaluates the SC PER
+// LOCATION axiom for every architecture, so any candidate whose po-loc ∪
+// com union is cyclic is rejected — the enumeration may skip it. Under
+// AllowLoadLoadHazard the axiom exempts read-read program-order pairs, and
+// so must the pruning.
+func (m Model) PruneLevel() exec.Prune {
+	if m.Opts.AllowLoadLoadHazard {
+		return exec.PruneSCPerLocNoRR
+	}
+	return exec.PruneSCPerLoc
 }
 
 // The standard model zoo.

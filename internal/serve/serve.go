@@ -50,6 +50,18 @@ type Config struct {
 	// MaxBatchTests bounds the tests of one /v1/batch request
 	// (<= 0 selects 256).
 	MaxBatchTests int
+
+	// EnumWorkers parallelises the candidate enumeration inside each
+	// simulation (<= 1 keeps it sequential). Deliberately absent from
+	// cache keys: the parallel candidate stream is identical to the
+	// sequential one, so verdicts are worker-count independent.
+	EnumWorkers int
+
+	// Prune enables early SC-per-location pruning for models that
+	// declare it sound. Verdicts and states are unchanged; the
+	// Candidates counters in responses shrink. Fixed per server, so the
+	// cache never mixes pruned and unpruned counters.
+	Prune bool
 }
 
 func (c Config) maxRequestBytes() int64 {
@@ -80,7 +92,8 @@ type Server struct {
 
 // New builds a server and registers its expvar metrics.
 func New(cfg Config) *Server {
-	s := &Server{cfg: cfg, cache: memo.New(cfg.CacheEntries)}
+	s := &Server{cfg: cfg, cache: memo.NewWithOptions(cfg.CacheEntries,
+		memo.Options{Workers: cfg.EnumWorkers, Prune: cfg.Prune})}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)

@@ -25,6 +25,41 @@ type Checker interface {
 	Check(x *events.Execution) core.Result
 }
 
+// PruneCapable is implemented by checkers that declare a level of early
+// SC-per-location pruning as sound: the checker promises to reject every
+// candidate whose per-location po-loc ∪ com projection (relaxed per the
+// level) is cyclic, so the enumeration may skip building such candidates.
+// models.Model and cat.Model both implement it.
+type PruneCapable interface {
+	PruneLevel() exec.Prune
+}
+
+// PruneLevelFor resolves the pruning level a checker declares sound, or
+// PruneNone for checkers that declare nothing.
+func PruneLevelFor(model Checker) exec.Prune {
+	if pc, ok := model.(PruneCapable); ok {
+		return pc.PruneLevel()
+	}
+	return exec.PruneNone
+}
+
+// Options tunes how the candidate space is enumerated. The zero value
+// reproduces RunCtx exactly: sequential and unpruned.
+type Options struct {
+	// Workers parallelises the enumeration (exec.EnumerateParallelCtx).
+	// The candidate stream is identical for every worker count, so the
+	// outcome — counters, states, verdict and even a deterministic
+	// truncation point — does not depend on it.
+	Workers int
+
+	// Prune enables early SC-per-location pruning at the level the
+	// checker declares sound (PruneLevelFor); checkers declaring nothing
+	// run unpruned. Pruning preserves Valid, States, CondObserved and
+	// OK, but Candidates shrinks and uniproc violations disappear from
+	// FailedBy: the rejected candidates are never built.
+	Prune bool
+}
+
 // Outcome summarises a simulation run of one test under one model.
 type Outcome struct {
 	Test  *litmus.Test
@@ -96,6 +131,16 @@ func RunCtx(ctx context.Context, test *litmus.Test, model Checker, b exec.Budget
 	return RunCompiledCtx(ctx, p, model, b)
 }
 
+// RunOptsCtx is RunCtx with enumeration Options (parallel workers and
+// checker-declared pruning).
+func RunOptsCtx(ctx context.Context, test *litmus.Test, model Checker, b exec.Budget, o Options) (*Outcome, error) {
+	p, err := exec.Compile(test)
+	if err != nil {
+		return nil, err
+	}
+	return RunCompiledOptsCtx(ctx, p, model, b, o)
+}
+
 // RunCompiled simulates an already-compiled program under model.
 func RunCompiled(p *exec.Program, model Checker) (*Outcome, error) {
 	return RunCompiledCtx(context.Background(), p, model, exec.Budget{})
@@ -103,11 +148,20 @@ func RunCompiled(p *exec.Program, model Checker) (*Outcome, error) {
 
 // RunCompiledCtx is RunCtx for an already-compiled program.
 func RunCompiledCtx(ctx context.Context, p *exec.Program, model Checker, b exec.Budget) (*Outcome, error) {
+	return RunCompiledOptsCtx(ctx, p, model, b, Options{})
+}
+
+// RunCompiledOptsCtx is RunOptsCtx for an already-compiled program.
+func RunCompiledOptsCtx(ctx context.Context, p *exec.Program, model Checker, b exec.Budget, o Options) (*Outcome, error) {
+	eo := exec.Options{Workers: o.Workers}
+	if o.Prune {
+		eo.Prune = PruneLevelFor(model)
+	}
 	out := &Outcome{
 		Test: p.Test, Model: model.Name(),
 		States: map[string]int{}, FailedBy: map[string]int{},
 	}
-	err := p.EnumerateCtx(ctx, b, func(c *exec.Candidate) bool {
+	err := p.EnumerateOptsCtx(ctx, b, eo, func(c *exec.Candidate) bool {
 		out.Candidates++
 		res := model.Check(c.X)
 		if !res.Valid {
