@@ -18,10 +18,11 @@ race:
 	$(GO) test -race ./...
 
 # Time the sharded candidate enumeration at 1/2/4/8 workers, verify the
-# streams are byte-identical to the sequential one, and record the result
-# (with the runner's core count) in BENCH_enumerate.json.
+# streams are byte-identical to the sequential one, check that enabling
+# the obs counters stays within noise of the nil-sink path, and record
+# the result (with the runner's core count) in BENCH_enumerate.json.
 bench:
-	BENCH_ENUM_OUT=$(CURDIR)/BENCH_enumerate.json $(GO) test -run TestBenchEnumerateJSON -count=1 -v .
+	BENCH_ENUM_OUT=$(CURDIR)/BENCH_enumerate.json $(GO) test -run 'TestBenchEnumerateJSON|TestObsOverheadSmoke' -count=1 -v .
 
 ci: vet test race
 

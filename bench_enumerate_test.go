@@ -14,6 +14,7 @@ import (
 
 	"herdcats/internal/exec"
 	"herdcats/internal/litmus"
+	"herdcats/internal/obs"
 )
 
 // coHeavySrc is the parallel-enumeration workload: four threads of three
@@ -21,8 +22,8 @@ import (
 // plus its initial one, so the candidate count is the pure coherence
 // product 4!³ = 13824 — no reads, so rf contributes nothing and pruning
 // never fires. The shard tree is wide at the top (the co positions of the
-// first thread's writes), which is exactly the shape
-// exec.EnumerateParallelCtx splits across workers.
+// first thread's writes), which is exactly the shape the sharded
+// Program.Search splits across workers.
 const coHeavySrc = `PPC coheavy
 { 0:r1=x; 0:r2=y; 0:r3=z;
   1:r1=x; 1:r2=y; 1:r3=z;
@@ -42,8 +43,8 @@ func enumerateHash(tb testing.TB, workers int) (string, int) {
 	p := compileBench(tb, coHeavySrc)
 	h := sha256.New()
 	n := 0
-	err := p.EnumerateOptsCtx(context.Background(), exec.Budget{},
-		exec.Options{Workers: workers}, func(c *exec.Candidate) bool {
+	err := p.Search(context.Background(), exec.Request{Workers: workers},
+		func(c *exec.Candidate) bool {
 			n++
 			fmt.Fprintf(h, "%s|%v|%v\n", c.State.Key(nil), c.X.RF.Pairs(), c.X.CO.Pairs())
 			return true
@@ -63,31 +64,61 @@ func compileBench(tb testing.TB, src string) *exec.Program {
 	return p
 }
 
+// timedSearch runs one full co-heavy enumeration with the given sink and
+// returns the wall clock. A nil sink is the instrumentation-disabled path.
+func timedSearch(tb testing.TB, p *exec.Program, workers int, sink *obs.EnumStats) time.Duration {
+	tb.Helper()
+	start := time.Now()
+	n := 0
+	err := p.Search(context.Background(), exec.Request{Workers: workers, Obs: sink},
+		func(*exec.Candidate) bool { n++; return true })
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if n != 13824 {
+		tb.Fatalf("enumerated %d candidates, want 13824", n)
+	}
+	return time.Since(start)
+}
+
 // BenchmarkEnumerateParallel measures the sharded enumeration of the
-// co-heavy workload at increasing worker counts. The candidate stream is
-// identical at every width (TestBenchEnumerateJSON verifies the hash), so
-// the sub-benchmarks are directly comparable.
+// co-heavy workload at increasing worker counts, with instrumentation off
+// (obs=0, a nil sink — the default) and on (obs=1, a live EnumStats). The
+// candidate stream is identical at every width (TestBenchEnumerateJSON
+// verifies the hash), so the sub-benchmarks are directly comparable.
 func BenchmarkEnumerateParallel(b *testing.B) {
 	p := compileBench(b, coHeavySrc)
 	for _, workers := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				n := 0
-				err := p.EnumerateOptsCtx(context.Background(), exec.Budget{},
-					exec.Options{Workers: workers}, func(*exec.Candidate) bool {
-						n++
-						return true
-					})
-				if err != nil {
-					b.Fatal(err)
+		for _, instrumented := range []bool{false, true} {
+			name := fmt.Sprintf("workers=%d/obs=%d", workers, b2i(instrumented))
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				var sink *obs.EnumStats
+				if instrumented {
+					sink = &obs.EnumStats{}
 				}
-				if n != 13824 {
-					b.Fatalf("enumerated %d candidates, want 13824", n)
+				for i := 0; i < b.N; i++ {
+					n := 0
+					err := p.Search(context.Background(),
+						exec.Request{Workers: workers, Obs: sink},
+						func(*exec.Candidate) bool { n++; return true })
+					if err != nil {
+						b.Fatal(err)
+					}
+					if n != 13824 {
+						b.Fatalf("enumerated %d candidates, want 13824", n)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
 }
 
 // benchRow is one line of BENCH_enumerate.json.
@@ -101,7 +132,8 @@ type benchRow struct {
 
 // TestBenchEnumerateJSON, gated on BENCH_ENUM_OUT, times the co-heavy
 // enumeration at 1/2/4/8 workers, verifies every stream is byte-identical
-// to the sequential one, and writes the machine-readable record the CI
+// to the sequential one, measures the overhead of enabled instrumentation
+// against the nil-sink path, and writes the machine-readable record the CI
 // bench step commits as BENCH_enumerate.json. Speedups are honest for the
 // recorded core count: on a single-core runner they hover around 1x.
 func TestBenchEnumerateJSON(t *testing.T) {
@@ -117,13 +149,7 @@ func TestBenchEnumerateJSON(t *testing.T) {
 		hash, n := enumerateHash(t, workers)
 		reps := make([]int64, 0, 3)
 		for r := 0; r < 3; r++ {
-			start := time.Now()
-			err := p.EnumerateOptsCtx(context.Background(), exec.Budget{},
-				exec.Options{Workers: workers}, func(*exec.Candidate) bool { return true })
-			if err != nil {
-				t.Fatal(err)
-			}
-			reps = append(reps, time.Since(start).Nanoseconds())
+			reps = append(reps, timedSearch(t, p, workers, nil).Nanoseconds())
 		}
 		sort.Slice(reps, func(i, j int) bool { return reps[i] < reps[j] })
 		median := reps[1]
@@ -141,18 +167,33 @@ func TestBenchEnumerateJSON(t *testing.T) {
 			t.Errorf("workers=%d: stream hash %s differs from sequential %s", workers, hash, wantHash)
 		}
 	}
+
+	// Instrumentation overhead, measured within this run so machine speed
+	// cancels out: interleave nil-sink and live-sink repetitions and
+	// compare medians. The engine flushes its counters once per search
+	// (or per shard), so the enabled path should sit within noise of the
+	// disabled one; the record keeps CI honest about it.
+	offMed, onMed := obsOverhead(t, p)
+	overhead := float64(onMed)/float64(offMed) - 1
+
 	record := struct {
-		Test       string     `json:"test"`
-		Candidates int        `json:"candidates"`
-		Cores      int        `json:"cores"`
-		GoMaxProcs int        `json:"gomaxprocs"`
-		Rows       []benchRow `json:"rows"`
+		Test          string     `json:"test"`
+		Candidates    int        `json:"candidates"`
+		Cores         int        `json:"cores"`
+		GoMaxProcs    int        `json:"gomaxprocs"`
+		Rows          []benchRow `json:"rows"`
+		ObsOffNsPerOp int64      `json:"obs_off_ns_per_op"`
+		ObsOnNsPerOp  int64      `json:"obs_on_ns_per_op"`
+		ObsOverhead   float64    `json:"obs_overhead"`
 	}{
-		Test:       "coheavy (4 threads x 3 writes, 4!^3 candidates)",
-		Candidates: wantN,
-		Cores:      runtime.NumCPU(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Rows:       rows,
+		Test:          "coheavy (4 threads x 3 writes, 4!^3 candidates)",
+		Candidates:    wantN,
+		Cores:         runtime.NumCPU(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Rows:          rows,
+		ObsOffNsPerOp: offMed,
+		ObsOnNsPerOp:  onMed,
+		ObsOverhead:   overhead,
 	}
 	data, err := json.MarshalIndent(record, "", "  ")
 	if err != nil {
@@ -164,5 +205,42 @@ func TestBenchEnumerateJSON(t *testing.T) {
 	t.Logf("wrote %s (cores=%d)", out, record.Cores)
 	for _, r := range rows {
 		t.Logf("workers=%d: %v/op, speedup %.2fx", r.Workers, time.Duration(r.NsPerOp), r.Speedup)
+	}
+	t.Logf("obs overhead: off %v, on %v (%.1f%%)",
+		time.Duration(offMed), time.Duration(onMed), overhead*100)
+}
+
+// obsOverhead interleaves sequential enumerations with the sink off and on
+// and returns the two medians.
+func obsOverhead(t *testing.T, p *exec.Program) (offMed, onMed int64) {
+	t.Helper()
+	const reps = 5
+	var off, on []int64
+	sink := &obs.EnumStats{}
+	for r := 0; r < reps; r++ {
+		off = append(off, timedSearch(t, p, 1, nil).Nanoseconds())
+		on = append(on, timedSearch(t, p, 1, sink).Nanoseconds())
+	}
+	sort.Slice(off, func(i, j int) bool { return off[i] < off[j] })
+	sort.Slice(on, func(i, j int) bool { return on[i] < on[j] })
+	return off[reps/2], on[reps/2]
+}
+
+// TestObsOverheadSmoke is the CI bench-smoke assertion: enabling the
+// enumeration counters must not slow the sequential co-heavy search by
+// more than 20% (the engine accumulates privately and flushes once per
+// search, so the true cost is a handful of atomics per run — the margin
+// is noise allowance, not a real budget). Gated on BENCH_ENUM_OUT like
+// the JSON record so ordinary test runs stay fast.
+func TestObsOverheadSmoke(t *testing.T) {
+	if os.Getenv("BENCH_ENUM_OUT") == "" {
+		t.Skip("set BENCH_ENUM_OUT to run the overhead smoke")
+	}
+	p := compileBench(t, coHeavySrc)
+	timedSearch(t, p, 1, nil) // warm-up
+	offMed, onMed := obsOverhead(t, p)
+	if ratio := float64(onMed) / float64(offMed); ratio > 1.20 {
+		t.Errorf("instrumented search %.2fx slower than nil-sink (off %v, on %v)",
+			ratio, time.Duration(offMed), time.Duration(onMed))
 	}
 }

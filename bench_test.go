@@ -6,6 +6,7 @@ package herdcats_bench
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -44,7 +45,7 @@ func BenchmarkFigureVerdicts(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, p := range programs {
-			if _, err := sim.RunCompiled(p, models.Power); err != nil {
+			if _, err := sim.Simulate(context.Background(), sim.Request{Program: p, Checker: models.Power}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -66,7 +67,7 @@ func BenchmarkFig06SCPerLocation(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, p := range programs {
-			if _, err := sim.RunCompiled(p, models.SC); err != nil {
+			if _, err := sim.Simulate(context.Background(), sim.Request{Program: p, Checker: models.SC}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -87,7 +88,7 @@ func BenchmarkTable5Harness(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := sim.RunCompiled(p, models.PowerARM); err != nil {
+			if _, err := sim.Simulate(context.Background(), sim.Request{Program: p, Checker: models.PowerARM}); err != nil {
 				b.Fatal(err)
 			}
 			if _, err := machines[0].RunCompiled(p); err != nil {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -164,7 +165,7 @@ func figures() error {
 			if !ok {
 				return fmt.Errorf("unknown model %q", name)
 			}
-			out, err := sim.Run(test, m)
+			out, err := sim.Simulate(context.Background(), sim.Request{Test: test, Checker: m})
 			if err != nil {
 				return fmt.Errorf("%s: %v", e.Name, err)
 			}

@@ -25,6 +25,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"time"
 
 	"herdcats/internal/campaign"
 	"herdcats/internal/cat"
@@ -32,6 +33,7 @@ import (
 	"herdcats/internal/exec"
 	"herdcats/internal/litmus"
 	"herdcats/internal/memo"
+	"herdcats/internal/obs"
 	"herdcats/internal/sim"
 )
 
@@ -49,6 +51,7 @@ func main() {
 	prune := flag.Bool("prune", false, "skip SC-per-location-violating candidates for models that declare the pruning sound")
 	contOnErr := flag.Bool("continue-on-error", true, "keep simulating remaining tests after a test errors or panics")
 	jsonOut := flag.Bool("json", false, "emit the machine-readable campaign report on stdout")
+	stats := flag.Bool("stats", false, "print a per-test phase breakdown (compile/enumerate/check/verdict, candidates, pruning) and batch totals")
 	flag.Parse()
 
 	if *list {
@@ -95,6 +98,7 @@ func main() {
 	// failure is reported in order, in text and in the JSON report.
 	jobs := make([]campaign.Job, flag.NArg())
 	tests := make([]*litmus.Test, flag.NArg())
+	traces := make([]*obs.Trace, flag.NArg())
 	for i, path := range flag.Args() {
 		i, path := i, path
 		data, err := os.ReadFile(path)
@@ -108,9 +112,14 @@ func main() {
 			continue
 		}
 		tests[i] = test
+		if *stats {
+			traces[i] = obs.NewTrace()
+		}
 		jobs[i] = campaign.Job{Name: test.Name, Model: checker,
 			Run: func(ctx context.Context, b exec.Budget) (*sim.Outcome, error) {
-				out, _, err := cache.Run(ctx, test, checker, b)
+				out, _, err := cache.Simulate(ctx, memo.Request{
+					Test: test, Model: checker, Budget: b, Obs: traces[i],
+				})
 				return out, err
 			}}
 	}
@@ -124,12 +133,38 @@ func main() {
 	}
 	rep := campaign.Run(context.Background(), cfg, jobs)
 
+	// The cache-backed jobs above bypass the campaign's own tracing, so
+	// fold the per-test traces into the report here: rep.Jobs is in job
+	// order, and the aggregation matches what campaign.Report.Add does.
+	if *stats {
+		for i := range rep.Jobs {
+			tj := traces[i].Summary()
+			if tj == nil {
+				continue
+			}
+			rep.Jobs[i].Trace = tj
+			if rep.PhaseTotalsUS == nil {
+				rep.PhaseTotalsUS = map[string]int64{}
+			}
+			for _, ph := range tj.Phases {
+				rep.PhaseTotalsUS[ph.Phase] += ph.DurationUS
+			}
+			if rep.Enum == nil {
+				rep.Enum = &obs.EnumSnapshot{}
+			}
+			rep.Enum.Add(tj.Enum)
+		}
+	}
+
 	if *jsonOut {
 		if err := rep.WriteJSON(os.Stdout); err != nil {
 			fatal(err)
 		}
 	} else {
 		printReport(rep, *verbose)
+		if *stats {
+			printStats(rep)
+		}
 	}
 
 	exit := 0
@@ -205,6 +240,34 @@ func printReport(rep *campaign.Report, verbose bool) {
 	}
 }
 
+// printStats renders each traced test's phase breakdown, then the batch
+// totals. A test with an empty trace (an unreadable file, a verdict served
+// from the cache without fresh work) prints nothing.
+func printStats(rep *campaign.Report) {
+	for _, res := range rep.Jobs {
+		if res.Trace == nil {
+			continue
+		}
+		fmt.Printf("%s:\n%s", res.Name, res.Trace)
+	}
+	if len(rep.PhaseTotalsUS) == 0 {
+		return
+	}
+	fmt.Println("total:")
+	total := &obs.TraceJSON{Enum: obs.EnumSnapshot{}}
+	tr := obs.NewTrace()
+	for name, us := range rep.PhaseTotalsUS {
+		tr.Observe(name, time.Duration(us)*time.Microsecond)
+	}
+	if s := tr.Summary(); s != nil {
+		total.Phases = s.Phases
+	}
+	if rep.Enum != nil {
+		total.Enum = *rep.Enum
+	}
+	fmt.Print(total)
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "herd:", err)
 	os.Exit(1)
@@ -219,7 +282,7 @@ func explainTest(test *litmus.Test, p *exec.Program, checker sim.Checker) error 
 		return fmt.Errorf("-explain requires a cat model")
 	}
 	found := false
-	err := p.Enumerate(func(c *exec.Candidate) bool {
+	err := p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 		if test.Cond != nil && !test.Cond.Eval(c.State) {
 			return true
 		}
@@ -259,7 +322,7 @@ func writeDot(dir string, test *litmus.Test, p *exec.Program) error {
 		return err
 	}
 	var rendered string
-	err := p.Enumerate(func(c *exec.Candidate) bool {
+	err := p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 		if test.Cond == nil || test.Cond.Eval(c.State) {
 			rendered = dot.Render(test.Name, c.X)
 			return false

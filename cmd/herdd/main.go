@@ -10,9 +10,13 @@
 //	herdd [-addr :8787] [-j 0] [-enum-workers 1] [-prune]
 //	      [-cache-entries 4096] [-timeout 30s]
 //
-// Endpoints and metrics are documented in README.md ("herdd: the verdict
-// service"). SIGINT/SIGTERM drain in-flight requests before the process
-// exits; a second signal, or an expired drain, force-closes.
+// Endpoints and the wire format are documented in README.md ("herdd: the
+// verdict service"). Observability: GET /metrics serves the Prometheus
+// text exposition (request latency histograms, enumeration and cache
+// counters), GET /debug/pprof/ the standard profiles, and every /v1/run
+// response embeds its phase trace. SIGINT/SIGTERM drain in-flight requests
+// before the process exits; a second signal, or an expired drain,
+// force-closes.
 package main
 
 import (

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -104,7 +105,7 @@ func main() {
 			if err != nil {
 				log.Fatalf("%s at %v: %v", p.name, s, err)
 			}
-			out, err := sim.Run(test, models.Power)
+			out, err := sim.Simulate(context.Background(), sim.Request{Test: test, Checker: models.Power})
 			if err != nil {
 				log.Fatal(err)
 			}

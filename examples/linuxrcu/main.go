@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,10 +43,10 @@ func main() {
 		run   func() (*sim.Outcome, error)
 	}{
 		{"with rcu_assign_pointer's lwsync", func() (*sim.Outcome, error) {
-			return sim.Run(rcu.Test(), models.Power)
+			return sim.Simulate(context.Background(), sim.Request{Test: rcu.Test(), Checker: models.Power})
 		}},
 		{"without the fence (buggy)", func() (*sim.Outcome, error) {
-			return sim.Run(rcu.BuggyTest(), models.Power)
+			return sim.Simulate(context.Background(), sim.Request{Test: rcu.BuggyTest(), Checker: models.Power})
 		}},
 	} {
 		out, err := tc.run()

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -62,7 +63,7 @@ func main() {
 	// machine agrees with the axiomatic verdicts, execution by execution.
 	fmt.Println("\ncross-checking Power against its operational machine on mp...")
 	e, _ := catalog.ByName("mp")
-	out, err := sim.Run(e.Test(), models.Power)
+	out, err := sim.Simulate(context.Background(), sim.Request{Test: e.Test(), Checker: models.Power})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func main() {
 }
 
 func verdict(test *litmus.Test, m sim.Checker) string {
-	out, err := sim.Run(test, m)
+	out, err := sim.Simulate(context.Background(), sim.Request{Test: test, Checker: m})
 	if err != nil {
 		return "error"
 	}
@@ -97,7 +98,7 @@ func operationalAllowed(test *litmus.Test) (bool, error) {
 // whether a condition-satisfying one is accepted.
 func simCompile(test *litmus.Test) (bool, error) {
 	allowed := false
-	out, err := sim.Run(test, operationalChecker{})
+	out, err := sim.Simulate(context.Background(), sim.Request{Test: test, Checker: operationalChecker{}})
 	if err != nil {
 		return false, err
 	}

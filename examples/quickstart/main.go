@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,7 +46,7 @@ func main() {
 			log.Fatal(err)
 		}
 		// Simulate under the native Go Power model...
-		out, err := sim.Run(test, models.Power)
+		out, err := sim.Simulate(context.Background(), sim.Request{Test: test, Checker: models.Power})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -64,7 +65,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		catOut, err := sim.Run(test, catPower)
+		catOut, err := sim.Simulate(context.Background(), sim.Request{Test: test, Checker: catPower})
 		if err != nil {
 			log.Fatal(err)
 		}

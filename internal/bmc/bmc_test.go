@@ -1,6 +1,7 @@
 package bmc_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -43,7 +44,7 @@ func TestAgainstSimulator(t *testing.T) {
 					t.Fatalf("%s: encode: %v", e.Name, err)
 				}
 				got := inst.Solve()
-				out, err := sim.Run(test, modelOf(id))
+				out, err := sim.Simulate(context.Background(), sim.Request{Test: test, Checker: modelOf(id)})
 				if err != nil {
 					t.Fatalf("%s: simulate: %v", e.Name, err)
 				}
@@ -212,7 +213,7 @@ exists (x=2 /\ y=2)`,
 		if err != nil {
 			t.Fatalf("%s: %v", test.Name, err)
 		}
-		out, err := sim.Run(test, models.C11)
+		out, err := sim.Simulate(context.Background(), sim.Request{Test: test, Checker: models.C11})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -20,6 +20,7 @@ import (
 
 	"herdcats/internal/exec"
 	"herdcats/internal/litmus"
+	"herdcats/internal/obs"
 	"herdcats/internal/sim"
 )
 
@@ -95,6 +96,12 @@ type Config struct {
 	// declare it sound (sim.Options.Prune). Outcome verdicts and states
 	// are unchanged; Candidates counts shrink.
 	Prune bool
+
+	// Trace records a per-job phase trace (compile → enumerate → check →
+	// verdict plus enumeration counters) into each JobResult, and
+	// aggregate phase totals into the Report. Off by default: tracing is
+	// cheap but not free, and large campaigns produce large reports.
+	Trace bool
 }
 
 func (c Config) retries() int {
@@ -136,6 +143,11 @@ type JobResult struct {
 	Attempts   int            `json:"attempts"`
 	ElapsedMS  int64          `json:"elapsed_ms"`
 
+	// Trace is the final attempt's phase breakdown, present only when
+	// Config.Trace is set and the default job body ran (custom Job.Run
+	// functions own their instrumentation).
+	Trace *obs.TraceJSON `json:"trace,omitempty"`
+
 	Outcome *sim.Outcome `json:"-"`
 }
 
@@ -149,16 +161,38 @@ type Report struct {
 	Jobs      []JobResult    `json:"jobs"`
 	Counts    map[Status]int `json:"counts"`
 	ElapsedMS int64          `json:"elapsed_ms"`
+
+	// PhaseTotalsUS sums each traced job's phase durations, in
+	// microseconds — the campaign-wide answer to "where did the time
+	// go?". Present only when Config.Trace was set.
+	PhaseTotalsUS map[string]int64 `json:"phase_totals_us,omitempty"`
+
+	// Enum sums the traced jobs' enumeration counters. Present only when
+	// Config.Trace was set.
+	Enum *obs.EnumSnapshot `json:"enum,omitempty"`
 }
 
 // Add appends a result (e.g. a pre-run failure synthesised by a caller)
-// and keeps the counts consistent.
+// and keeps the counts and phase totals consistent.
 func (r *Report) Add(res JobResult) {
 	r.Jobs = append(r.Jobs, res)
 	if r.Counts == nil {
 		r.Counts = map[Status]int{}
 	}
 	r.Counts[res.Status]++
+	if res.Trace == nil {
+		return
+	}
+	if r.PhaseTotalsUS == nil {
+		r.PhaseTotalsUS = map[string]int64{}
+	}
+	for _, ph := range res.Trace.Phases {
+		r.PhaseTotalsUS[ph.Phase] += ph.DurationUS
+	}
+	if r.Enum == nil {
+		r.Enum = &obs.EnumSnapshot{}
+	}
+	r.Enum.Add(res.Trace.Enum)
 }
 
 // Failures counts the jobs that ended Panicked or Error.
@@ -222,8 +256,9 @@ func runJob(ctx context.Context, cfg Config, job Job) JobResult {
 attempts:
 	for attempt := 0; ; attempt++ {
 		res.Attempts++
-		out, err, stack := runAttempt(ctx, cfg, timeout, budget, job)
+		out, tr, err, stack := runAttempt(ctx, cfg, timeout, budget, job)
 		res.fill(out, err, stack)
+		res.Trace = tr.Summary()
 		retryable := res.Status == StatusIncomplete &&
 			ctx.Err() == nil && // the caller is not tearing the campaign down
 			attempt < cfg.retries()
@@ -255,7 +290,7 @@ attempts:
 // runAttempt executes one attempt with panic containment: a panic in the
 // model, the checker or the enumeration surfaces as an error plus the
 // captured stack, never further.
-func runAttempt(ctx context.Context, cfg Config, timeout time.Duration, b exec.Budget, job Job) (out *sim.Outcome, err error, stack string) {
+func runAttempt(ctx context.Context, cfg Config, timeout time.Duration, b exec.Budget, job Job) (out *sim.Outcome, tr *obs.Trace, err error, stack string) {
 	defer func() {
 		if r := recover(); r != nil {
 			out = nil
@@ -270,14 +305,19 @@ func runAttempt(ctx context.Context, cfg Config, timeout time.Duration, b exec.B
 	}
 	if job.Run != nil {
 		out, err = job.Run(ctx, b)
-		return out, err, ""
+		return out, nil, err, ""
 	}
 	o := sim.Options{Workers: cfg.EnumWorkers, Prune: cfg.Prune}
 	if job.EnumWorkers > 0 {
 		o.Workers = job.EnumWorkers
 	}
-	out, err = sim.RunOptsCtx(ctx, job.Test, job.Model, b, o)
-	return out, err, ""
+	if cfg.Trace {
+		tr = obs.NewTrace()
+	}
+	out, err = sim.Simulate(ctx, sim.Request{
+		Test: job.Test, Checker: job.Model, Budget: b, Options: o, Obs: tr,
+	})
+	return out, tr, err, ""
 }
 
 // fill classifies one attempt's result into the JobResult.

@@ -1,6 +1,7 @@
 package cases_test
 
 import (
+	"context"
 	"testing"
 
 	"herdcats/internal/cases"
@@ -31,14 +32,14 @@ func TestAllCasesParse(t *testing.T) {
 // the simulator-side counterpart of the Tab. XII verification.
 func TestCorrectVariantsSafe(t *testing.T) {
 	for _, c := range cases.All() {
-		ok, err := sim.Run(c.Test(), models.Power)
+		ok, err := sim.Simulate(context.Background(), sim.Request{Test: c.Test(), Checker: models.Power})
 		if err != nil {
 			t.Fatalf("%s: %v", c.Name, err)
 		}
 		if ok.Allowed() {
 			t.Errorf("%s: fenced variant's violation reachable", c.Name)
 		}
-		bug, err := sim.Run(c.BuggyTest(), models.Power)
+		bug, err := sim.Simulate(context.Background(), sim.Request{Test: c.BuggyTest(), Checker: models.Power})
 		if err != nil {
 			t.Fatalf("%s: %v", c.Name, err)
 		}
@@ -53,7 +54,7 @@ func TestCorrectVariantsSafe(t *testing.T) {
 // the paper's central motivation for hardware models.
 func TestCasesSCSafe(t *testing.T) {
 	for _, c := range cases.All() {
-		out, err := sim.Run(c.BuggyTest(), models.SC)
+		out, err := sim.Simulate(context.Background(), sim.Request{Test: c.BuggyTest(), Checker: models.SC})
 		if err != nil {
 			t.Fatalf("%s: %v", c.Name, err)
 		}

@@ -1,6 +1,7 @@
 package cat_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -42,7 +43,7 @@ func TestCatMatchesNative(t *testing.T) {
 					t.Fatalf("%s: %v", e.Name, err)
 				}
 				mismatches := 0
-				err = p.Enumerate(func(c *exec.Candidate) bool {
+				err = p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 					catRes := m.Check(c.X)
 					natRes := pair.native.Check(c.X)
 					if catRes.Valid != natRes.Valid {
@@ -79,7 +80,7 @@ func TestBuiltinVerdicts(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			out, err := sim.Run(e.Test(), m)
+			out, err := sim.Simulate(context.Background(), sim.Request{Test: e.Test(), Checker: m})
 			if err != nil {
 				t.Fatalf("%s under %s: %v", e.Name, catName, err)
 			}
@@ -140,7 +141,7 @@ func TestOperatorSemantics(t *testing.T) {
 	}
 	sawInternal := false
 	sawExternalOnly := false
-	err = p.Enumerate(func(c *exec.Candidate) bool {
+	err = p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 		res := m.Check(c.X)
 		if res.Valid == c.X.RFI.IsEmpty() {
 			if res.Valid {
@@ -171,7 +172,7 @@ func TestRestrictors(t *testing.T) {
 		t.Fatal(err)
 	}
 	ran := false
-	err = p.Enumerate(func(c *exec.Candidate) bool {
+	err = p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 		ran = true
 		po := c.X.PO.Restrict(c.X.M, c.X.M)
 		want := po.Restrict(c.X.W, c.X.R).Union(c.X.RFE).Acyclic()
@@ -221,7 +222,7 @@ func TestCppRACat(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", e.Name, err)
 		}
-		err = p.Enumerate(func(c *exec.Candidate) bool {
+		err = p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 			catRes := m.Check(c.X)
 			natRes := models.CppRA.Check(c.X)
 			if catRes.Valid != natRes.Valid {
@@ -249,7 +250,7 @@ func TestLLHFilterModel(t *testing.T) {
 		t.Fatal(err)
 	}
 	matched, unmatched := 0, 0
-	err = p.Enumerate(func(c *exec.Candidate) bool {
+	err = p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 		// Ground truth: a candidate is an llh behaviour iff it violates
 		// strict SC PER LOCATION but passes with read-read pairs dropped.
 		strict := core.SCPerLocationHolds(c.X, core.Options{})
@@ -290,7 +291,7 @@ irreflexive maybe & (po;po) as weird`)
 		t.Fatal(err)
 	}
 	ran := false
-	err = p.Enumerate(func(c *exec.Candidate) bool {
+	err = p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 		ran = true
 		res := m.Check(c.X)
 		// rf? is reflexive on memory events; po;po over two-instruction
@@ -319,7 +320,7 @@ func TestExplainWitness(t *testing.T) {
 		t.Fatal(err)
 	}
 	explained := false
-	err = p.Enumerate(func(c *exec.Candidate) bool {
+	err = p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 		if entry.Test().Cond.Eval(c.State) {
 			vs := m.Explain(c.X)
 			if len(vs) == 0 {
@@ -343,7 +344,7 @@ func TestExplainWitness(t *testing.T) {
 		t.Fatal("condition state not enumerated")
 	}
 	// Valid executions yield no violations.
-	err = p.Enumerate(func(c *exec.Candidate) bool {
+	err = p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 		if m.Check(c.X).Valid {
 			if vs := m.Explain(c.X); len(vs) != 0 {
 				t.Errorf("valid execution explained: %v", vs)
@@ -380,14 +381,14 @@ exists (1:r1=1 /\ 1:r2=0)`: true,
 	}
 	for src, want := range srcs {
 		test := litmus.MustParse(src)
-		out, err := sim.Run(test, m)
+		out, err := sim.Simulate(context.Background(), sim.Request{Test: test, Checker: m})
 		if err != nil {
 			t.Fatalf("%s: %v", test.Name, err)
 		}
 		if out.Allowed() != want {
 			t.Errorf("%s under cat c11: allowed=%v, want %v", test.Name, out.Allowed(), want)
 		}
-		native, err := sim.Run(test, models.C11)
+		native, err := sim.Simulate(context.Background(), sim.Request{Test: test, Checker: models.C11})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package crosscheck_test
 
 import (
+	"context"
 	"testing"
 
 	"herdcats/internal/bmc"
@@ -48,7 +49,7 @@ func corpus(t *testing.T, max4 int) []*litmus.Test {
 // violations — so no generated test's condition is SC-observable.
 func TestAllGeneratedSCForbidden(t *testing.T) {
 	for _, test := range corpus(t, 80) {
-		out, err := sim.Run(test, models.SC)
+		out, err := sim.Simulate(context.Background(), sim.Request{Test: test, Checker: models.SC})
 		if err != nil {
 			t.Fatalf("%s: %v", test.Name, err)
 		}
@@ -70,7 +71,7 @@ func TestCatAgreesOnCorpus(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", test.Name, err)
 		}
-		err = p.Enumerate(func(c *exec.Candidate) bool {
+		err = p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 			if catPower.Check(c.X).Valid != models.Power.Check(c.X).Valid {
 				t.Errorf("%s: cat and native Power disagree", test.Name)
 				return false
@@ -92,7 +93,7 @@ func TestMachineAgreesOnCorpus(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", test.Name, err)
 		}
-		err = p.Enumerate(func(c *exec.Candidate) bool {
+		err = p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 			m, err := machine.New(models.Power.Arch, c.X)
 			if err != nil {
 				t.Fatalf("%s: %v", test.Name, err)
@@ -136,7 +137,7 @@ func TestBMCAgreesOnCorpus(t *testing.T) {
 			default:
 				m = models.Power
 			}
-			out, err := sim.Run(test, m)
+			out, err := sim.Simulate(context.Background(), sim.Request{Test: test, Checker: m})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -155,7 +156,7 @@ func TestModelMonotonicityOnCorpus(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		err = p.Enumerate(func(c *exec.Candidate) bool {
+		err = p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 			if models.SC.Check(c.X).Valid {
 				for _, m := range []models.Model{models.TSO, models.Power, models.PowerStatic} {
 					if !m.Check(c.X).Valid {

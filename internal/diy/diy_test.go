@@ -1,6 +1,7 @@
 package diy_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -27,7 +28,7 @@ func dep(k diy.DepKind, d diy.Dir) diy.Edge {
 
 func verdict(t *testing.T, test *litmus.Test, m sim.Checker) bool {
 	t.Helper()
-	out, err := sim.Run(test, m)
+	out, err := sim.Simulate(context.Background(), sim.Request{Test: test, Checker: m})
 	if err != nil {
 		t.Fatalf("%s: %v", test.Name, err)
 	}
@@ -162,7 +163,7 @@ func TestEnumerateCorpus(t *testing.T) {
 			return true
 		}
 		generated++
-		if _, err := sim.Run(test, models.Power); err != nil {
+		if _, err := sim.Simulate(context.Background(), sim.Request{Test: test, Checker: models.Power}); err != nil {
 			t.Fatalf("%s: simulation failed: %v\n%s", c.Name(), err, test)
 		}
 		return generated < 60 // keep the unit test fast

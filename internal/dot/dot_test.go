@@ -1,6 +1,7 @@
 package dot_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestRenderMP(t *testing.T) {
 		t.Fatal(err)
 	}
 	var src string
-	err = p.Enumerate(func(c *exec.Candidate) bool {
+	err = p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 		// Render the forbidden-under-SC data-flow (the paper's Fig. 4).
 		if !models.SC.Check(c.X).Valid {
 			src = dot.Render("mp", c.X)
@@ -62,7 +63,7 @@ exists (x=1)`
 		t.Fatal(err)
 	}
 	var out string
-	err = p.Enumerate(func(c *exec.Candidate) bool {
+	err = p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 		out = dot.Render("fenced", c.X)
 		return false
 	})
@@ -81,7 +82,7 @@ func TestRenderDeps(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out string
-	err = p.Enumerate(func(c *exec.Candidate) bool {
+	err = p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 		out = dot.Render(e.Name, c.X)
 		return false
 	})

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"herdcats/internal/obs"
 )
 
 // The enumeration of Sec. 3 is combinatorial: read-value vectors, rf maps
@@ -131,9 +133,21 @@ type search struct {
 	yield    func(*Candidate) bool
 
 	cands   int   // candidates yielded so far
+	pruned  int   // decision subtrees rejected by early pruning
 	stopped bool  // stop the recursion (user stop, budget, or cancel)
 	err     error // non-nil iff stopped abnormally
 	tick    uint  // throttle for the deadline/cancellation checks
+}
+
+// flush publishes the search's private counters to an observability sink.
+// Counting privately and flushing once keeps the hot walk free of atomics;
+// a nil sink makes the whole call a branch.
+func (s *search) flush(sink *obs.EnumStats) {
+	if sink == nil {
+		return
+	}
+	sink.AddCandidates(s.cands)
+	sink.AddPruned(s.pruned)
 }
 
 // halt stops the search abnormally, recording the reason. The first
@@ -204,14 +218,4 @@ func newSearch(ctx context.Context, b Budget, yield func(*Candidate) bool) *sear
 // errNoTrace reports a thread with no feasible control-flow trace.
 func errNoTrace(tid int) error {
 	return fmt.Errorf("exec: thread %d has no feasible trace", tid)
-}
-
-// EnumerateCtx is Enumerate with cancellation and budgets: the search
-// stops as soon as ctx is canceled (within one yield) or a Budget bound
-// trips, returning an error matching ErrCanceled or ErrBudgetExceeded.
-// Candidates yielded before the stop are fully derived and remain valid,
-// so callers can report a partial outcome. For a parallel or pruned
-// search, see EnumerateOptsCtx and EnumerateParallelCtx.
-func (p *Program) EnumerateCtx(ctx context.Context, b Budget, yield func(*Candidate) bool) error {
-	return p.EnumerateOptsCtx(ctx, b, Options{}, yield)
 }

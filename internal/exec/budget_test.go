@@ -43,7 +43,7 @@ func TestCancelStopsWithinOneYield(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	yields := 0
-	err := p.EnumerateCtx(ctx, exec.Budget{}, func(*exec.Candidate) bool {
+	err := p.Search(ctx, exec.Request{Budget: exec.Budget{}}, func(*exec.Candidate) bool {
 		yields++
 		cancel() // cancel mid-search, from inside the first yield
 		return true
@@ -69,7 +69,7 @@ func TestCancelStopsWithinOneYield(t *testing.T) {
 func TestMaxCandidatesBudget(t *testing.T) {
 	p := compilePathological(t)
 	yields := 0
-	err := p.EnumerateCtx(context.Background(), exec.Budget{MaxCandidates: 3}, func(*exec.Candidate) bool {
+	err := p.Search(context.Background(), exec.Request{Budget: exec.Budget{MaxCandidates: 3}}, func(*exec.Candidate) bool {
 		yields++
 		return true
 	})
@@ -92,7 +92,7 @@ func TestTimeoutBudget(t *testing.T) {
 	p := compilePathological(t)
 	start := time.Now()
 	yields := 0
-	err := p.EnumerateCtx(context.Background(), exec.Budget{Timeout: 30 * time.Millisecond},
+	err := p.Search(context.Background(), exec.Request{Budget: exec.Budget{Timeout: 30 * time.Millisecond}},
 		func(*exec.Candidate) bool {
 			yields++
 			return true
@@ -126,7 +126,7 @@ exists (1:r3=1 /\ 1:r4=1)`
 		t.Fatal(err)
 	}
 	yields := 0
-	err = p.EnumerateCtx(context.Background(), exec.Budget{MaxTracesPerThread: 2},
+	err = p.Search(context.Background(), exec.Request{Budget: exec.Budget{MaxTracesPerThread: 2}},
 		func(*exec.Candidate) bool {
 			yields++
 			return true
@@ -146,7 +146,7 @@ exists (1:r3=1 /\ 1:r4=1)`
 func TestEarlyStopIsNotAnError(t *testing.T) {
 	p := compilePathological(t)
 	yields := 0
-	err := p.EnumerateCtx(context.Background(), exec.Budget{MaxCandidates: 100},
+	err := p.Search(context.Background(), exec.Request{Budget: exec.Budget{MaxCandidates: 100}},
 		func(*exec.Candidate) bool {
 			yields++
 			return false // caller stop, before any budget trips

@@ -1,0 +1,55 @@
+package exec
+
+// The enumeration API accreted one entry point per feature — plain,
+// context, parallel, options — until every new knob (budgets, workers,
+// pruning, now observability) multiplied the surface. Program.Search is
+// the consolidated replacement; everything below is a thin wrapper kept
+// for source compatibility. New code, in-repo or out, should call Search.
+// The staticcheck CI job flags uses of these wrappers outside this file
+// (and the equivalence test that pins their behaviour).
+
+import "context"
+
+// Options tunes one enumeration. The zero value is sequential, unpruned.
+//
+// Deprecated: fill a Request and call Program.Search instead; Request
+// carries the same fields plus the budget and the observability sink.
+type Options struct {
+	// Workers is the number of goroutines sharding the decision tree
+	// (see Request.Workers).
+	Workers int
+
+	// Prune sets the early SC-per-location pruning level (see
+	// Request.Prune).
+	Prune Prune
+}
+
+// Enumerate yields every candidate execution of the test. The callback may
+// return false to stop early. Executions handed to yield are fully derived.
+//
+// Deprecated: use Search with a zero Request.
+func (p *Program) Enumerate(yield func(*Candidate) bool) error {
+	return p.Search(context.Background(), Request{}, yield)
+}
+
+// EnumerateCtx is Enumerate with cancellation and budgets.
+//
+// Deprecated: use Search with Request{Budget: b}.
+func (p *Program) EnumerateCtx(ctx context.Context, b Budget, yield func(*Candidate) bool) error {
+	return p.Search(ctx, Request{Budget: b}, yield)
+}
+
+// EnumerateParallelCtx is EnumerateCtx with the decision tree sharded over
+// a pool of workers goroutines.
+//
+// Deprecated: use Search with Request{Budget: b, Workers: workers}.
+func (p *Program) EnumerateParallelCtx(ctx context.Context, b Budget, workers int, yield func(*Candidate) bool) error {
+	return p.Search(ctx, Request{Budget: b, Workers: workers}, yield)
+}
+
+// EnumerateOptsCtx is EnumerateCtx with Options.
+//
+// Deprecated: use Search; Request subsumes Budget and Options.
+func (p *Program) EnumerateOptsCtx(ctx context.Context, b Budget, o Options, yield func(*Candidate) bool) error {
+	return p.Search(ctx, Request{Budget: b, Workers: o.Workers, Prune: o.Prune}, yield)
+}

@@ -1,0 +1,112 @@
+//lint:file-ignore SA1019 this file pins the behaviour of the deprecated wrappers.
+
+package exec_test
+
+import (
+	"context"
+	"testing"
+
+	"herdcats/internal/exec"
+)
+
+// TestDeprecatedWrappersEquivalent pins every deprecated Enumerate variant
+// to Program.Search: same candidate stream, same order, same error. The
+// wrappers are pure sugar over Search, and this test is what lets the
+// staticcheck job forbid their use everywhere else without fear that
+// out-of-repo callers see a behaviour change.
+func TestDeprecatedWrappersEquivalent(t *testing.T) {
+	p := compile(t, mpSrc)
+	want, wantErr := stream(t, p, exec.Request{})
+	if wantErr != nil || len(want) == 0 {
+		t.Fatalf("Search baseline: %d candidates, err %v", len(want), wantErr)
+	}
+	collect := func(enumerate func(func(*exec.Candidate) bool) error) ([]string, error) {
+		var out []string
+		err := enumerate(func(c *exec.Candidate) bool {
+			out = append(out, fingerprint(c))
+			return true
+		})
+		return out, err
+	}
+	ctx := context.Background()
+	wrappers := map[string]func(func(*exec.Candidate) bool) error{
+		"Enumerate": p.Enumerate,
+		"EnumerateCtx": func(y func(*exec.Candidate) bool) error {
+			return p.EnumerateCtx(ctx, exec.Budget{}, y)
+		},
+		"EnumerateParallelCtx": func(y func(*exec.Candidate) bool) error {
+			return p.EnumerateParallelCtx(ctx, exec.Budget{}, 3, y)
+		},
+		"EnumerateOptsCtx": func(y func(*exec.Candidate) bool) error {
+			return p.EnumerateOptsCtx(ctx, exec.Budget{}, exec.Options{Workers: 2}, y)
+		},
+	}
+	for name, enumerate := range wrappers {
+		got, err := collect(enumerate)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(got) != len(want) {
+			t.Errorf("%s: %d candidates, want %d", name, len(got), len(want))
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: candidate %d differs:\n got %s\nwant %s", name, i, got[i], want[i])
+				break
+			}
+		}
+	}
+}
+
+// TestDeprecatedBudgetEquivalent: the wrappers thread budgets through to
+// Search unchanged — the truncation point and structured error match.
+func TestDeprecatedBudgetEquivalent(t *testing.T) {
+	p := compile(t, smallPathologicalSrc(t))
+	b := exec.Budget{MaxCandidates: 7}
+	want, wantErr := stream(t, p, exec.Request{Budget: b})
+	var got []string
+	err := p.EnumerateCtx(context.Background(), b, func(c *exec.Candidate) bool {
+		got = append(got, fingerprint(c))
+		return true
+	})
+	if (err == nil) != (wantErr == nil) || (err != nil && err.Error() != wantErr.Error()) {
+		t.Fatalf("error = %v, want %v", err, wantErr)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d candidates, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("candidate %d differs", i)
+		}
+	}
+}
+
+// TestDeprecatedPruneEquivalent: Options.Prune maps onto Request.Prune.
+func TestDeprecatedPruneEquivalent(t *testing.T) {
+	p := compile(t, smallPathologicalSrc(t))
+	want, err := stream(t, p, exec.Request{Prune: exec.PruneSCPerLoc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	err = p.EnumerateOptsCtx(context.Background(), exec.Budget{},
+		exec.Options{Prune: exec.PruneSCPerLoc},
+		func(c *exec.Candidate) bool {
+			got = append(got, fingerprint(c))
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d candidates, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("candidate %d differs", i)
+		}
+	}
+}

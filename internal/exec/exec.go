@@ -306,13 +306,6 @@ func (p *Program) threadTraces(s *search, tid int) ([]Trace, bool, error) {
 	return out, truncated, nil
 }
 
-// Enumerate yields every candidate execution of the test. The callback may
-// return false to stop early. Executions handed to yield are fully derived.
-// Use EnumerateCtx for a cancellable, budgeted search.
-func (p *Program) Enumerate(yield func(*Candidate) bool) error {
-	return p.EnumerateCtx(context.Background(), Budget{}, yield)
-}
-
 // Candidates collects every candidate execution of a test (convenience).
 func Candidates(t *litmus.Test) ([]*Candidate, error) {
 	p, err := Compile(t)
@@ -320,7 +313,7 @@ func Candidates(t *litmus.Test) ([]*Candidate, error) {
 		return nil, err
 	}
 	var out []*Candidate
-	err = p.Enumerate(func(c *Candidate) bool {
+	err = p.Search(context.Background(), Request{}, func(c *Candidate) bool {
 		out = append(out, c)
 		return true
 	})

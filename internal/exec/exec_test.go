@@ -1,6 +1,7 @@
 package exec_test
 
 import (
+	"context"
 	"testing"
 
 	"herdcats/internal/events"
@@ -29,7 +30,7 @@ exists (1:r5=1 /\ 1:r6=0)`
 func TestCandidateInvariants(t *testing.T) {
 	p := compile(t, mpSrc)
 	count := 0
-	err := p.Enumerate(func(c *exec.Candidate) bool {
+	err := p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 		count++
 		x := c.X
 		// Every read has exactly one rf source.
@@ -94,7 +95,7 @@ func TestCandidateInvariants(t *testing.T) {
 func TestFinalStates(t *testing.T) {
 	p := compile(t, mpSrc)
 	states := map[string]bool{}
-	err := p.Enumerate(func(c *exec.Candidate) bool {
+	err := p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 		states[c.State.Key(p.Test.Cond)] = true
 		// Final memory must be the co-maximal write's value.
 		if c.State.Mem["x"] != (litmus.Value{Int: 1}) || c.State.Mem["y"] != (litmus.Value{Int: 1}) {
@@ -129,7 +130,7 @@ func TestDependenciesDerived(t *testing.T) {
 exists (0:r5=0)`
 	p := compile(t, src)
 	checked := false
-	err := p.Enumerate(func(c *exec.Candidate) bool {
+	err := p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 		checked = true
 		x := c.X
 		var memReads, memWrites []int
@@ -180,7 +181,7 @@ func TestCtrlDependencyDerived(t *testing.T) {
  stw r2,0(r3) ;
 exists (0:r5=0)`
 	p := compile(t, src)
-	err := p.Enumerate(func(c *exec.Candidate) bool {
+	err := p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 		x := c.X
 		var read, write = -1, -1
 		for _, e := range x.Events {
@@ -215,7 +216,7 @@ exists (x=1)`
 func TestEarlyStop(t *testing.T) {
 	p := compile(t, mpSrc)
 	n := 0
-	err := p.Enumerate(func(*exec.Candidate) bool {
+	err := p.Search(context.Background(), exec.Request{}, func(*exec.Candidate) bool {
 		n++
 		return false
 	})
@@ -317,7 +318,7 @@ exists (1:r4=1 /\ 1:r5=0 /\ 3:r4=1 /\ 3:r5=0)`, 16},
 	for _, c := range cases {
 		p := compile(t, c.src)
 		n := 0
-		if err := p.Enumerate(func(*exec.Candidate) bool { n++; return true }); err != nil {
+		if err := p.Search(context.Background(), exec.Request{}, func(*exec.Candidate) bool { n++; return true }); err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}
 		if n != c.want {

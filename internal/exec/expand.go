@@ -312,6 +312,8 @@ func (w *walker) walk(level int) {
 		}
 		if w.apply(level, c) {
 			w.walk(level + 1)
+		} else {
+			w.s.pruned++
 		}
 		w.undo(level)
 		if w.s.stopped {

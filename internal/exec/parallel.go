@@ -6,11 +6,18 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"herdcats/internal/obs"
 )
 
-// Options tunes one enumeration. The zero value reproduces EnumerateCtx
-// exactly: sequential, unpruned.
-type Options struct {
+// Request gathers every knob of one enumeration — the single entry point
+// replacing the Enumerate/EnumerateCtx/EnumerateParallelCtx/
+// EnumerateOptsCtx family (kept as deprecated wrappers). The zero value
+// enumerates sequentially, unpruned, unbudgeted and uninstrumented.
+type Request struct {
+	// Budget bounds the search (see Budget); the zero value is unlimited.
+	Budget Budget
+
 	// Workers is the number of goroutines sharding the rf/co decision
 	// tree (<= 1 enumerates sequentially on the calling goroutine). The
 	// candidate stream is identical — same candidates, same order, same
@@ -23,23 +30,27 @@ type Options struct {
 	// level the downstream checker has declared sound (see Prune); the
 	// default PruneNone reproduces the full candidate space.
 	Prune Prune
+
+	// Obs, when non-nil, receives the enumeration counters: candidates
+	// yielded, subtrees rejected by pruning, and shard utilisation.
+	// Counters are accumulated privately per worker and flushed in bulk,
+	// so the hot walk stays free of atomics; a nil sink costs one branch
+	// per flush point.
+	Obs *obs.EnumStats
 }
 
-// EnumerateParallelCtx is EnumerateCtx with the decision tree sharded over
-// a pool of workers goroutines. Workers walk disjoint subtrees into
-// per-shard buffers; the calling goroutine yields the buffers in canonical
-// shard order, so the candidate stream (including the truncation point of
-// a MaxCandidates budget) is identical to the sequential enumeration.
-func (p *Program) EnumerateParallelCtx(ctx context.Context, b Budget, workers int, yield func(*Candidate) bool) error {
-	return p.EnumerateOptsCtx(ctx, b, Options{Workers: workers}, yield)
-}
-
-// EnumerateOptsCtx is EnumerateCtx with Options.
-func (p *Program) EnumerateOptsCtx(ctx context.Context, b Budget, o Options, yield func(*Candidate) bool) error {
-	if o.Workers > 1 {
-		return p.enumerateParallel(ctx, b, o, yield)
+// Search enumerates every candidate execution of the compiled program
+// under req, handing each to yield (return false to stop early). The
+// search stops as soon as ctx is canceled (within one yield) or a Budget
+// bound trips, returning an error matching ErrCanceled or
+// ErrBudgetExceeded; candidates yielded before the stop are fully derived
+// and remain valid, so callers can report a partial outcome.
+func (p *Program) Search(ctx context.Context, req Request, yield func(*Candidate) bool) error {
+	if req.Workers > 1 {
+		return p.enumerateParallel(ctx, req, yield)
 	}
-	s := newSearch(ctx, b, yield)
+	s := newSearch(ctx, req.Budget, yield)
+	defer s.flush(req.Obs)
 	if !s.alive(true) { // already canceled or expired before the search starts
 		return s.err
 	}
@@ -64,7 +75,7 @@ func (p *Program) EnumerateOptsCtx(ctx context.Context, b Budget, o Options, yie
 				return err
 			}
 			if e != nil {
-				newWalker(e, s, o.Prune).walk(0)
+				newWalker(e, s, req.Prune).walk(0)
 			}
 			return nil
 		}
@@ -83,7 +94,7 @@ func (p *Program) EnumerateOptsCtx(ctx context.Context, b Budget, o Options, yie
 		return s.err
 	}
 	if truncated {
-		return &LimitError{Limit: "traces", Max: b.MaxTracesPerThread, Candidates: s.cands}
+		return &LimitError{Limit: "traces", Max: req.Budget.MaxTracesPerThread, Candidates: s.cands}
 	}
 	return nil
 }
@@ -147,8 +158,9 @@ func comboChoice(allTraces [][]Trace, ci int, choice []int) {
 // ordered merge. The merger (the calling goroutine) owns the real budget;
 // workers run with per-worker search state bounded by the same candidate
 // cap, which no shard can exceed usefully.
-func (p *Program) enumerateParallel(ctx context.Context, b Budget, o Options, yield func(*Candidate) bool) error {
-	ms := newSearch(ctx, b, yield) // the merger's search: budget + yield
+func (p *Program) enumerateParallel(ctx context.Context, req Request, yield func(*Candidate) bool) error {
+	ms := newSearch(ctx, req.Budget, yield) // the merger's search: budget + yield
+	defer ms.flush(req.Obs)
 	if !ms.alive(true) {
 		return ms.err
 	}
@@ -171,15 +183,18 @@ func (p *Program) enumerateParallel(ctx context.Context, b Budget, o Options, yi
 	if nc < 0 {
 		// Astronomically many trace combinations: indexing them is not
 		// worth hardening, and the trace product dominates anyway.
-		seq := o
+		seq := req
 		seq.Workers = 1
-		return p.EnumerateOptsCtx(ctx, b, seq, yield)
+		seq.Obs = nil // this search's counters flush through ms
+		return p.Search(ctx, seq, yield)
 	}
 
-	shards, err := p.buildShards(allTraces, nc, o.Workers)
+	shards, err := p.buildShards(allTraces, nc, req.Workers)
 	if err != nil {
 		return err
 	}
+	req.Obs.SetWorkers(req.Workers)
+	req.Obs.AddShardsBuilt(len(shards))
 
 	// Workers claim shards via an atomic cursor and wind down when wctx is
 	// canceled — either the caller's cancellation or the merger tearing
@@ -189,7 +204,7 @@ func (p *Program) enumerateParallel(ctx context.Context, b Budget, o Options, yi
 	defer wcancel()
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	for i := 0; i < o.Workers; i++ {
+	for i := 0; i < req.Workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -199,7 +214,7 @@ func (p *Program) enumerateParallel(ctx context.Context, b Budget, o Options, yi
 					return
 				}
 				sh := &shards[i]
-				sh.err = p.runShard(wctx, ms.deadline, b, o.Prune, allTraces, sh)
+				sh.err = p.runShard(wctx, ms.deadline, req, allTraces, sh)
 				close(sh.out)
 			}
 		}()
@@ -246,7 +261,7 @@ drain:
 		return ms.err
 	}
 	if truncated {
-		return &LimitError{Limit: "traces", Max: b.MaxTracesPerThread, Candidates: ms.cands}
+		return &LimitError{Limit: "traces", Max: req.Budget.MaxTracesPerThread, Candidates: ms.cands}
 	}
 	return nil
 }
@@ -323,11 +338,13 @@ func prefixSplit(widths []int, want int) (k, count int) {
 // pushing candidates into the shard's buffer. The per-shard candidate cap
 // mirrors the global one — a shard never needs to produce more than the
 // merger could consume — and the buffered channel applies backpressure so
-// workers cannot run unboundedly ahead of the merger.
-func (p *Program) runShard(ctx context.Context, deadline time.Time, b Budget, prune Prune, allTraces [][]Trace, sh *shard) error {
+// workers cannot run unboundedly ahead of the merger. Prune rejections are
+// flushed to req.Obs per shard; candidate totals are owned by the merger,
+// so the worker search flushes only its prune counter.
+func (p *Program) runShard(ctx context.Context, deadline time.Time, req Request, allTraces [][]Trace, sh *shard) error {
 	ws := &search{
 		ctx:      ctx,
-		b:        Budget{MaxCandidates: b.MaxCandidates},
+		b:        Budget{MaxCandidates: req.Budget.MaxCandidates},
 		deadline: deadline,
 	}
 	ws.yield = func(c *Candidate) bool {
@@ -339,15 +356,20 @@ func (p *Program) runShard(ctx context.Context, deadline time.Time, b Budget, pr
 			return false
 		}
 	}
+	defer func() {
+		req.Obs.AddShardsRun(1)
+		req.Obs.AddPruned(ws.pruned)
+	}()
 	if !ws.alive(true) {
 		return ws.err
 	}
 	if sh.exp != nil {
-		w := newWalker(sh.exp, ws, prune)
+		w := newWalker(sh.exp, ws, req.Prune)
 		admissible := true
 		for lvl, c := range sh.prefix {
 			if !w.apply(lvl, c) {
 				admissible = false // the whole shard is pruned
+				ws.pruned++
 				break
 			}
 		}
@@ -367,7 +389,7 @@ func (p *Program) runShard(ctx context.Context, deadline time.Time, b Budget, pr
 			return err
 		}
 		if e != nil {
-			newWalker(e, ws, prune).walk(0)
+			newWalker(e, ws, req.Prune).walk(0)
 		}
 		if ws.stopped {
 			break

@@ -23,10 +23,10 @@ func fingerprint(c *exec.Candidate) string {
 }
 
 // stream collects the full fingerprint sequence of one enumeration.
-func stream(t *testing.T, p *exec.Program, b exec.Budget, o exec.Options) ([]string, error) {
+func stream(t *testing.T, p *exec.Program, req exec.Request) ([]string, error) {
 	t.Helper()
 	var out []string
-	err := p.EnumerateOptsCtx(context.Background(), b, o, func(c *exec.Candidate) bool {
+	err := p.Search(context.Background(), req, func(c *exec.Candidate) bool {
 		out = append(out, fingerprint(c))
 		return true
 	})
@@ -81,7 +81,7 @@ exists (1:r3=1 /\ 1:r4=2)`
 func TestParallelMatchesSequential(t *testing.T) {
 	for name, p := range propertyTests(t) {
 		t.Run(name, func(t *testing.T) {
-			want, err := stream(t, p, exec.Budget{}, exec.Options{})
+			want, err := stream(t, p, exec.Request{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -89,7 +89,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 				t.Fatal("sequential enumeration yielded no candidates")
 			}
 			for _, workers := range []int{1, 2, 8} {
-				got, err := stream(t, p, exec.Budget{}, exec.Options{Workers: workers})
+				got, err := stream(t, p, exec.Request{Workers: workers})
 				if err != nil {
 					t.Fatalf("workers=%d: %v", workers, err)
 				}
@@ -114,7 +114,7 @@ func TestParallelTruncationDeterministic(t *testing.T) {
 	p := compile(t, smallPathologicalSrc(t))
 	for _, max := range []int{1, 7, 100} {
 		b := exec.Budget{MaxCandidates: max}
-		want, wantErr := stream(t, p, b, exec.Options{})
+		want, wantErr := stream(t, p, exec.Request{Budget: b})
 		if len(want) != max {
 			t.Fatalf("max=%d: sequential yielded %d candidates", max, len(want))
 		}
@@ -123,7 +123,7 @@ func TestParallelTruncationDeterministic(t *testing.T) {
 			t.Fatalf("max=%d: sequential error = %v", max, wantErr)
 		}
 		for _, workers := range []int{2, 8} {
-			got, err := stream(t, p, b, exec.Options{Workers: workers})
+			got, err := stream(t, p, exec.Request{Budget: b, Workers: workers})
 			var lim *exec.LimitError
 			if !errors.As(err, &lim) {
 				t.Fatalf("max=%d workers=%d: error = %v", max, workers, err)
@@ -147,20 +147,20 @@ func TestParallelTruncationDeterministic(t *testing.T) {
 // cleanly (nil error) after the same prefix as the sequential one.
 func TestParallelEarlyStop(t *testing.T) {
 	p := compile(t, smallPathologicalSrc(t))
-	first := func(o exec.Options, n int) ([]string, error) {
+	first := func(req exec.Request, n int) ([]string, error) {
 		var out []string
-		err := p.EnumerateOptsCtx(context.Background(), exec.Budget{}, o, func(c *exec.Candidate) bool {
+		err := p.Search(context.Background(), req, func(c *exec.Candidate) bool {
 			out = append(out, fingerprint(c))
 			return len(out) < n
 		})
 		return out, err
 	}
-	want, err := first(exec.Options{}, 5)
+	want, err := first(exec.Request{}, 5)
 	if err != nil || len(want) != 5 {
 		t.Fatalf("sequential: %d candidates, err %v", len(want), err)
 	}
 	for _, workers := range []int{2, 8} {
-		got, err := first(exec.Options{Workers: workers}, 5)
+		got, err := first(exec.Request{Workers: workers}, 5)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -178,7 +178,7 @@ func TestParallelCancel(t *testing.T) {
 	p := compile(t, smallPathologicalSrc(t))
 	ctx, cancel := context.WithCancel(context.Background())
 	n := 0
-	err := p.EnumerateOptsCtx(ctx, exec.Budget{}, exec.Options{Workers: 4}, func(*exec.Candidate) bool {
+	err := p.Search(ctx, exec.Request{Workers: 4}, func(*exec.Candidate) bool {
 		if n++; n == 3 {
 			cancel()
 		}
@@ -196,7 +196,7 @@ func TestPruneSoundAndExact(t *testing.T) {
 	for name, p := range propertyTests(t) {
 		t.Run(name, func(t *testing.T) {
 			var kept []string
-			err := p.Enumerate(func(c *exec.Candidate) bool {
+			err := p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 				if core.SCPerLocationHolds(c.X, core.Options{}) {
 					kept = append(kept, fingerprint(c))
 				}
@@ -206,7 +206,7 @@ func TestPruneSoundAndExact(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, workers := range []int{1, 4} {
-				got, err := stream(t, p, exec.Budget{}, exec.Options{Workers: workers, Prune: exec.PruneSCPerLoc})
+				got, err := stream(t, p, exec.Request{Workers: workers, Prune: exec.PruneSCPerLoc})
 				if err != nil {
 					t.Fatalf("workers=%d: %v", workers, err)
 				}
@@ -237,7 +237,7 @@ func TestPruneNoRRKeepsHazards(t *testing.T) {
 exists (1:r3=1 /\ 1:r4=0)`
 	p := compile(t, coRRSrc)
 	var kept []string
-	err := p.Enumerate(func(c *exec.Candidate) bool {
+	err := p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 		if core.SCPerLocationHolds(c.X, core.Options{AllowLoadLoadHazard: true}) {
 			kept = append(kept, fingerprint(c))
 		}
@@ -246,7 +246,7 @@ exists (1:r3=1 /\ 1:r4=0)`
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := stream(t, p, exec.Budget{}, exec.Options{Prune: exec.PruneSCPerLocNoRR})
+	got, err := stream(t, p, exec.Request{Prune: exec.PruneSCPerLocNoRR})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +270,7 @@ exists (1:r3=1 /\ 1:r4=0)`
 	}
 
 	// The full level must reject strictly more than the NoRR level here.
-	full, err := stream(t, p, exec.Budget{}, exec.Options{Prune: exec.PruneSCPerLoc})
+	full, err := stream(t, p, exec.Request{Prune: exec.PruneSCPerLoc})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,11 +283,11 @@ exists (1:r3=1 /\ 1:r4=0)`
 // ordering contract were relaxed, the candidate multiset must match.
 func TestParallelSameSetUnordered(t *testing.T) {
 	p := compile(t, mpSrc)
-	want, err := stream(t, p, exec.Budget{}, exec.Options{})
+	want, err := stream(t, p, exec.Request{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := stream(t, p, exec.Budget{}, exec.Options{Workers: 3})
+	got, err := stream(t, p, exec.Request{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

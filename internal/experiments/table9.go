@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -58,7 +59,7 @@ func Table9(c *Corpus, stateBound int) ([]Table9Row, error) {
 
 	start = time.Now()
 	for _, p := range programs {
-		if _, err := sim.RunCompiled(p, multi.Model{}); err != nil {
+		if _, err := sim.Simulate(context.Background(), sim.Request{Program: p, Checker: multi.Model{}}); err != nil {
 			return nil, err
 		}
 	}
@@ -69,7 +70,7 @@ func Table9(c *Corpus, stateBound int) ([]Table9Row, error) {
 
 	start = time.Now()
 	for _, p := range programs {
-		if _, err := sim.RunCompiled(p, models.Power); err != nil {
+		if _, err := sim.Simulate(context.Background(), sim.Request{Program: p, Checker: models.Power}); err != nil {
 			return nil, err
 		}
 	}

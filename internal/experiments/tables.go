@@ -343,7 +343,7 @@ func Table8(minLen, maxLen, maxTests int) ([]Table8Row, error) {
 			mu.Unlock()
 			return nil
 		}
-		return p.EnumerateCtx(ctx, exec.Budget{}, func(c *exec.Candidate) bool {
+		return p.Search(ctx, exec.Request{}, func(c *exec.Candidate) bool {
 			observed := false
 			for _, m := range profiles {
 				if m.ObservesTest(c.X, t.Name) {

@@ -27,6 +27,7 @@
 package hardware
 
 import (
+	"context"
 	"hash/fnv"
 
 	"herdcats/internal/core"
@@ -284,7 +285,7 @@ func (m Machine) RunLitmus(test *litmus.Test) (*Observation, error) {
 // RunCompiled is RunLitmus over a pre-compiled program.
 func (m Machine) RunCompiled(p *exec.Program) (*Observation, error) {
 	obs := &Observation{Machine: m.Name, Test: p.Test, States: map[string]int{}}
-	err := p.Enumerate(func(c *exec.Candidate) bool {
+	err := p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 		obs.Candidates++
 		if !m.ObservesTest(c.X, p.Test.Name) {
 			return true

@@ -1,6 +1,7 @@
 package machine_test
 
 import (
+	"context"
 	"testing"
 
 	"herdcats/internal/catalog"
@@ -23,7 +24,7 @@ func TestMachineEquivalence(t *testing.T) {
 					t.Fatalf("%s: %v", e.Name, err)
 				}
 				mismatches := 0
-				err = p.Enumerate(func(c *exec.Candidate) bool {
+				err = p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 					axiomatic := m.Check(c.X).Valid
 					mach, err := machine.New(m.Arch, c.X)
 					if err != nil {
@@ -54,7 +55,7 @@ func TestConstructedPathAccepted(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", e.Name, err)
 		}
-		err = p.Enumerate(func(c *exec.Candidate) bool {
+		err = p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 			if !models.Power.Check(c.X).Valid {
 				return true
 			}
@@ -87,7 +88,7 @@ func TestPathValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	checked := false
-	err = p.Enumerate(func(c *exec.Candidate) bool {
+	err = p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 		if !models.Power.Check(c.X).Valid {
 			return true
 		}
@@ -135,7 +136,7 @@ func TestCountStates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = p.Enumerate(func(c *exec.Candidate) bool {
+	err = p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 		mach, err := machine.New(models.Power.Arch, c.X)
 		if err != nil {
 			t.Fatal(err)

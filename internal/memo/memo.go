@@ -34,6 +34,7 @@ import (
 	"herdcats/internal/cat"
 	"herdcats/internal/exec"
 	"herdcats/internal/litmus"
+	"herdcats/internal/obs"
 	"herdcats/internal/sim"
 )
 
@@ -142,6 +143,11 @@ type Options struct {
 	// Prune enables early SC-per-location pruning at the level each
 	// checker declares sound (sim.PruneLevelFor).
 	Prune bool
+	// Obs, when non-nil, aggregates the enumeration counters of every
+	// simulation this cache performs (cache hits add nothing — no
+	// enumeration happens). herdd points this at its process-wide stats
+	// so /metrics reports candidates and prune rejections.
+	Obs *obs.EnumStats
 }
 
 // call is one in-flight simulation; waiters block on done.
@@ -182,18 +188,51 @@ func (c *Cache) Stats() Stats {
 	return s
 }
 
+// Request is one cached-simulation request — the single entry point the
+// Run/RunKeyed convenience wrappers feed.
+type Request struct {
+	// Key optionally carries the precomputed content address (e.g. to
+	// echo it in an API response); when empty it is derived from the
+	// other fields. A non-empty Key must equal
+	// Key(CanonicalTest(Test), ModelID(Model), Budget).
+	Key string
+
+	// Test and Model identify the simulation; Budget bounds it. All
+	// three are cache-key material.
+	Test   *litmus.Test
+	Model  sim.Checker
+	Budget exec.Budget
+
+	// Obs, when non-nil, records the phase trace of the work THIS request
+	// performs. A cache hit or an in-flight join records nothing — the
+	// simulation happened elsewhere (or never) — so an empty trace is
+	// itself a signal the verdict came for free.
+	Obs *obs.Trace
+}
+
 // Run simulates test under model with the given budget, through the cache:
 // a repeated triple is served from memory, a concurrent duplicate joins the
 // in-flight simulation, and only a genuinely new triple enumerates. The
 // boolean reports whether the outcome came from the cache or an in-flight
 // leader (true) rather than a simulation this call performed (false).
 func (c *Cache) Run(ctx context.Context, t *litmus.Test, model sim.Checker, b exec.Budget) (*sim.Outcome, bool, error) {
-	return c.RunKeyed(ctx, Key(CanonicalTest(t), ModelID(model), b), t, model, b)
+	return c.Simulate(ctx, Request{Test: t, Model: model, Budget: b})
 }
 
-// RunKeyed is Run for callers that have already computed the key (e.g. to
-// report it); key must equal Key(CanonicalTest(t), ModelID(model), b).
+// RunKeyed is Run for callers that have already computed the key; key must
+// equal Key(CanonicalTest(t), ModelID(model), b).
 func (c *Cache) RunKeyed(ctx context.Context, key string, t *litmus.Test, model sim.Checker, b exec.Budget) (*sim.Outcome, bool, error) {
+	return c.Simulate(ctx, Request{Key: key, Test: t, Model: model, Budget: b})
+}
+
+// Simulate answers req through the cache (see Run for the semantics of
+// the boolean).
+func (c *Cache) Simulate(ctx context.Context, req Request) (*sim.Outcome, bool, error) {
+	t, model, b := req.Test, req.Model, req.Budget
+	key := req.Key
+	if key == "" {
+		key = Key(CanonicalTest(t), ModelID(model), b)
+	}
 	// completeKey addresses the same request with the timeout zeroed: a
 	// complete outcome is independent of the timeout it beat, so that is
 	// where complete outcomes live (see Key). With no timeout the two
@@ -239,7 +278,7 @@ func (c *Cache) RunKeyed(ctx context.Context, key string, t *litmus.Test, model 
 	c.stats.Misses++
 	c.mu.Unlock()
 
-	out, err := c.simulate(ctx, t, model, b)
+	out, err := c.simulate(ctx, req)
 
 	c.mu.Lock()
 	delete(c.inflight, key)
@@ -260,14 +299,32 @@ func (c *Cache) RunKeyed(ctx context.Context, key string, t *litmus.Test, model 
 	return out, false, err
 }
 
-// simulate runs the cold path, sharing the compiled program.
-func (c *Cache) simulate(ctx context.Context, t *litmus.Test, model sim.Checker, b exec.Budget) (*sim.Outcome, error) {
-	p, err := c.Program(t)
+// simulate runs the cold path, sharing the compiled program. The request's
+// trace gets the compile span (near-zero on a program-cache hit) and the
+// simulation phases; the enumeration counters also roll up into the
+// cache-wide aggregate when Options.Obs is set.
+func (c *Cache) simulate(ctx context.Context, req Request) (*sim.Outcome, error) {
+	stop := req.Obs.Phase(obs.PhaseCompile)
+	p, err := c.Program(req.Test)
+	stop()
 	if err != nil {
 		return nil, err
 	}
-	o := sim.Options{Workers: c.opts.Workers, Prune: c.opts.Prune}
-	return sim.RunCompiledOptsCtx(ctx, p, model, b, o)
+	tr := req.Obs
+	if c.opts.Obs != nil && tr == nil {
+		// The aggregate wants enumeration counters even when the caller
+		// asked for no per-request trace.
+		tr = obs.NewTrace()
+	}
+	out, err := sim.Simulate(ctx, sim.Request{
+		Program: p,
+		Checker: req.Model,
+		Budget:  req.Budget,
+		Options: sim.Options{Workers: c.opts.Workers, Prune: c.opts.Prune},
+		Obs:     tr,
+	})
+	c.opts.Obs.Merge(tr.Enum().Snapshot())
+	return out, err
 }
 
 // cacheable decides whether an outcome is a function of its key alone.

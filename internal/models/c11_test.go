@@ -1,6 +1,7 @@
 package models_test
 
 import (
+	"context"
 	"testing"
 
 	"herdcats/internal/litmus"
@@ -35,7 +36,7 @@ func TestC11MixedAccessMP(t *testing.T) {
 		{"acq_rel", "acquire", false},
 	}
 	for _, c := range cases {
-		out, err := sim.Run(c11MP(c.store, c.load), models.C11)
+		out, err := sim.Simulate(context.Background(), sim.Request{Test: c11MP(c.store, c.load), Checker: models.C11})
 		if err != nil {
 			t.Fatalf("%s/%s: %v", c.store, c.load, err)
 		}
@@ -55,7 +56,7 @@ func TestC11Coherence(t *testing.T) {
  r1 = atomic_load_explicit(x, relaxed) | atomic_store_explicit(x, 1, relaxed) ;
  r2 = atomic_load_explicit(x, relaxed) | ;
 exists (0:r1=1 /\ 0:r2=0)`
-	out, err := sim.Run(litmus.MustParse(src), models.C11)
+	out, err := sim.Simulate(context.Background(), sim.Request{Test: litmus.MustParse(src), Checker: models.C11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestC11LoadBuffering(t *testing.T) {
  r1 = atomic_load_explicit(x, relaxed) | r1 = atomic_load_explicit(y, relaxed) ;
  atomic_store_explicit(y, 1, relaxed) | atomic_store_explicit(x, 1, relaxed) ;
 exists (0:r1=1 /\ 1:r1=1)`
-	out, err := sim.Run(litmus.MustParse(src), models.C11)
+	out, err := sim.Simulate(context.Background(), sim.Request{Test: litmus.MustParse(src), Checker: models.C11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestC11TwoPlusTwoW(t *testing.T) {
  atomic_store_explicit(x, 2, release) | atomic_store_explicit(y, 2, release) ;
  atomic_store_explicit(y, 1, release) | atomic_store_explicit(x, 1, release) ;
 exists (x=2 /\ y=2)`
-	out, err := sim.Run(litmus.MustParse(src), models.C11)
+	out, err := sim.Simulate(context.Background(), sim.Request{Test: litmus.MustParse(src), Checker: models.C11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,11 +126,11 @@ exists (1:r1=1 /\ 1:r2=0 /\ 3:r1=1 /\ 3:r2=0)`,
 	}
 	for _, src := range srcs {
 		test := litmus.MustParse(src)
-		mixed, err := sim.Run(test, models.C11)
+		mixed, err := sim.Simulate(context.Background(), sim.Request{Test: test, Checker: models.C11})
 		if err != nil {
 			t.Fatalf("%s: %v", test.Name, err)
 		}
-		ra, err := sim.Run(test, models.CppRA)
+		ra, err := sim.Simulate(context.Background(), sim.Request{Test: test, Checker: models.CppRA})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -147,7 +148,7 @@ func TestC11PlainStores(t *testing.T) {
  x = 1 | r1 = y ;
  y = 1 | r2 = x ;
 exists (1:r1=1 /\ 1:r2=0)`
-	out, err := sim.Run(litmus.MustParse(src), models.C11)
+	out, err := sim.Simulate(context.Background(), sim.Request{Test: litmus.MustParse(src), Checker: models.C11})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package models_test
 
 import (
+	"context"
 	"testing"
 
 	"herdcats/internal/catalog"
@@ -28,7 +29,7 @@ func TestFigureVerdicts(t *testing.T) {
 				if !ok {
 					t.Fatalf("unknown model %q", name)
 				}
-				out, err := sim.Run(test, m)
+				out, err := sim.Simulate(context.Background(), sim.Request{Test: test, Checker: m})
 				if err != nil {
 					t.Fatalf("%s: simulate: %v", name, err)
 				}
@@ -188,7 +189,7 @@ exists (1:r3=2 /\ x=2)`
 // be allowed under C++ R-A while SC forbids it.
 func TestCppRAWeakPropagation(t *testing.T) {
 	e, _ := catalog.ByName("2+2w")
-	out, err := sim.Run(e.Test(), models.CppRA)
+	out, err := sim.Simulate(context.Background(), sim.Request{Test: e.Test(), Checker: models.CppRA})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestCppRAWeakPropagation(t *testing.T) {
 	}
 	// But mp stays forbidden (release/acquire message passing works).
 	e, _ = catalog.ByName("mp")
-	out, err = sim.Run(e.Test(), models.CppRA)
+	out, err = sim.Simulate(context.Background(), sim.Request{Test: e.Test(), Checker: models.CppRA})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func forEachCandidate(t *testing.T, fn func(*testing.T, string, *exec.Candidate)
 		if err != nil {
 			t.Fatalf("%s: compile: %v", e.Name, err)
 		}
-		err = p.Enumerate(func(c *exec.Candidate) bool {
+		err = p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 			fn(t, e.Name, c)
 			return !t.Failed() // stop early once failing
 		})
@@ -230,7 +231,7 @@ func mustEnumerate(t *testing.T, src string, fn func(*exec.Candidate)) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := p.Enumerate(func(c *exec.Candidate) bool { fn(c); return true }); err != nil {
+	if err := p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool { fn(c); return true }); err != nil {
 		t.Fatal(err)
 	}
 }

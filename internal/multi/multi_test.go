@@ -1,6 +1,7 @@
 package multi_test
 
 import (
+	"context"
 	"testing"
 
 	"herdcats/internal/catalog"
@@ -19,11 +20,11 @@ func TestAgreesWithPowerExceptBigdetour(t *testing.T) {
 		if _, isPowerTest := e.Expect["Power"]; !isPowerTest {
 			continue
 		}
-		powerOut, err := sim.Run(e.Test(), models.Power)
+		powerOut, err := sim.Simulate(context.Background(), sim.Request{Test: e.Test(), Checker: models.Power})
 		if err != nil {
 			t.Fatalf("%s: %v", e.Name, err)
 		}
-		multiOut, err := sim.Run(e.Test(), multi.Model{})
+		multiOut, err := sim.Simulate(context.Background(), sim.Request{Test: e.Test(), Checker: multi.Model{}})
 		if err != nil {
 			t.Fatalf("%s: %v", e.Name, err)
 		}
@@ -50,7 +51,7 @@ func TestMultiStrongerThanPower(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", e.Name, err)
 		}
-		err = p.Enumerate(func(c *exec.Candidate) bool {
+		err = p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 			if m.Check(c.X).Valid && !models.Power.Check(c.X).Valid {
 				t.Errorf("%s: candidate valid under multi-event but not Power", e.Name)
 				return false
@@ -71,7 +72,7 @@ func TestExpandShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = p.Enumerate(func(c *exec.Candidate) bool {
+	err = p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 		ex := multi.Expand(c.X)
 		writes := c.X.W.Card()  // includes the two initial writes
 		wantExtra := writes * 4 // iriw has four threads

@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a named collection of metrics with a text exposition in the
+// Prometheus format, served by herdd's /metrics. Metric names follow the
+// usual conventions (snake_case, a _total suffix on counters) and may
+// carry a literal label set: Counter(`requests_total{route="/v1/run"}`)
+// creates a distinct series per label string. A nil Registry hands out nil
+// metrics, so an unconfigured component instruments into the void for the
+// cost of a nil check.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	counterFns map[string]func() uint64
+	gauges     map[string]*Gauge
+	gaugeFns   map[string]func() int64
+	hists      map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns the counter registered under name, creating it on first
+// use (nil for a nil registry).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = map[string]*Counter{}
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use
+// (nil for a nil registry).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = map[string]*Gauge{}
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// CounterFunc registers a counter whose value is read at exposition time —
+// the bridge for components that already keep their own monotonic counters
+// (the engine's EnumStats, the verdict cache's hit/miss totals).
+// Re-registering a name replaces the function. No-op on a nil registry.
+func (r *Registry) CounterFunc(name string, fn func() uint64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counterFns == nil {
+		r.counterFns = map[string]func() uint64{}
+	}
+	r.counterFns[name] = fn
+}
+
+// GaugeFunc registers a gauge whose value is read at exposition time —
+// the bridge for components that already keep their own counters (the
+// verdict cache's Stats snapshot). Re-registering a name replaces the
+// function. No-op on a nil registry.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gaugeFns == nil {
+		r.gaugeFns = map[string]func() int64{}
+	}
+	r.gaugeFns[name] = fn
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use (nil for a nil registry).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hists == nil {
+		r.hists = map[string]*Histogram{}
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// splitLabels separates `name{labels}` into the bare name and the label
+// body ("" when unlabelled), so histogram bucket lines can splice the
+// le label in next to the caller's.
+func splitLabels(name string) (bare, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// typeOf dedupes # TYPE headers: labelled series of one family share one.
+func writeTypeHeader(w io.Writer, seen map[string]bool, family, kind string) {
+	if seen[family] {
+		return
+	}
+	seen[family] = true
+	fmt.Fprintf(w, "# TYPE %s %s\n", family, kind)
+}
+
+// WriteText renders every registered metric in the Prometheus text
+// exposition format, sorted by name so the output is diffable. Histograms
+// emit cumulative le buckets (power-of-two bounds, empty top buckets
+// elided), a +Inf bucket, _sum and _count.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	counterFns := make(map[string]func() uint64, len(r.counterFns))
+	for k, v := range r.counterFns {
+		counterFns[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	gaugeFns := make(map[string]func() int64, len(r.gaugeFns))
+	for k, v := range r.gaugeFns {
+		gaugeFns[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	seen := map[string]bool{}
+	counterNames := sortedKeys(counters)
+	for name := range counterFns {
+		if _, dup := counters[name]; !dup {
+			counterNames = append(counterNames, name)
+		}
+	}
+	sort.Strings(counterNames)
+	for _, name := range counterNames {
+		family, _ := splitLabels(name)
+		writeTypeHeader(w, seen, family, "counter")
+		var v uint64
+		if fn, ok := counterFns[name]; ok {
+			v = fn()
+		} else {
+			v = counters[name].Value()
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, v); err != nil {
+			return err
+		}
+	}
+	gaugeNames := sortedKeys(gauges)
+	for name := range gaugeFns {
+		if _, dup := gauges[name]; !dup {
+			gaugeNames = append(gaugeNames, name)
+		}
+	}
+	sort.Strings(gaugeNames)
+	for _, name := range gaugeNames {
+		family, _ := splitLabels(name)
+		writeTypeHeader(w, seen, family, "gauge")
+		var v int64
+		if fn, ok := gaugeFns[name]; ok {
+			v = fn()
+		} else {
+			v = gauges[name].Value()
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, v); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(hists) {
+		if err := writeHistogram(w, seen, name, hists[name].Snapshot()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, seen map[string]bool, name string, s HistogramSnapshot) error {
+	bare, labels := splitLabels(name)
+	writeTypeHeader(w, seen, bare, "histogram")
+	bucketLabel := func(le string) string {
+		if labels == "" {
+			return fmt.Sprintf(`{le="%s"}`, le)
+		}
+		return fmt.Sprintf(`{%s,le="%s"}`, labels, le)
+	}
+	// Highest non-empty bucket bounds the lines emitted.
+	top := -1
+	for i := range s.Buckets {
+		if s.Buckets[i] > 0 {
+			top = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= top; i++ {
+		cum += s.Buckets[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", bare, bucketLabel(fmt.Sprint(BucketBound(i))), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", bare, bucketLabel("+Inf"), s.Count); err != nil {
+		return err
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", bare, suffix, s.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", bare, suffix, s.Count)
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -8,6 +8,8 @@
 package opsim
 
 import (
+	"context"
+
 	"herdcats/internal/core"
 	"herdcats/internal/exec"
 	"herdcats/internal/litmus"
@@ -49,7 +51,7 @@ func RunCompiled(p *exec.Program, arch core.Architecture, stateBound int) (*Resu
 	}
 	res := &Result{Processed: true}
 	var innerErr error
-	err := p.Enumerate(func(c *exec.Candidate) bool {
+	err := p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 		res.Candidates++
 		m, err := machine.New(arch, c.X)
 		if err != nil {

@@ -1,6 +1,7 @@
 package opsim_test
 
 import (
+	"context"
 	"testing"
 
 	"herdcats/internal/catalog"
@@ -25,7 +26,7 @@ func TestAgreesWithAxiomatic(t *testing.T) {
 		if !op.Processed {
 			t.Fatalf("%s: state bound hit with default budget", e.Name)
 		}
-		ax, err := sim.Run(test, models.Power)
+		ax, err := sim.Simulate(context.Background(), sim.Request{Test: test, Checker: models.Power})
 		if err != nil {
 			t.Fatalf("%s: %v", e.Name, err)
 		}

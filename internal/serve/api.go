@@ -15,6 +15,7 @@ import (
 	"herdcats/internal/exec"
 	"herdcats/internal/litmus"
 	"herdcats/internal/memo"
+	"herdcats/internal/obs"
 	"herdcats/internal/sim"
 )
 
@@ -68,6 +69,15 @@ func (r *RunRequest) validate() error {
 	return r.Budget.validate()
 }
 
+// EffectiveOptions echoes the options a request actually ran under, after
+// server-side defaults and clamps — so a client can see, e.g., that its
+// timeout was capped or which prune level applied.
+type EffectiveOptions struct {
+	Workers int        `json:"workers"` // enumeration workers (0/1 = sequential)
+	Prune   bool       `json:"prune"`   // early SC-per-location pruning enabled
+	Budget  BudgetSpec `json:"budget"`  // effective budget, post-clamp
+}
+
 // RunResponse is the body of a successful POST /v1/run.
 type RunResponse struct {
 	// Key is the verdict's content address (cache-key semantics are
@@ -75,10 +85,15 @@ type RunResponse struct {
 	Key string `json:"key"`
 	// Cached is true when the verdict came from the cache or from an
 	// in-flight duplicate simulation rather than a fresh enumeration.
-	Cached    bool            `json:"cached"`
-	Verdict   string          `json:"verdict"` // "Allowed" | "Forbidden" | "Unknown"
-	Outcome   sim.OutcomeJSON `json:"outcome"`
-	ElapsedMS int64           `json:"elapsed_ms"`
+	Cached    bool             `json:"cached"`
+	Verdict   string           `json:"verdict"` // "Allowed" | "Forbidden" | "Unknown"
+	Outcome   sim.OutcomeJSON  `json:"outcome"`
+	Options   EffectiveOptions `json:"options"`
+	ElapsedMS int64            `json:"elapsed_ms"`
+	// Trace breaks the request's wall clock into phases (parse → compile
+	// → enumerate → check → verdict) with the enumeration counters. A
+	// cached verdict reports only the parse span: the rest came for free.
+	Trace *obs.TraceJSON `json:"trace,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/batch: many tests under one model
@@ -92,9 +107,10 @@ type BatchRequest struct {
 // BatchResponse is the body of a successful POST /v1/batch. Report.Jobs,
 // Cached and Keys are all in request order.
 type BatchResponse struct {
-	Report *campaign.Report `json:"report"`
-	Cached []bool           `json:"cached"`
-	Keys   []string         `json:"keys"`
+	Report  *campaign.Report `json:"report"`
+	Cached  []bool           `json:"cached"`
+	Keys    []string         `json:"keys"`
+	Options EffectiveOptions `json:"options"`
 }
 
 // ModelInfo describes one built-in model in GET /v1/models.
@@ -103,9 +119,37 @@ type ModelInfo struct {
 	Fingerprint string `json:"fingerprint"`
 }
 
-// apiError is the JSON error envelope.
+// ErrorBody is the payload of the error envelope: a stable machine-
+// readable code (derived from the HTTP status) plus a human-readable
+// message. Every non-2xx response is `{"error": ErrorBody}`.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// apiError is the JSON error envelope (documented in README.md).
 type apiError struct {
-	Error string `json:"error"`
+	Error ErrorBody `json:"error"`
+}
+
+// errorCode names an HTTP status for the envelope; clients switch on the
+// code, not the message text.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusRequestEntityTooLarge:
+		return "too_large"
+	case http.StatusUnprocessableEntity:
+		return "unprocessable"
+	case http.StatusInternalServerError:
+		return "internal"
+	}
+	return "error"
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -117,7 +161,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, status, apiError{Error: ErrorBody{
+		Code:    errorCode(status),
+		Message: fmt.Sprintf(format, args...),
+	}})
 }
 
 // decodeBody decodes one JSON value into v, rejecting trailing garbage.
@@ -178,6 +225,20 @@ func (s *Server) budget(spec BudgetSpec) exec.Budget {
 	return b
 }
 
+// effectiveOptions reports the options a simulation runs under: the
+// server's enumeration knobs plus the post-clamp budget.
+func (s *Server) effectiveOptions(b exec.Budget) EffectiveOptions {
+	return EffectiveOptions{
+		Workers: s.cfg.EnumWorkers,
+		Prune:   s.cfg.Prune,
+		Budget: BudgetSpec{
+			MaxCandidates:      b.MaxCandidates,
+			MaxTracesPerThread: b.MaxTracesPerThread,
+			TimeoutMS:          b.Timeout.Milliseconds(),
+		},
+	}
+}
+
 // verdict folds an outcome into the API's three-valued verdict: an
 // incomplete search that never observed the condition cannot distinguish
 // Forbidden from not-yet-found.
@@ -202,7 +263,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	tr := obs.NewTrace()
+	stopParse := tr.Phase(obs.PhaseParse)
 	test, err := litmus.Parse(req.Litmus)
+	stopParse()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "litmus: %v", err)
 		return
@@ -216,7 +280,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	key := memo.Key(memo.CanonicalTest(test), memo.ModelID(checker), b)
 
 	start := time.Now()
-	out, cached, err := s.cache.RunKeyed(r.Context(), key, test, checker, b)
+	out, cached, err := s.cache.Simulate(r.Context(), memo.Request{
+		Key: key, Test: test, Model: checker, Budget: b, Obs: tr,
+	})
 	if err != nil {
 		// The inputs parsed but could not be simulated (e.g. an
 		// instruction the enumerator rejects): the client's data is at
@@ -229,7 +295,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Cached:    cached,
 		Verdict:   verdict(out),
 		Outcome:   out.JSON(),
+		Options:   s.effectiveOptions(b),
 		ElapsedMS: time.Since(start).Milliseconds(),
+		Trace:     tr.Summary(),
 	})
 }
 
@@ -298,7 +366,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		Budget:  b,
 		Retries: -1, // the client's budget is a hard bound, and keys must match
 	}, jobs)
-	writeJSON(w, http.StatusOK, BatchResponse{Report: rep, Cached: cached, Keys: keys})
+	writeJSON(w, http.StatusOK, BatchResponse{
+		Report: rep, Cached: cached, Keys: keys,
+		Options: s.effectiveOptions(b),
+	})
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {

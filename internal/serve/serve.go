@@ -5,15 +5,18 @@
 //
 // Endpoints:
 //
-//	POST /v1/run     simulate one litmus test under one model
-//	POST /v1/batch   simulate many tests under one model on the worker pool
-//	GET  /v1/models  list the built-in cat models and their fingerprints
-//	GET  /healthz    liveness probe
-//	GET  /debug/vars expvar metrics (herdd_cache, herdd_http)
+//	POST /v1/run      simulate one litmus test under one model
+//	POST /v1/batch    simulate many tests under one model on the worker pool
+//	GET  /v1/models   list the built-in cat models and their fingerprints
+//	GET  /healthz     liveness probe
+//	GET  /metrics     Prometheus text exposition (internal/obs registry)
+//	GET  /debug/vars  expvar metrics (herdd_cache, herdd_http)
+//	GET  /debug/pprof CPU/heap/goroutine profiles (net/http/pprof)
 //
 // Requests are bounded (body size, batch size, simulation wall clock),
-// malformed input is answered with a JSON error and a 4xx status, and
-// Shutdown drains in-flight requests before closing.
+// malformed input is answered with a JSON error envelope
+// {"error":{"code","message"}} and a 4xx status, and Shutdown drains
+// in-flight requests before closing.
 package serve
 
 import (
@@ -21,11 +24,13 @@ import (
 	"expvar"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"herdcats/internal/memo"
+	"herdcats/internal/obs"
 )
 
 // Config tunes a Server. The zero value serves with the documented
@@ -85,29 +90,88 @@ type Server struct {
 	mux   *http.ServeMux
 	http  *http.Server
 
+	reg  *obs.Registry  // /metrics exposition
+	enum *obs.EnumStats // process-wide enumeration counters (via memo)
+
 	requests atomic.Int64 // requests completed
 	errors   atomic.Int64 // requests answered with a 4xx/5xx status
 	inflight atomic.Int64 // requests being handled right now
 }
 
-// New builds a server and registers its expvar metrics.
+// New builds a server and registers its expvar and /metrics instruments.
 func New(cfg Config) *Server {
-	s := &Server{cfg: cfg, cache: memo.NewWithOptions(cfg.CacheEntries,
-		memo.Options{Workers: cfg.EnumWorkers, Prune: cfg.Prune})}
+	s := &Server{cfg: cfg, reg: obs.NewRegistry(), enum: &obs.EnumStats{}}
+	s.cache = memo.NewWithOptions(cfg.CacheEntries,
+		memo.Options{Workers: cfg.EnumWorkers, Prune: cfg.Prune, Obs: s.enum})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	// net/http/pprof registers on DefaultServeMux at import; mirror its
+	// handlers here so profiles work without the default mux.
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	// API misses get the JSON error envelope, not the mux's plain-text
+	// 404/405, so clients can rely on one wire format everywhere. The
+	// catch-all outcompetes the method-qualified patterns above on method
+	// mismatches, so it distinguishes the two cases itself.
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if routeLabel(r.URL.Path) != "other" {
+			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on %s", r.Method, r.URL.Path)
+			return
+		}
+		writeError(w, http.StatusNotFound, "no such endpoint: %s %s", r.Method, r.URL.Path)
+	})
+	s.registerMetrics()
 	s.http = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	liveServer.Store(s)
 	publishExpvars()
 	return s
 }
 
+// registerMetrics bridges the engine and cache counters into the registry.
+// Exposition-time functions read live state, so /metrics never lags.
+func (s *Server) registerMetrics() {
+	r := s.reg
+	r.CounterFunc("herdd_enum_candidates_total", func() uint64 { return s.enum.Snapshot().Candidates })
+	r.CounterFunc("herdd_enum_pruned_total", func() uint64 { return s.enum.Snapshot().Pruned })
+	r.CounterFunc("herdd_enum_shards_built_total", func() uint64 { return s.enum.Snapshot().ShardsBuilt })
+	r.CounterFunc("herdd_enum_shards_run_total", func() uint64 { return s.enum.Snapshot().ShardsRun })
+	r.GaugeFunc("herdd_enum_workers", func() int64 { return int64(s.enum.Snapshot().Workers) })
+	r.CounterFunc("herdd_cache_hits_total", func() uint64 { return s.cache.Stats().Hits })
+	r.CounterFunc("herdd_cache_waits_total", func() uint64 { return s.cache.Stats().Waits })
+	r.CounterFunc("herdd_cache_misses_total", func() uint64 { return s.cache.Stats().Misses })
+	r.CounterFunc("herdd_cache_evictions_total", func() uint64 { return s.cache.Stats().Evictions })
+	r.GaugeFunc("herdd_cache_entries", func() int64 { return int64(s.cache.Stats().Entries) })
+	r.GaugeFunc("herdd_http_in_flight", func() int64 { return s.inflight.Load() })
+}
+
+// routeLabel buckets a request path into a bounded label set, so a
+// probing client cannot mint unbounded metric series.
+func routeLabel(path string) string {
+	switch path {
+	case "/v1/run", "/v1/batch", "/v1/models", "/healthz", "/metrics":
+		return path
+	}
+	return "other"
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WriteText(w)
+}
+
 // Cache exposes the verdict cache (for stats and tests).
 func (s *Server) Cache() *memo.Cache { return s.cache }
+
+// Metrics exposes the /metrics registry (for tests and embedding).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // Handler returns the service's HTTP handler (also usable without a
 // listening server, e.g. under httptest).
@@ -115,12 +179,18 @@ func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
+		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
 		s.mux.ServeHTTP(sw, r)
 		s.requests.Add(1)
+		route := routeLabel(r.URL.Path)
+		s.reg.Counter(`herdd_requests_total{route="` + route + `"}`).Inc()
 		if sw.status >= 400 {
 			s.errors.Add(1)
+			s.reg.Counter(`herdd_request_errors_total{route="` + route + `"}`).Inc()
 		}
+		s.reg.Histogram(`herdd_request_latency_us{route="` + route + `"}`).
+			Observe(time.Since(start).Microseconds())
 	})
 }
 

@@ -274,7 +274,8 @@ func TestBadRequests(t *testing.T) {
 				t.Fatalf("status %d, want %d (body %s)", rec.Code, c.status, rec.Body)
 			}
 			var e apiError
-			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil ||
+				e.Error.Code == "" || e.Error.Message == "" {
 				t.Fatalf("error body not a JSON envelope: %s", rec.Body)
 			}
 		})

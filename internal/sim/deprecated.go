@@ -1,0 +1,57 @@
+package sim
+
+// The simulator grew one Run variant per axis — context, options,
+// pre-compiled program — six entry points for one operation. Simulate is
+// the consolidated replacement; everything below is a thin wrapper kept
+// for source compatibility. New code should build a Request and call
+// Simulate. The staticcheck CI job flags uses of these wrappers outside
+// this file (and the equivalence test that pins their behaviour).
+
+import (
+	"context"
+
+	"herdcats/internal/exec"
+	"herdcats/internal/litmus"
+)
+
+// Run simulates test under model. It visits every candidate execution.
+//
+// Deprecated: use Simulate with Request{Test: test, Checker: model}.
+func Run(test *litmus.Test, model Checker) (*Outcome, error) {
+	return Simulate(context.Background(), Request{Test: test, Checker: model})
+}
+
+// RunCtx simulates test under model with cancellation and budgets.
+//
+// Deprecated: use Simulate with Request{Test, Checker, Budget}.
+func RunCtx(ctx context.Context, test *litmus.Test, model Checker, b exec.Budget) (*Outcome, error) {
+	return Simulate(ctx, Request{Test: test, Checker: model, Budget: b})
+}
+
+// RunOptsCtx is RunCtx with enumeration Options.
+//
+// Deprecated: use Simulate; Request subsumes the Options parameter.
+func RunOptsCtx(ctx context.Context, test *litmus.Test, model Checker, b exec.Budget, o Options) (*Outcome, error) {
+	return Simulate(ctx, Request{Test: test, Checker: model, Budget: b, Options: o})
+}
+
+// RunCompiled simulates an already-compiled program under model.
+//
+// Deprecated: use Simulate with Request{Program: p, Checker: model}.
+func RunCompiled(p *exec.Program, model Checker) (*Outcome, error) {
+	return Simulate(context.Background(), Request{Program: p, Checker: model})
+}
+
+// RunCompiledCtx is RunCtx for an already-compiled program.
+//
+// Deprecated: use Simulate with Request{Program, Checker, Budget}.
+func RunCompiledCtx(ctx context.Context, p *exec.Program, model Checker, b exec.Budget) (*Outcome, error) {
+	return Simulate(ctx, Request{Program: p, Checker: model, Budget: b})
+}
+
+// RunCompiledOptsCtx is RunOptsCtx for an already-compiled program.
+//
+// Deprecated: use Simulate; Request subsumes every parameter.
+func RunCompiledOptsCtx(ctx context.Context, p *exec.Program, model Checker, b exec.Budget, o Options) (*Outcome, error) {
+	return Simulate(ctx, Request{Program: p, Checker: model, Budget: b, Options: o})
+}

@@ -1,0 +1,94 @@
+//lint:file-ignore SA1019 this file pins the behaviour of the deprecated wrappers.
+
+package sim_test
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"herdcats/internal/catalog"
+	"herdcats/internal/exec"
+	"herdcats/internal/models"
+	"herdcats/internal/sim"
+)
+
+// outcomeJSON canonicalises an outcome for comparison; the encoding is
+// byte-stable (TestOutcomeJSONDeterministic), so equal bytes mean equal
+// verdicts, histograms, and counters.
+func outcomeJSON(t *testing.T, out *sim.Outcome) string {
+	t.Helper()
+	data, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestDeprecatedRunWrappersEquivalent pins every deprecated Run variant to
+// Simulate: byte-identical outcomes for the same inputs. This is the
+// compatibility contract that lets the staticcheck job forbid the wrappers
+// in-repo while out-of-repo callers keep working unchanged.
+func TestDeprecatedRunWrappersEquivalent(t *testing.T) {
+	e, ok := catalog.ByName("mp")
+	if !ok {
+		t.Fatal("catalogue has no mp test")
+	}
+	test := e.Test()
+	model := models.Power
+	p, err := exec.Compile(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	want, err := sim.Simulate(ctx, sim.Request{Test: test, Checker: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := outcomeJSON(t, want)
+
+	wrappers := map[string]func() (*sim.Outcome, error){
+		"Run":    func() (*sim.Outcome, error) { return sim.Run(test, model) },
+		"RunCtx": func() (*sim.Outcome, error) { return sim.RunCtx(ctx, test, model, exec.Budget{}) },
+		"RunOptsCtx": func() (*sim.Outcome, error) {
+			return sim.RunOptsCtx(ctx, test, model, exec.Budget{}, sim.Options{Workers: 2})
+		},
+		"RunCompiled": func() (*sim.Outcome, error) { return sim.RunCompiled(p, model) },
+		"RunCompiledCtx": func() (*sim.Outcome, error) {
+			return sim.RunCompiledCtx(ctx, p, model, exec.Budget{})
+		},
+		"RunCompiledOptsCtx": func() (*sim.Outcome, error) {
+			return sim.RunCompiledOptsCtx(ctx, p, model, exec.Budget{}, sim.Options{Prune: true})
+		},
+	}
+	for name, run := range wrappers {
+		got, err := run()
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if gotJSON := outcomeJSON(t, got); gotJSON != wantJSON {
+			t.Errorf("%s outcome differs from Simulate:\n got %s\nwant %s", name, gotJSON, wantJSON)
+		}
+	}
+}
+
+// TestDeprecatedBudgetWrapperEquivalent: budgets survive the wrapper — an
+// incomplete outcome truncates at the same candidate with the same reason.
+func TestDeprecatedBudgetWrapperEquivalent(t *testing.T) {
+	e, _ := catalog.ByName("mp")
+	test := e.Test()
+	b := exec.Budget{MaxCandidates: 2}
+	want, err := sim.Simulate(context.Background(), sim.Request{Test: test, Checker: models.SC, Budget: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.RunCtx(context.Background(), test, models.SC, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Incomplete || outcomeJSON(t, got) != outcomeJSON(t, want) {
+		t.Fatalf("wrapper outcome differs:\n got %s\nwant %s", outcomeJSON(t, got), outcomeJSON(t, want))
+	}
+}

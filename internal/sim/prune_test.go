@@ -52,12 +52,14 @@ func TestPruneVerdictInvariant(t *testing.T) {
 	for _, e := range catalog.Tests() {
 		test := e.Test()
 		for _, m := range checkers {
-			plain, err := sim.RunCtx(context.Background(), test, m, exec.Budget{})
+			plain, err := sim.Simulate(context.Background(), sim.Request{Test: test, Checker: m})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", e.Name, m.Name(), err)
 			}
-			pruned, err := sim.RunOptsCtx(context.Background(), test, m, exec.Budget{},
-				sim.Options{Prune: true, Workers: 2})
+			pruned, err := sim.Simulate(context.Background(), sim.Request{
+				Test: test, Checker: m,
+				Options: sim.Options{Prune: true, Workers: 2},
+			})
 			if err != nil {
 				t.Fatalf("%s/%s pruned: %v", e.Name, m.Name(), err)
 			}

@@ -11,11 +11,13 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"herdcats/internal/core"
 	"herdcats/internal/events"
 	"herdcats/internal/exec"
 	"herdcats/internal/litmus"
+	"herdcats/internal/obs"
 )
 
 // Checker validates one candidate execution. models.Model and cat-compiled
@@ -43,11 +45,11 @@ func PruneLevelFor(model Checker) exec.Prune {
 	return exec.PruneNone
 }
 
-// Options tunes how the candidate space is enumerated. The zero value
-// reproduces RunCtx exactly: sequential and unpruned.
+// Options tunes how the candidate space is enumerated. The zero value is
+// sequential and unpruned.
 type Options struct {
-	// Workers parallelises the enumeration (exec.EnumerateParallelCtx).
-	// The candidate stream is identical for every worker count, so the
+	// Workers parallelises the enumeration (exec.Request.Workers). The
+	// candidate stream is identical for every worker count, so the
 	// outcome — counters, states, verdict and even a deterministic
 	// truncation point — does not depend on it.
 	Workers int
@@ -58,6 +60,114 @@ type Options struct {
 	// OK, but Candidates shrinks and uniproc violations disappear from
 	// FailedBy: the rejected candidates are never built.
 	Prune bool
+}
+
+// Request is everything one simulation needs — the single entry point
+// replacing the Run/RunCtx/RunOptsCtx/RunCompiled/RunCompiledCtx/
+// RunCompiledOptsCtx family (kept as deprecated wrappers in
+// deprecated.go).
+type Request struct {
+	// Test is the litmus test to simulate; it is compiled on the way in.
+	// Leave nil when Program carries a pre-compiled test.
+	Test *litmus.Test
+
+	// Program is an already-compiled test (exec.Compile), taking
+	// precedence over Test — callers batching many models over one test
+	// compile once and set only this.
+	Program *exec.Program
+
+	// Checker validates each candidate execution. Required.
+	Checker Checker
+
+	// Budget bounds the enumeration; the zero value is unlimited.
+	Budget exec.Budget
+
+	// Options tunes the enumeration (parallel workers, pruning).
+	Options Options
+
+	// Obs, when non-nil, records the run's phase trace (compile →
+	// enumerate → axiom-check → verdict; the enumerate span includes the
+	// checker time, which the check span accounts separately) and the
+	// enumeration counters. A nil trace costs one branch per candidate.
+	Obs *obs.Trace
+}
+
+// Simulate runs one litmus test under one model. It visits every candidate
+// execution the budget allows; when the budget trips or ctx is canceled
+// mid-search, the partial outcome is returned (not an error) with
+// Incomplete set and Reason explaining why.
+func Simulate(ctx context.Context, req Request) (*Outcome, error) {
+	if req.Checker == nil {
+		return nil, errors.New("sim: request needs a Checker")
+	}
+	p := req.Program
+	if p == nil {
+		if req.Test == nil {
+			return nil, errors.New("sim: request needs a Test or a Program")
+		}
+		stop := req.Obs.Phase(obs.PhaseCompile)
+		var err error
+		p, err = exec.Compile(req.Test)
+		stop()
+		if err != nil {
+			return nil, err
+		}
+	}
+	er := exec.Request{
+		Budget:  req.Budget,
+		Workers: req.Options.Workers,
+		Obs:     req.Obs.Enum(),
+	}
+	if req.Options.Prune {
+		er.Prune = PruneLevelFor(req.Checker)
+	}
+	out := &Outcome{
+		Test: p.Test, Model: req.Checker.Name(),
+		States: map[string]int{}, FailedBy: map[string]int{},
+	}
+	traced := req.Obs != nil
+	var checkNS int64
+	stopEnum := req.Obs.Phase(obs.PhaseEnumerate)
+	err := p.Search(ctx, er, func(c *exec.Candidate) bool {
+		out.Candidates++
+		var t0 time.Time
+		if traced {
+			t0 = time.Now()
+		}
+		res := req.Checker.Check(c.X)
+		if traced {
+			checkNS += time.Since(t0).Nanoseconds()
+		}
+		if !res.Valid {
+			for _, name := range res.FailedChecks {
+				out.FailedBy[name]++
+			}
+			return true
+		}
+		out.Valid++
+		out.States[c.State.Key(p.Test.Cond)]++
+		sat := p.Test.Cond == nil || p.Test.Cond.Eval(c.State)
+		if sat {
+			out.CondObserved = true
+		} else {
+			out.violations++
+		}
+		return true
+	})
+	stopEnum()
+	if traced {
+		req.Obs.Observe(obs.PhaseCheck, time.Duration(checkNS))
+	}
+	defer req.Obs.Phase(obs.PhaseVerdict)()
+	if err != nil {
+		if errors.Is(err, exec.ErrBudgetExceeded) || errors.Is(err, exec.ErrCanceled) {
+			out.Incomplete = true
+			out.Reason = err
+			return out, nil
+		}
+		return nil, err
+	}
+	return out, nil
 }
 
 // Outcome summarises a simulation run of one test under one model.
@@ -113,82 +223,6 @@ func (o *Outcome) OK() bool {
 		return o.Valid > 0 && o.violations == 0
 	}
 	return false
-}
-
-// Run simulates test under model. It visits every candidate execution.
-func Run(test *litmus.Test, model Checker) (*Outcome, error) {
-	return RunCtx(context.Background(), test, model, exec.Budget{})
-}
-
-// RunCtx simulates test under model with cancellation and budgets. When
-// the budget trips or ctx is canceled mid-search, the partial outcome is
-// returned (not an error) with Incomplete set and Reason explaining why.
-func RunCtx(ctx context.Context, test *litmus.Test, model Checker, b exec.Budget) (*Outcome, error) {
-	p, err := exec.Compile(test)
-	if err != nil {
-		return nil, err
-	}
-	return RunCompiledCtx(ctx, p, model, b)
-}
-
-// RunOptsCtx is RunCtx with enumeration Options (parallel workers and
-// checker-declared pruning).
-func RunOptsCtx(ctx context.Context, test *litmus.Test, model Checker, b exec.Budget, o Options) (*Outcome, error) {
-	p, err := exec.Compile(test)
-	if err != nil {
-		return nil, err
-	}
-	return RunCompiledOptsCtx(ctx, p, model, b, o)
-}
-
-// RunCompiled simulates an already-compiled program under model.
-func RunCompiled(p *exec.Program, model Checker) (*Outcome, error) {
-	return RunCompiledCtx(context.Background(), p, model, exec.Budget{})
-}
-
-// RunCompiledCtx is RunCtx for an already-compiled program.
-func RunCompiledCtx(ctx context.Context, p *exec.Program, model Checker, b exec.Budget) (*Outcome, error) {
-	return RunCompiledOptsCtx(ctx, p, model, b, Options{})
-}
-
-// RunCompiledOptsCtx is RunOptsCtx for an already-compiled program.
-func RunCompiledOptsCtx(ctx context.Context, p *exec.Program, model Checker, b exec.Budget, o Options) (*Outcome, error) {
-	eo := exec.Options{Workers: o.Workers}
-	if o.Prune {
-		eo.Prune = PruneLevelFor(model)
-	}
-	out := &Outcome{
-		Test: p.Test, Model: model.Name(),
-		States: map[string]int{}, FailedBy: map[string]int{},
-	}
-	err := p.EnumerateOptsCtx(ctx, b, eo, func(c *exec.Candidate) bool {
-		out.Candidates++
-		res := model.Check(c.X)
-		if !res.Valid {
-			for _, name := range res.FailedChecks {
-				out.FailedBy[name]++
-			}
-			return true
-		}
-		out.Valid++
-		out.States[c.State.Key(p.Test.Cond)]++
-		sat := p.Test.Cond == nil || p.Test.Cond.Eval(c.State)
-		if sat {
-			out.CondObserved = true
-		} else {
-			out.violations++
-		}
-		return true
-	})
-	if err != nil {
-		if errors.Is(err, exec.ErrBudgetExceeded) || errors.Is(err, exec.ErrCanceled) {
-			out.Incomplete = true
-			out.Reason = err
-			return out, nil
-		}
-		return nil, err
-	}
-	return out, nil
 }
 
 // StateCount is one row of the final-state histogram in the JSON encoding.

@@ -34,7 +34,7 @@ func TestOutcomeQuantifiers(t *testing.T) {
 		{"forall", false},
 	} {
 		test := litmus.MustParse(strings.Replace(src, "%s", c.quant, 1))
-		out, err := sim.Run(test, models.TSO)
+		out, err := sim.Simulate(context.Background(), sim.Request{Test: test, Checker: models.TSO})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -53,7 +53,7 @@ func TestForallHolds(t *testing.T) {
  li r2,1 | li r2,2 ;
  stw r2,0(r1) | stw r2,0(r1) ;
 forall (x=1 \/ x=2)`
-	out, err := sim.Run(litmus.MustParse(src), models.SC)
+	out, err := sim.Simulate(context.Background(), sim.Request{Test: litmus.MustParse(src), Checker: models.SC})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,14 +64,14 @@ forall (x=1 \/ x=2)`
 
 func TestStatesHistogram(t *testing.T) {
 	e, _ := catalog.ByName("mp")
-	out, err := sim.Run(e.Test(), models.SC)
+	out, err := sim.Simulate(context.Background(), sim.Request{Test: e.Test(), Checker: models.SC})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(out.States) != 3 {
 		t.Errorf("SC allows 3 mp states, got %d: %v", len(out.States), out.States)
 	}
-	outP, err := sim.Run(e.Test(), models.Power)
+	outP, err := sim.Simulate(context.Background(), sim.Request{Test: e.Test(), Checker: models.Power})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,8 +104,10 @@ func TestIncompleteOutcome(t *testing.T) {
 exists (2:r3=1 /\ 2:r4=2)`
 	test := litmus.MustParse(src)
 	start := time.Now()
-	out, err := sim.RunCtx(context.Background(), test, models.SC,
-		exec.Budget{MaxCandidates: 100, Timeout: time.Second})
+	out, err := sim.Simulate(context.Background(), sim.Request{
+		Test: test, Checker: models.SC,
+		Budget: exec.Budget{MaxCandidates: 100, Timeout: time.Second},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +137,7 @@ func TestCanceledRun(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	e, _ := catalog.ByName("mp")
-	out, err := sim.RunCtx(ctx, e.Test(), models.SC, exec.Budget{})
+	out, err := sim.Simulate(ctx, sim.Request{Test: e.Test(), Checker: models.SC})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +148,7 @@ func TestCanceledRun(t *testing.T) {
 
 func TestOutcomeString(t *testing.T) {
 	e, _ := catalog.ByName("mp")
-	out, err := sim.Run(e.Test(), models.Power)
+	out, err := sim.Simulate(context.Background(), sim.Request{Test: e.Test(), Checker: models.Power})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +171,7 @@ func TestOutcomeJSONDeterministic(t *testing.T) {
 	test := e.Test()
 	var first []byte
 	for i := 0; i < 20; i++ {
-		out, err := sim.Run(test, models.Power)
+		out, err := sim.Simulate(context.Background(), sim.Request{Test: test, Checker: models.Power})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -207,7 +209,7 @@ func TestOutcomeJSONDeterministic(t *testing.T) {
 // TestOutcomeJSONIncomplete: incomplete outcomes carry their reason as text.
 func TestOutcomeJSONIncomplete(t *testing.T) {
 	e, _ := catalog.ByName("mp")
-	out, err := sim.RunCtx(context.Background(), e.Test(), models.Power, exec.Budget{MaxCandidates: 1})
+	out, err := sim.Simulate(context.Background(), sim.Request{Test: e.Test(), Checker: models.Power, Budget: exec.Budget{MaxCandidates: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
