@@ -1,6 +1,7 @@
 GO ?= go
+NPROC ?= $(shell nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)
 
-.PHONY: build test vet race bench ci serve
+.PHONY: build test vet race bench chaos-smoke fleet-demo ci serve
 
 build:
 	$(GO) build ./...
@@ -21,10 +22,23 @@ race:
 # streams are byte-identical to the sequential one, check that enabling
 # the obs counters stays within noise of the nil-sink path, and record
 # the result (with the runner's core count) in BENCH_enumerate.json.
+# GOMAXPROCS is pinned to the machine's core count explicitly: the
+# original record was taken with an inherited GOMAXPROCS=1, which
+# serialised the 2/4/8-worker timings and flattened the scaling curve.
 bench:
-	BENCH_ENUM_OUT=$(CURDIR)/BENCH_enumerate.json $(GO) test -run 'TestBenchEnumerateJSON|TestObsOverheadSmoke' -count=1 -v .
+	GOMAXPROCS=$(NPROC) BENCH_ENUM_OUT=$(CURDIR)/BENCH_enumerate.json $(GO) test -run 'TestBenchEnumerateJSON|TestObsOverheadSmoke' -count=1 -v .
 
-ci: vet test race
+# The fleet acceptance test under the race detector: a 500-test batch
+# through herd-gw while one backend is killed mid-batch and another runs
+# 500ms slow with a seeded 5% 5xx burst. Bounded well under 2 minutes.
+chaos-smoke:
+	$(GO) test -race -run 'TestChaos' -count=1 -v -timeout 150s ./internal/fleet/
+
+# A local 2-node fleet behind herd-gw, for poking at failover by hand.
+fleet-demo: build
+	./scripts/fleet_demo.sh
+
+ci: vet test race chaos-smoke
 
 # The litmus-simulation service (cmd/herdd): HTTP verdicts with a
 # content-addressed cache. See the "herdd" section of README.md.

@@ -124,10 +124,30 @@ func b2i(v bool) int {
 // benchRow is one line of BENCH_enumerate.json.
 type benchRow struct {
 	Workers    int     `json:"workers"`
+	Procs      int     `json:"procs"` // schedulable parallelism: min(workers, GOMAXPROCS)
 	NsPerOp    int64   `json:"ns_per_op"`
 	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"` // speedup / procs; 1.0 = perfect scaling
 	Candidates int     `json:"candidates"`
 	StreamOK   bool    `json:"stream_identical"`
+}
+
+// unpinProcs undoes the core-pinning bug that produced the original
+// BENCH_enumerate.json: the harness inherited GOMAXPROCS=1 from the
+// runner, so the 2/4/8-worker timings all ran on one OS thread and the
+// "speedup" column read ~1.06x regardless of the sharding. Raise
+// GOMAXPROCS to the machine's core count for the duration of the bench
+// (restored on cleanup) and return the effective value; on a genuinely
+// single-core machine this is honestly 1 and the curve says so.
+func unpinProcs(tb testing.TB) int {
+	tb.Helper()
+	cores := runtime.NumCPU()
+	if prev := runtime.GOMAXPROCS(0); prev < cores {
+		runtime.GOMAXPROCS(cores)
+		tb.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+		tb.Logf("bench: raised GOMAXPROCS %d -> %d (was pinned below the core count)", prev, cores)
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // TestBenchEnumerateJSON, gated on BENCH_ENUM_OUT, times the co-heavy
@@ -141,6 +161,7 @@ func TestBenchEnumerateJSON(t *testing.T) {
 	if out == "" {
 		t.Skip("set BENCH_ENUM_OUT=<path> to run the bench and write the JSON record")
 	}
+	procs := unpinProcs(t)
 	wantHash, wantN := enumerateHash(t, 0) // sequential reference
 	p := compileBench(t, coHeavySrc)
 	rows := make([]benchRow, 0, 4)
@@ -156,10 +177,16 @@ func TestBenchEnumerateJSON(t *testing.T) {
 		if workers == 1 {
 			baseline = median
 		}
+		effective := workers
+		if procs < effective {
+			effective = procs
+		}
 		rows = append(rows, benchRow{
 			Workers:    workers,
+			Procs:      effective,
 			NsPerOp:    median,
 			Speedup:    float64(baseline) / float64(median),
+			Efficiency: float64(baseline) / float64(median) / float64(effective),
 			Candidates: n,
 			StreamOK:   hash == wantHash && n == wantN,
 		})
@@ -202,9 +229,11 @@ func TestBenchEnumerateJSON(t *testing.T) {
 	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %s (cores=%d)", out, record.Cores)
+	t.Logf("wrote %s (cores=%d, gomaxprocs=%d)", out, record.Cores, record.GoMaxProcs)
+	t.Log("scaling curve (workers: ns/op, speedup vs 1 worker, efficiency vs schedulable procs):")
 	for _, r := range rows {
-		t.Logf("workers=%d: %v/op, speedup %.2fx", r.Workers, time.Duration(r.NsPerOp), r.Speedup)
+		t.Logf("  workers=%d procs=%d: %v/op, speedup %.2fx, efficiency %.0f%%",
+			r.Workers, r.Procs, time.Duration(r.NsPerOp), r.Speedup, r.Efficiency*100)
 	}
 	t.Logf("obs overhead: off %v, on %v (%.1f%%)",
 		time.Duration(offMed), time.Duration(onMed), overhead*100)

@@ -9,6 +9,7 @@
 //
 //	herdd [-addr :8787] [-j 0] [-enum-workers 1] [-prune]
 //	      [-cache-entries 4096] [-timeout 30s]
+//	      [-max-concurrent 0] [-max-queue 64] [-max-queue-wait 1s]
 //
 // Endpoints and the wire format are documented in README.md ("herdd: the
 // verdict service"). Observability: GET /metrics serves the Prometheus
@@ -42,6 +43,9 @@ func main() {
 	drain := flag.Duration("drain", 15*time.Second, "grace period for in-flight requests on shutdown")
 	enumWorkers := flag.Int("enum-workers", 1, "workers per candidate enumeration (0 = GOMAXPROCS, 1 = sequential); never changes verdicts or cache keys")
 	prune := flag.Bool("prune", false, "skip SC-per-location-violating candidates for models that declare the pruning sound")
+	maxConcurrent := flag.Int("max-concurrent", 0, "simulations admitted at once across all requests (0 = 2x GOMAXPROCS, floor 4); cache hits bypass admission")
+	maxQueue := flag.Int("max-queue", 0, "requests allowed to wait for an admission slot before shedding with 429 (0 = 64)")
+	maxQueueWait := flag.Duration("max-queue-wait", 0, "longest one request may wait for a slot before shedding with 429 + Retry-After (0 = 1s)")
 	flag.Parse()
 
 	ew := *enumWorkers
@@ -54,6 +58,9 @@ func main() {
 		MaxSimTimeout: *timeout,
 		EnumWorkers:   ew,
 		Prune:         *prune,
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
+		MaxQueueWait:  *maxQueueWait,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

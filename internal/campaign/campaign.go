@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"runtime/debug"
 	"time"
 
@@ -126,6 +127,42 @@ func (c Config) backoff() time.Duration {
 		return 10 * time.Millisecond
 	}
 	return c.Backoff
+}
+
+// retryableError is the duck-typed contract an error uses to declare
+// itself transient. The fleet client's errors implement it, as can any
+// custom Job.Run error; keeping it structural avoids an import cycle
+// between campaign and the packages whose errors flow through it.
+type retryableError interface{ RetryableError() bool }
+
+// ErrorRetryable reports whether err declares itself transient via a
+// `RetryableError() bool` method anywhere in its chain. Errors that do not
+// opt in are permanent: a litmus parse error or a model compile error
+// fails identically on every attempt, so re-running it only burns campaign
+// budget and delays the report.
+func ErrorRetryable(err error) bool {
+	var r retryableError
+	return errors.As(err, &r) && r.RetryableError()
+}
+
+// maxBackoffWindow caps the exponential backoff window so a job stuck on
+// a flapping dependency re-probes at least this often.
+const maxBackoffWindow = 30 * time.Second
+
+// jitteredBackoff draws the pause before retry number attempt (0-based):
+// full jitter, uniform over [0, window], where window doubles from base
+// each retry ("exponential backoff and full jitter"). Jobs that fail
+// together — a whole campaign hitting one overloaded herdd — therefore do
+// not retry together.
+func jitteredBackoff(base time.Duration, attempt int) time.Duration {
+	window := base
+	for i := 0; i < attempt && window < maxBackoffWindow; i++ {
+		window *= 2
+	}
+	if window > maxBackoffWindow {
+		window = maxBackoffWindow
+	}
+	return rand.N(window + 1)
 }
 
 // JobResult records how one job ended. Outcome is kept for in-process
@@ -240,11 +277,13 @@ func Run(ctx context.Context, cfg Config, jobs []Job) *Report {
 	return rep
 }
 
-// runJob drives one job through its attempts. A job that comes back
-// Incomplete on budget pressure (not caller cancellation) is retried with
-// a budget scaled by cfg.growth(), after a short backoff — transient
-// pressure (a slightly-too-small bound) heals, truly pathological tests
-// settle as Incomplete with their partial outcome.
+// runJob drives one job through its attempts. Two kinds of failure earn a
+// retry: an Incomplete under budget pressure (not caller cancellation),
+// which re-runs with a budget scaled by cfg.growth(); and an Error whose
+// cause declares itself transient (ErrorRetryable — a fleet client losing
+// a backend mid-request), which re-runs with the same budget. Permanent
+// errors — a parse failure, a model bug — settle immediately: they would
+// fail identically on every attempt.
 func runJob(ctx context.Context, cfg Config, job Job) JobResult {
 	start := time.Now()
 	res := JobResult{Name: job.Name}
@@ -259,15 +298,21 @@ attempts:
 		out, tr, err, stack := runAttempt(ctx, cfg, timeout, budget, job)
 		res.fill(out, err, stack)
 		res.Trace = tr.Summary()
-		retryable := res.Status == StatusIncomplete &&
-			ctx.Err() == nil && // the caller is not tearing the campaign down
-			attempt < cfg.retries()
-		if !retryable {
+		if ctx.Err() != nil || attempt >= cfg.retries() {
 			break
 		}
-		budget = budget.Scale(cfg.growth())
-		if timeout > 0 {
-			timeout *= time.Duration(cfg.growth())
+		switch {
+		case res.Status == StatusIncomplete:
+			// Budget pressure: grow the budget so the retry can finish.
+			budget = budget.Scale(cfg.growth())
+			if timeout > 0 {
+				timeout *= time.Duration(cfg.growth())
+			}
+		case res.Status == StatusError && ErrorRetryable(err):
+			// Transient infrastructure failure: the same budget will do
+			// once the dependency recovers.
+		default:
+			break attempts
 		}
 		// Back off with a stoppable timer: bare time.After would leave a
 		// live timer behind on every cancellation, and a campaign retries
@@ -275,7 +320,7 @@ attempts:
 		// backoff also ends the job now — the retry it pre-empts could
 		// only come back Incomplete(canceled) and overwrite the partial
 		// outcome the last real attempt already produced.
-		backoff := time.NewTimer(cfg.backoff())
+		backoff := time.NewTimer(jitteredBackoff(cfg.backoff(), attempt))
 		select {
 		case <-backoff.C:
 		case <-ctx.Done():

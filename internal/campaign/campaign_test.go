@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -206,6 +207,67 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	}
 	if len(decoded.Jobs[0].States) == 0 {
 		t.Error("JSON report should carry the state histogram")
+	}
+}
+
+// transientErr is an error that opts into retrying via the structural
+// RetryableError contract (as the fleet client's errors do).
+type transientErr struct{ msg string }
+
+func (e *transientErr) Error() string        { return e.msg }
+func (e *transientErr) RetryableError() bool { return true }
+
+// TestRetryableErrorClassification: an Error whose cause declares itself
+// transient is retried (same budget) and can heal; a permanent error — a
+// parse failure, say — settles on the first attempt, because re-running it
+// can only reproduce it.
+func TestRetryableErrorClassification(t *testing.T) {
+	var transientCalls, permanentCalls atomic.Int32
+	jobs := []campaign.Job{
+		{Name: "transient", Run: func(ctx context.Context, b exec.Budget) (*sim.Outcome, error) {
+			if transientCalls.Add(1) == 1 {
+				return nil, &transientErr{msg: "backend connection reset"}
+			}
+			return &sim.Outcome{Candidates: 3, Valid: 3, CondObserved: true, Model: "m"}, nil
+		}},
+		{Name: "permanent", Run: func(ctx context.Context, b exec.Budget) (*sim.Outcome, error) {
+			permanentCalls.Add(1)
+			return nil, errors.New("litmus: parse error at line 3")
+		}},
+	}
+	rep := campaign.Run(context.Background(), campaign.Config{Retries: 3, Backoff: time.Millisecond}, jobs)
+
+	tr := rep.Jobs[0]
+	if tr.Status != campaign.StatusOK || tr.Attempts != 2 {
+		t.Errorf("transient job: status %s after %d attempts, want OK after 2", tr.Status, tr.Attempts)
+	}
+	perm := rep.Jobs[1]
+	if perm.Status != campaign.StatusError || perm.Attempts != 1 {
+		t.Errorf("permanent job: status %s after %d attempts, want Error after exactly 1 (no retry of parse errors)", perm.Status, perm.Attempts)
+	}
+	if got := permanentCalls.Load(); got != 1 {
+		t.Errorf("permanent job ran %d times, want 1", got)
+	}
+}
+
+// TestErrorRetryable pins the classifier: only errors carrying a
+// RetryableError() method (directly or via wrapping) that returns true are
+// transient.
+func TestErrorRetryable(t *testing.T) {
+	base := &transientErr{msg: "reset"}
+	for _, tc := range []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"plain", errors.New("parse error"), false},
+		{"direct", base, true},
+		{"wrapped", fmt.Errorf("job sb: %w", base), true},
+	} {
+		if got := campaign.ErrorRetryable(tc.err); got != tc.want {
+			t.Errorf("ErrorRetryable(%s) = %v, want %v", tc.name, got, tc.want)
+		}
 	}
 }
 

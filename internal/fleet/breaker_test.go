@@ -1,0 +1,71 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerLifecycle walks the full circuit: closed → open at the
+// failure threshold → half-open after the cooldown (one trial only) →
+// closed on a successful trial, or straight back to open on a failed one.
+func TestBreakerLifecycle(t *testing.T) {
+	b := &Breaker{Threshold: 3, Cooldown: 30 * time.Millisecond}
+
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("a fresh breaker must be closed and allowing")
+	}
+	// Failures below the threshold keep it closed; a success resets the
+	// streak.
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("streak below threshold opened the circuit (success did not reset)")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after %d consecutive failures, want open", b.State(), 3)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request before the cooldown")
+	}
+
+	time.Sleep(40 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker refused the half-open trial")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v after the trial was admitted, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+
+	// A failed trial re-opens for another full cooldown.
+	b.Failure()
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("failed trial did not re-open the circuit")
+	}
+	time.Sleep(40 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("re-opened breaker never offered another trial")
+	}
+	// A successful trial closes it and traffic flows again.
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("successful trial did not close the circuit")
+	}
+}
+
+// TestBreakerDefaults pins the zero-value knobs.
+func TestBreakerDefaults(t *testing.T) {
+	b := &Breaker{}
+	if b.threshold() != 3 {
+		t.Errorf("default threshold = %d, want 3", b.threshold())
+	}
+	if b.cooldown() != 5*time.Second {
+		t.Errorf("default cooldown = %v, want 5s", b.cooldown())
+	}
+}

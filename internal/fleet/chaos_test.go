@@ -1,0 +1,190 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"herdcats/internal/campaign"
+	"herdcats/internal/fleet/faultproxy"
+	"herdcats/internal/serve"
+)
+
+// chaosTests generates n store-buffering variants whose tso verdicts are
+// known by construction: even indices ask for the classic relaxed
+// outcome 0/0, which x86-TSO forbids only with fences — absent here, so
+// it is Allowed; odd indices ask for a value (2) that no thread ever
+// stores, which is unreachable on any model — Forbidden. Distinct names
+// give every test its own verdict key, so the batch spreads across the
+// whole fleet.
+func chaosTests(n int) (tests []string, wantOK []bool) {
+	tests = make([]string, n)
+	wantOK = make([]bool, n)
+	for i := range tests {
+		cond := `exists (0:EAX=0 /\ 1:EAX=0)` // reachable: Allowed under tso
+		if i%2 == 1 {
+			cond = `exists (0:EAX=2 /\ 1:EAX=2)` // value never stored: Forbidden
+		}
+		tests[i] = fmt.Sprintf(`X86 chaos%04d
+{ }
+ P0 | P1 ;
+ MOV [x],$1 | MOV [y],$1 ;
+ MOV EAX,[y] | MOV EAX,[x] ;
+%s`, i, cond)
+		wantOK[i] = i%2 == 0
+	}
+	return tests, wantOK
+}
+
+// TestChaosBatchSurvivesFaults is the fleet's acceptance test: a
+// 500-test batch through the gateway while, on a seeded fault schedule,
+// one backend runs +500ms slow with a 5% 5xx burst and another is killed
+// outright mid-batch. The batch must still return every verdict exactly
+// once, each one correct, with zero gateway-level errors — and tearing
+// everything down must leak no goroutines.
+func TestChaosBatchSurvivesFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos batch takes tens of seconds")
+	}
+	baseline := runtime.NumGoroutine()
+
+	// Three real herdd backends, each behind its own fault proxy. The
+	// gateway only ever sees the proxied addresses.
+	const nBackends = 3
+	var completed atomic.Int64 // upstream /v1/run responses served fleet-wide
+	proxies := make([]*faultproxy.Proxy, nBackends)
+	backendURLs := make([]string, nBackends)
+	var servers []*httptest.Server
+	transport := &http.Transport{}
+	defer transport.CloseIdleConnections()
+	for i := 0; i < nBackends; i++ {
+		srv := serve.New(serve.Config{})
+		counted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			srv.Handler().ServeHTTP(w, r)
+			if r.URL.Path == "/v1/run" {
+				completed.Add(1)
+			}
+		})
+		up := httptest.NewServer(counted)
+		defer up.Close() // idempotent; the leak check closes it first
+		p, err := faultproxy.New(up.URL, uint64(1000+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		proxies[i] = p
+		front := httptest.NewServer(p)
+		defer front.Close()
+		servers = append(servers, up, front)
+		backendURLs[i] = front.URL
+	}
+
+	gw, err := NewGateway(GatewayConfig{
+		Backends:         backendURLs,
+		Policy:           Policy{MaxAttempts: 3, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 100 * time.Millisecond, Timeout: 15 * time.Second},
+		ProbeInterval:    250 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  300 * time.Millisecond,
+		BatchWorkers:     16,
+		HTTPClient:       &http.Client{Transport: transport},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	// The seeded fault schedule: backend 1 degrades immediately (+500ms
+	// on every request, 5% of them answered 503); backend 2 is killed
+	// once the fleet has finished ~100 verdicts, with the batch still in
+	// full flight.
+	proxies[1].SetLatency(500 * time.Millisecond)
+	proxies[1].SetErrorRate(0.05)
+
+	const nTests = 500
+	tests, wantOK := chaosTests(nTests)
+
+	done := make(chan *serve.BatchResponse, 1)
+	go func() {
+		done <- gw.RunBatch(context.Background(), serve.BatchRequest{
+			Tests: tests,
+			Model: serve.ModelSpec{Name: "tso"},
+		})
+	}()
+
+	killDeadline := time.After(2 * time.Minute)
+	var resp *serve.BatchResponse
+	killed := false
+	for resp == nil {
+		select {
+		case resp = <-done:
+		case <-killDeadline:
+			t.Fatal("chaos batch did not finish within 2 minutes")
+		case <-time.After(5 * time.Millisecond):
+			if !killed && completed.Load() >= 100 {
+				proxies[2].Kill()
+				killed = true
+			}
+		}
+	}
+	if !killed {
+		t.Fatal("batch finished before the mid-batch kill fired — the kill path was never exercised")
+	}
+
+	// Every verdict, exactly once, in request order, correct, no errors.
+	if got := len(resp.Report.Jobs); got != nTests {
+		t.Fatalf("report has %d rows for a %d-test batch", got, nTests)
+	}
+	for i, job := range resp.Report.Jobs {
+		wantName := fmt.Sprintf("chaos%04d", i)
+		if job.Name != wantName {
+			t.Fatalf("row %d is %q, want %q — rows lost or reordered", i, job.Name, wantName)
+		}
+		want := campaign.StatusForbidden
+		if wantOK[i] {
+			want = campaign.StatusOK
+		}
+		if job.Status != want {
+			t.Errorf("row %d (%s): status %s (reason %q), want %s", i, job.Name, job.Status, job.Reason, want)
+		}
+	}
+	if errs := resp.Report.Counts[campaign.StatusError]; errs != 0 {
+		t.Errorf("%d rows errored at the gateway, want 0", errs)
+	}
+	if skipped := resp.Report.Counts[campaign.StatusSkipped]; skipped != 0 {
+		t.Errorf("%d rows skipped, want 0", skipped)
+	}
+	if injected := proxies[1].Injected(); injected == 0 {
+		t.Error("the degraded backend never injected a 503 — the 5xx burst path was not exercised")
+	} else {
+		t.Logf("degraded backend injected %d 503s; fleet completed %d upstream runs for %d tests",
+			injected, completed.Load(), nTests)
+	}
+
+	// Teardown must return the process to its pre-test goroutine count
+	// (allowing a little slack for the test server machinery winding
+	// down). Everything is closed explicitly here — the deferred closes
+	// are idempotent backstops for early-failure paths — including the
+	// default transport's idle pool, which the fault proxies' reverse
+	// proxies dial through.
+	gw.Close()
+	for _, s := range servers {
+		s.Close()
+	}
+	transport.CloseIdleConnections()
+	http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+	leakDeadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+3 {
+			break
+		} else if time.Now().After(leakDeadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d running, baseline %d\n%s", n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,358 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"herdcats/internal/serve"
+)
+
+// Policy tunes the client's resilience behaviour. The zero value retries
+// transient failures three times with full-jitter backoff and no hedging.
+type Policy struct {
+	// MaxAttempts bounds the tries per request, the first included
+	// (<= 0 selects 3).
+	MaxAttempts int
+
+	// BaseBackoff seeds the full-jitter backoff window, which doubles
+	// per retry (<= 0 selects 50ms).
+	BaseBackoff time.Duration
+
+	// MaxBackoff caps the backoff window (<= 0 selects 2s).
+	MaxBackoff time.Duration
+
+	// HedgeAfter launches a duplicate of a still-unanswered request
+	// after this long, racing the original — the standard tail-latency
+	// cut. herdd's single-flight layer makes the duplicate nearly free
+	// when both land on one backend. 0 disables hedging.
+	HedgeAfter time.Duration
+
+	// Timeout bounds one attempt's wall clock (<= 0 selects 30s). The
+	// caller's context deadline still wins when tighter.
+	Timeout time.Duration
+}
+
+func (p Policy) maxAttempts() int {
+	if p.MaxAttempts <= 0 {
+		return 3
+	}
+	return p.MaxAttempts
+}
+
+func (p Policy) baseBackoff() time.Duration {
+	if p.BaseBackoff <= 0 {
+		return 50 * time.Millisecond
+	}
+	return p.BaseBackoff
+}
+
+func (p Policy) maxBackoff() time.Duration {
+	if p.MaxBackoff <= 0 {
+		return 2 * time.Second
+	}
+	return p.MaxBackoff
+}
+
+func (p Policy) timeout() time.Duration {
+	if p.Timeout <= 0 {
+		return 30 * time.Second
+	}
+	return p.Timeout
+}
+
+// backoff draws the full-jitter pause before retry number attempt
+// (0-based): uniform over [0, window], window doubling from BaseBackoff
+// up to MaxBackoff.
+func (p Policy) backoff(attempt int) time.Duration {
+	window := p.baseBackoff()
+	for i := 0; i < attempt && window < p.maxBackoff(); i++ {
+		window *= 2
+	}
+	if lim := p.maxBackoff(); window > lim {
+		window = lim
+	}
+	return rand.N(window + 1)
+}
+
+// Error is a classified herdd request failure. Status 0 means the
+// request never produced an HTTP response (connect error, reset, timeout).
+type Error struct {
+	Status int    // HTTP status, 0 for transport failures
+	Code   string // error-envelope code when the body carried one
+	Msg    string
+	Cause  error // underlying transport error, when any
+
+	retryable bool
+}
+
+func (e *Error) Error() string {
+	switch {
+	case e.Status == 0:
+		return fmt.Sprintf("herdd: transport: %s", e.Msg)
+	case e.Code != "":
+		return fmt.Sprintf("herdd: %d %s: %s", e.Status, e.Code, e.Msg)
+	}
+	return fmt.Sprintf("herdd: %d: %s", e.Status, e.Msg)
+}
+
+func (e *Error) Unwrap() error { return e.Cause }
+
+// RetryableError implements the structural contract campaign and the
+// gateway share: transient failures — connect errors, 429 (overload),
+// any 5xx, a deadline expiring at the gateway — may be retried or
+// rerouted; permanent ones (the other 4xx envelopes: bad litmus, unknown
+// model …) will fail identically everywhere and must not be.
+func (e *Error) RetryableError() bool { return e.retryable }
+
+// Retryable reports whether err is worth another attempt, by the same
+// structural contract campaign uses (see campaign.ErrorRetryable).
+func Retryable(err error) bool {
+	var r interface{ RetryableError() bool }
+	return errors.As(err, &r) && r.RetryableError()
+}
+
+// classify builds the Error for one failed exchange.
+func classify(status int, code, msg string, cause error) *Error {
+	e := &Error{Status: status, Code: code, Msg: msg, Cause: cause}
+	switch {
+	case status == 0: // never reached the backend; safe to resend
+		e.retryable = true
+	case status == http.StatusTooManyRequests: // shed; backend says come back
+		e.retryable = true
+	case status >= 500: // backend or proxy trouble, not the request's fault
+		e.retryable = true
+	}
+	return e
+}
+
+// Stats counts the client's resilience events (monotonic; atomic reads).
+type Stats struct {
+	Attempts atomic.Uint64 // HTTP exchanges started, hedges included
+	Retries  atomic.Uint64 // extra attempts after a retryable failure
+	Hedges   atomic.Uint64 // duplicate requests launched by HedgeAfter
+	Failures atomic.Uint64 // requests that exhausted every attempt
+}
+
+// Client is a resilient client for one herdd backend: per-attempt
+// timeouts, deadline-budget propagation (X-Deadline), retry with full-
+// jitter backoff on transient failures, and optional tail-latency
+// hedging. One Client maps to one backend; the Gateway owns the
+// cross-backend routing.
+type Client struct {
+	base  string // http://host:port, no trailing slash
+	hc    *http.Client
+	pol   Policy
+	stats Stats
+}
+
+// NewClient builds a client for the herdd at base (e.g.
+// "http://127.0.0.1:8787"). httpClient nil selects a default with
+// connection pooling; the Policy zero value is documented above.
+func NewClient(base string, pol Policy, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient, pol: pol}
+}
+
+// Base returns the backend's base URL.
+func (c *Client) Base() string { return c.base }
+
+// Stats exposes the client's resilience counters.
+func (c *Client) Stats() *Stats { return &c.stats }
+
+// Run simulates one litmus test via POST /v1/run, retrying transient
+// failures per the policy. The returned error, when non-nil, is an
+// *Error carrying the classification.
+func (c *Client) Run(ctx context.Context, req serve.RunRequest) (*serve.RunResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, classify(http.StatusBadRequest, "bad_request", err.Error(), err)
+	}
+	var resp serve.RunResponse
+	if err := c.do(ctx, "/v1/run", body, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Batch simulates many tests via POST /v1/batch with the same retry
+// discipline.
+func (c *Client) Batch(ctx context.Context, req serve.BatchRequest) (*serve.BatchResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, classify(http.StatusBadRequest, "bad_request", err.Error(), err)
+	}
+	var resp serve.BatchResponse
+	if err := c.do(ctx, "/v1/batch", body, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Healthz probes GET /healthz once — no retries: the probe loop is the
+// retry.
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return classify(0, "", err.Error(), err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return classify(0, "", err.Error(), err)
+	}
+	defer drain(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return classify(resp.StatusCode, "", "unhealthy", nil)
+	}
+	return nil
+}
+
+// do drives one logical request through attempts, hedging and backoff.
+func (c *Client) do(ctx context.Context, path string, body []byte, out any) error {
+	var last error
+	for attempt := 0; attempt < c.pol.maxAttempts(); attempt++ {
+		if attempt > 0 {
+			c.stats.Retries.Add(1)
+			timer := time.NewTimer(c.pol.backoff(attempt - 1))
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return classify(0, "", ctx.Err().Error(), ctx.Err())
+			}
+		}
+		err := c.hedged(ctx, path, body, out)
+		if err == nil {
+			return nil
+		}
+		last = err
+		if !Retryable(err) || ctx.Err() != nil {
+			break
+		}
+	}
+	c.stats.Failures.Add(1)
+	return last
+}
+
+// hedged runs one attempt, duplicating it after HedgeAfter if it has not
+// answered: the first success wins, a duplicate's failure is ignored
+// unless both fail.
+func (c *Client) hedged(ctx context.Context, path string, body []byte, out any) error {
+	if c.pol.HedgeAfter <= 0 {
+		return c.attempt(ctx, path, body, out)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel() // the loser is abandoned as soon as a winner returns
+	type result struct {
+		err     error
+		payload json.RawMessage
+	}
+	results := make(chan result, 2)
+	launch := func() {
+		var raw json.RawMessage
+		err := c.attempt(ctx, path, body, &raw)
+		results <- result{err: err, payload: raw}
+	}
+	go launch()
+	hedge := time.NewTimer(c.pol.HedgeAfter)
+	defer hedge.Stop()
+	launched := 1
+	var firstErr error
+	for got := 0; got < launched; {
+		select {
+		case <-hedge.C:
+			if launched == 1 {
+				launched = 2
+				c.stats.Hedges.Add(1)
+				go launch()
+			}
+		case r := <-results:
+			got++
+			if r.err == nil {
+				if out != nil {
+					return json.Unmarshal(r.payload, out)
+				}
+				return nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+		}
+	}
+	return firstErr
+}
+
+// attempt performs exactly one HTTP exchange, propagating the remaining
+// deadline budget via X-Deadline so the backend can shed what cannot
+// finish in time.
+func (c *Client) attempt(ctx context.Context, path string, body []byte, out any) error {
+	c.stats.Attempts.Add(1)
+	actx, cancel := context.WithTimeout(ctx, c.pol.timeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return classify(0, "", err.Error(), err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl).Milliseconds()
+		if remaining < 1 {
+			remaining = 1 // expired budgets are the backend's call to shed
+		}
+		req.Header.Set(serve.DeadlineHeader, strconv.FormatInt(remaining, 10))
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return classify(0, "", err.Error(), err)
+	}
+	defer drain(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return classifyResponse(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxResponseBytes)).Decode(out); err != nil {
+		// A truncated or garbled body is a transport-class failure: the
+		// backend may answer intact on retry.
+		e := classify(0, "", fmt.Sprintf("decoding response: %v", err), err)
+		return e
+	}
+	return nil
+}
+
+// maxResponseBytes bounds a response body read (a full batch report over
+// 256 tests fits comfortably).
+const maxResponseBytes = 64 << 20
+
+// classifyResponse turns a non-200 response into the classified error,
+// decoding the serve error envelope when present.
+func classifyResponse(resp *http.Response) *Error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var env struct {
+		Error serve.ErrorBody `json:"error"`
+	}
+	code, msg := "", strings.TrimSpace(string(raw))
+	if err := json.Unmarshal(raw, &env); err == nil && env.Error.Code != "" {
+		code, msg = env.Error.Code, env.Error.Message
+	}
+	return classify(resp.StatusCode, code, msg, nil)
+}
+
+// drain consumes and closes a response body so the underlying connection
+// is reusable.
+func drain(rc io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(rc, 1<<20))
+	_ = rc.Close()
+}

@@ -1,0 +1,136 @@
+// Package faultproxy is a deterministic fault-injection HTTP proxy for
+// resilience tests: it forwards requests to one upstream while injecting
+// added latency, 5xx bursts on a seeded schedule, connection resets, or
+// full black-holes — each switchable at runtime, so a test can degrade
+// or kill a "backend" mid-batch and watch the fleet layer absorb it.
+// Determinism matters: the 5xx schedule is a seeded PCG stream, so a
+// failing chaos run replays exactly from its seed.
+package faultproxy
+
+import (
+	"math/rand/v2"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// Proxy fronts one upstream with injectable faults. The zero fault
+// configuration forwards transparently. Safe for concurrent use.
+type Proxy struct {
+	rp *httputil.ReverseProxy
+
+	mu        sync.Mutex
+	rng       *rand.Rand    // seeded; guarded by mu for determinism
+	latency   time.Duration // added before forwarding
+	errorRate float64       // probability of answering 503 instead
+	blackhole bool          // swallow requests until their ctx dies
+	reset     bool          // abort every connection mid-response
+	injected  uint64        // 5xx responses injected so far
+}
+
+// New builds a proxy for upstream (e.g. "http://127.0.0.1:8787") with a
+// seeded fault schedule.
+func New(upstream string, seed uint64) (*Proxy, error) {
+	u, err := url.Parse(upstream)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+	}
+	p.rp = &httputil.ReverseProxy{
+		Rewrite: func(r *httputil.ProxyRequest) {
+			r.SetURL(u)
+		},
+		// The default ErrorHandler logs to stderr; tests want silence
+		// and a classifiable status.
+		ErrorHandler: func(w http.ResponseWriter, r *http.Request, err error) {
+			w.WriteHeader(http.StatusBadGateway)
+		},
+	}
+	return p, nil
+}
+
+// SetLatency adds d to every subsequent request (0 restores passthrough).
+func (p *Proxy) SetLatency(d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.latency = d
+}
+
+// SetErrorRate makes each subsequent request independently answer 503
+// with probability rate, drawn from the seeded schedule (0 disables).
+func (p *Proxy) SetErrorRate(rate float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.errorRate = rate
+}
+
+// SetBlackhole makes the proxy swallow requests — no response until the
+// client's context gives up. The cruellest fault: no error, no bytes.
+func (p *Proxy) SetBlackhole(on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.blackhole = on
+}
+
+// Kill makes the proxy abort every subsequent connection — the closest
+// an in-process proxy gets to kill -9 on the backend. Clients see a
+// connection reset / unexpected EOF, never an HTTP status.
+func (p *Proxy) Kill() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.reset = true
+}
+
+// Revive undoes Kill.
+func (p *Proxy) Revive() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.reset = false
+}
+
+// Injected reports how many 5xx responses the schedule has injected.
+func (p *Proxy) Injected() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected
+}
+
+// ServeHTTP applies the configured faults, then forwards.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	latency, blackhole, reset := p.latency, p.blackhole, p.reset
+	inject := p.errorRate > 0 && p.rng.Float64() < p.errorRate
+	if inject {
+		p.injected++
+	}
+	p.mu.Unlock()
+
+	if reset {
+		// http.ErrAbortHandler makes the server drop the connection
+		// without writing a response — the client sees a reset/EOF,
+		// exactly like a killed process.
+		panic(http.ErrAbortHandler)
+	}
+	if blackhole {
+		<-r.Context().Done()
+		return
+	}
+	if latency > 0 {
+		t := time.NewTimer(latency)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-r.Context().Done():
+			return
+		}
+	}
+	if inject {
+		http.Error(w, "faultproxy: injected 503", http.StatusServiceUnavailable)
+		return
+	}
+	p.rp.ServeHTTP(w, r)
+}

@@ -1,0 +1,466 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"herdcats/internal/campaign"
+	"herdcats/internal/cat"
+	"herdcats/internal/exec"
+	"herdcats/internal/litmus"
+	"herdcats/internal/memo"
+	"herdcats/internal/obs"
+	"herdcats/internal/serve"
+)
+
+// GatewayConfig tunes a Gateway. Backends is required; everything else
+// has documented defaults.
+type GatewayConfig struct {
+	// Backends are the herdd base URLs the gateway routes across.
+	Backends []string
+
+	// Policy is the per-backend client resilience policy.
+	Policy Policy
+
+	// ProbeInterval spaces the /healthz probes per backend
+	// (<= 0 selects 1s).
+	ProbeInterval time.Duration
+
+	// BreakerThreshold and BreakerCooldown configure each backend's
+	// circuit breaker (zero values select the Breaker defaults).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// BatchWorkers bounds the concurrent upstream requests one
+	// /v1/batch fans out (<= 0 selects 16).
+	BatchWorkers int
+
+	// MaxRequestBytes bounds a request body (<= 0 selects 4 MiB).
+	MaxRequestBytes int64
+
+	// HTTPClient overrides the transport shared by the backend clients
+	// (nil selects a pooling default) — tests inject httptest transports
+	// here.
+	HTTPClient *http.Client
+}
+
+func (c GatewayConfig) probeInterval() time.Duration {
+	if c.ProbeInterval <= 0 {
+		return time.Second
+	}
+	return c.ProbeInterval
+}
+
+func (c GatewayConfig) batchWorkers() int {
+	if c.BatchWorkers <= 0 {
+		return 16
+	}
+	return c.BatchWorkers
+}
+
+func (c GatewayConfig) maxRequestBytes() int64 {
+	if c.MaxRequestBytes <= 0 {
+		return 4 << 20
+	}
+	return c.MaxRequestBytes
+}
+
+// gwBackend is one routed-to herdd: its client, its circuit breaker, and
+// the last probe's verdict.
+type gwBackend struct {
+	name    string // base URL; doubles as the rendezvous identity
+	client  *Client
+	breaker *Breaker
+}
+
+// gwCall is one in-flight verdict computation; duplicates of its key
+// join it instead of hitting the fleet again.
+type gwCall struct {
+	done chan struct{}
+	resp *serve.RunResponse
+	err  error
+}
+
+// Gateway routes litmus verdicts across a herdd fleet. Every request's
+// verdict key (the same memo.Key the backends cache under) picks its
+// home backend by rendezvous hashing, so repeated requests for one test
+// land on one backend's warm cache; an unhealthy or ejected home fails
+// over along the key's deterministic backend ranking. Duplicate
+// in-flight keys coalesce gateway-side, and a /healthz probe loop feeds
+// each backend's circuit breaker out-of-band.
+type Gateway struct {
+	cfg      GatewayConfig
+	backends map[string]*gwBackend
+	names    []string    // sorted, fixed at construction
+	models   *memo.Cache // compiles inline cat sources, content-addressed
+	mux      *http.ServeMux
+	reg      *obs.Registry
+
+	mu       sync.Mutex
+	inflight map[string]*gwCall
+
+	probeCancel context.CancelFunc
+	probes      sync.WaitGroup
+}
+
+// NewGateway builds the gateway and starts its health-probe loops; call
+// Close to stop them.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("gateway: at least one backend is required")
+	}
+	g := &Gateway{
+		cfg:      cfg,
+		backends: make(map[string]*gwBackend, len(cfg.Backends)),
+		models:   memo.New(0),
+		reg:      obs.NewRegistry(),
+		inflight: map[string]*gwCall{},
+	}
+	for _, raw := range cfg.Backends {
+		c := NewClient(raw, cfg.Policy, cfg.HTTPClient)
+		name := c.Base()
+		if _, dup := g.backends[name]; dup {
+			return nil, fmt.Errorf("gateway: duplicate backend %s", name)
+		}
+		g.backends[name] = &gwBackend{
+			name:    name,
+			client:  c,
+			breaker: &Breaker{Threshold: cfg.BreakerThreshold, Cooldown: cfg.BreakerCooldown},
+		}
+		g.names = append(g.names, name)
+	}
+	sort.Strings(g.names)
+
+	g.mux = http.NewServeMux()
+	g.mux.HandleFunc("POST /v1/run", g.handleRun)
+	g.mux.HandleFunc("POST /v1/batch", g.handleBatch)
+	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
+	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
+	g.mux.HandleFunc("GET /gw/backends", g.handleBackends)
+	g.registerMetrics()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	g.probeCancel = cancel
+	for _, b := range g.backends {
+		g.probes.Add(1)
+		go g.probeLoop(ctx, b)
+	}
+	return g, nil
+}
+
+// Close stops the health-probe loops.
+func (g *Gateway) Close() {
+	g.probeCancel()
+	g.probes.Wait()
+}
+
+// Handler returns the gateway's HTTP handler.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// Metrics exposes the gateway's registry (for tests and embedding).
+func (g *Gateway) Metrics() *obs.Registry { return g.reg }
+
+func (g *Gateway) registerMetrics() {
+	// Pre-create the bounded label sets so every series renders at 0.
+	for _, name := range g.names {
+		name := name
+		g.reg.Counter(`gw_backend_requests_total{backend="` + name + `"}`)
+		g.reg.Counter(`gw_backend_failures_total{backend="` + name + `"}`)
+		g.reg.GaugeFunc(`gw_backend_open{backend="`+name+`"}`, func() int64 {
+			if g.backends[name].breaker.State() != BreakerClosed {
+				return 1
+			}
+			return 0
+		})
+	}
+	g.reg.Counter("gw_coalesced_total")
+	g.reg.Counter("gw_reroutes_total")
+	g.reg.GaugeFunc("gw_inflight_keys", func() int64 {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return int64(len(g.inflight))
+	})
+}
+
+// probeLoop health-checks one backend until the gateway closes, feeding
+// the circuit breaker out-of-band so a dead backend is ejected even with
+// no traffic, and a recovered one is readmitted without sacrificing a
+// live request to find out.
+func (g *Gateway) probeLoop(ctx context.Context, b *gwBackend) {
+	defer g.probes.Done()
+	tick := time.NewTicker(g.cfg.probeInterval())
+	defer tick.Stop()
+	for {
+		pctx, cancel := context.WithTimeout(ctx, g.cfg.probeInterval())
+		err := b.client.Healthz(pctx)
+		cancel()
+		if ctx.Err() != nil {
+			return
+		}
+		if err != nil {
+			b.breaker.Failure()
+		} else {
+			b.breaker.Success()
+		}
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// verdictKey computes the request's routing key: the same content
+// address the backends cache under, except that the budget is taken
+// as-sent (the gateway cannot know each backend's clamp). Used only for
+// placement and coalescing — the authoritative key comes back in the
+// response.
+func (g *Gateway) verdictKey(req serve.RunRequest) (string, *Error) {
+	test, err := litmus.Parse(req.Litmus)
+	if err != nil {
+		return "", classify(http.StatusBadRequest, "bad_request", fmt.Sprintf("litmus: %v", err), err)
+	}
+	var modelID string
+	switch {
+	case req.Model.Name != "":
+		m, err := cat.Builtin(req.Model.Name)
+		if err != nil {
+			return "", classify(http.StatusNotFound, "not_found", fmt.Sprintf("model: %v", err), err)
+		}
+		modelID = memo.ModelID(m)
+	case req.Model.Cat != "":
+		m, err := g.models.Model(req.Model.Cat)
+		if err != nil {
+			return "", classify(http.StatusBadRequest, "bad_request", fmt.Sprintf("model: %v", err), err)
+		}
+		modelID = memo.ModelID(m)
+	default:
+		return "", classify(http.StatusBadRequest, "bad_request", "model: one of name or cat is required", nil)
+	}
+	b := exec.Budget{
+		MaxCandidates:      req.Budget.MaxCandidates,
+		MaxTracesPerThread: req.Budget.MaxTracesPerThread,
+	}
+	if req.Budget.TimeoutMS > 0 {
+		b.Timeout = time.Duration(req.Budget.TimeoutMS) * time.Millisecond
+	}
+	return memo.Key(memo.CanonicalTest(test), modelID, b), nil
+}
+
+// Run computes one verdict through the fleet: coalesce on the key, then
+// route along the key's rendezvous ranking with breaker-aware failover.
+func (g *Gateway) Run(ctx context.Context, req serve.RunRequest) (*serve.RunResponse, error) {
+	key, cerr := g.verdictKey(req)
+	if cerr != nil {
+		return nil, cerr
+	}
+	g.mu.Lock()
+	if call, ok := g.inflight[key]; ok {
+		g.mu.Unlock()
+		g.reg.Counter("gw_coalesced_total").Inc()
+		select {
+		case <-call.done:
+			return call.resp, call.err
+		case <-ctx.Done():
+			return nil, classify(0, "", ctx.Err().Error(), ctx.Err())
+		}
+	}
+	call := &gwCall{done: make(chan struct{})}
+	g.inflight[key] = call
+	g.mu.Unlock()
+
+	resp, err := g.route(ctx, key, req)
+
+	g.mu.Lock()
+	delete(g.inflight, key)
+	g.mu.Unlock()
+	call.resp, call.err = resp, err
+	close(call.done)
+	return resp, err
+}
+
+// route tries the key's backends in rendezvous order: the home backend
+// first, failing over on transient errors (which also feed the breaker).
+// Backends whose breaker refuses are skipped — unless every breaker
+// refuses, in which case the home backend is tried anyway (failing open
+// beats failing instantly when the whole fleet looks down). Permanent
+// errors return immediately: they are the request's fault and will
+// reproduce on any backend.
+func (g *Gateway) route(ctx context.Context, key string, req serve.RunRequest) (*serve.RunResponse, error) {
+	ranked := rendezvous(key, g.names)
+	var last error
+	tried := 0
+	for _, name := range ranked {
+		b := g.backends[name]
+		if !b.breaker.Allow() {
+			continue
+		}
+		if tried > 0 {
+			g.reg.Counter("gw_reroutes_total").Inc()
+		}
+		tried++
+		g.reg.Counter(`gw_backend_requests_total{backend="` + name + `"}`).Inc()
+		resp, err := b.client.Run(ctx, req)
+		if err == nil {
+			b.breaker.Success()
+			return resp, nil
+		}
+		if !Retryable(err) {
+			return nil, err
+		}
+		b.breaker.Failure()
+		g.reg.Counter(`gw_backend_failures_total{backend="` + name + `"}`).Inc()
+		last = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	if tried == 0 && ctx.Err() == nil {
+		// Every breaker refused: fail open through the home backend.
+		name := ranked[0]
+		g.reg.Counter(`gw_backend_requests_total{backend="` + name + `"}`).Inc()
+		resp, err := g.backends[name].client.Run(ctx, req)
+		if err == nil {
+			g.backends[name].breaker.Success()
+			return resp, nil
+		}
+		if !Retryable(err) {
+			return nil, err
+		}
+		g.reg.Counter(`gw_backend_failures_total{backend="` + name + `"}`).Inc()
+		last = err
+	}
+	if last == nil {
+		last = classify(http.StatusServiceUnavailable, "unavailable", "no backend available", nil)
+	}
+	return nil, last
+}
+
+func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req serve.RunRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, g.cfg.maxRequestBytes())).Decode(&req); err != nil {
+		writeGatewayError(w, classify(http.StatusBadRequest, "bad_request", err.Error(), err))
+		return
+	}
+	resp, err := g.Run(r.Context(), req)
+	if err != nil {
+		writeGatewayError(w, err)
+		return
+	}
+	writeGatewayJSON(w, resp)
+}
+
+func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req serve.BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, g.cfg.maxRequestBytes())).Decode(&req); err != nil {
+		writeGatewayError(w, classify(http.StatusBadRequest, "bad_request", err.Error(), err))
+		return
+	}
+	if len(req.Tests) == 0 {
+		writeGatewayError(w, classify(http.StatusBadRequest, "bad_request", "tests: at least one litmus source is required", nil))
+		return
+	}
+	resp := g.RunBatch(r.Context(), req)
+	writeGatewayJSON(w, resp)
+}
+
+// RunBatch fans a batch out across the fleet, one upstream /v1/run per
+// test, each routed and failed over independently by its own key. The
+// report mirrors serve's batch semantics: a failed row costs that row,
+// never the batch.
+func (g *Gateway) RunBatch(ctx context.Context, req serve.BatchRequest) *serve.BatchResponse {
+	n := len(req.Tests)
+	results := make([]campaign.JobResult, n)
+	cached := make([]bool, n)
+	keys := make([]string, n)
+	_ = campaign.ForEach(ctx, g.cfg.batchWorkers(), n, func(ctx context.Context, i int) error {
+		run := serve.RunRequest{
+			Litmus:     req.Tests[i],
+			Model:      req.Model,
+			Budget:     req.Budget,
+			DeadlineMS: req.DeadlineMS,
+		}
+		resp, err := g.Run(ctx, run)
+		if err != nil {
+			results[i] = errorJobResult(fmt.Sprintf("tests[%d]", i), err)
+			return nil
+		}
+		cached[i] = resp.Cached
+		keys[i] = resp.Key
+		results[i] = jobResultFromRun(resp)
+		return nil
+	})
+	rep := &campaign.Report{Counts: map[campaign.Status]int{}}
+	for i := range results {
+		if results[i].Status == "" {
+			results[i] = campaign.JobResult{
+				Name:   fmt.Sprintf("tests[%d]", i),
+				Status: campaign.StatusSkipped,
+				Reason: "batch stopped before this test ran",
+			}
+		}
+		rep.Add(results[i])
+	}
+	return &serve.BatchResponse{Report: rep, Cached: cached, Keys: keys}
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = g.reg.WriteText(w)
+}
+
+// BackendStatus is one row of GET /gw/backends.
+type BackendStatus struct {
+	Name    string `json:"name"`
+	Breaker string `json:"breaker"`
+}
+
+func (g *Gateway) handleBackends(w http.ResponseWriter, r *http.Request) {
+	out := make([]BackendStatus, 0, len(g.names))
+	for _, name := range g.names {
+		out = append(out, BackendStatus{
+			Name:    name,
+			Breaker: g.backends[name].breaker.State().String(),
+		})
+	}
+	writeGatewayJSON(w, out)
+}
+
+func writeGatewayJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeGatewayError renders an error in serve's envelope, preserving an
+// upstream status/code when the error carries one and mapping transport
+// failures to 502 bad_gateway.
+func writeGatewayError(w http.ResponseWriter, err error) {
+	status, code, msg := http.StatusBadGateway, "bad_gateway", err.Error()
+	var e *Error
+	if errors.As(err, &e) && e.Status != 0 {
+		status, msg = e.Status, e.Msg
+		if e.Code != "" {
+			code = e.Code
+		} else {
+			code = "bad_gateway"
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]serve.ErrorBody{"error": {Code: code, Message: msg}})
+}

@@ -1,0 +1,326 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"herdcats/internal/campaign"
+	"herdcats/internal/serve"
+)
+
+// newFleet starts n real in-process herdd backends and a gateway over
+// them, returning the gateway and the backing serve.Servers (for cache
+// statistics). Cleanup is registered on t.
+func newFleet(t *testing.T, n int, cfg GatewayConfig) (*Gateway, []*serve.Server) {
+	t.Helper()
+	servers := make([]*serve.Server, n)
+	for i := 0; i < n; i++ {
+		servers[i] = serve.New(serve.Config{})
+		hs := httptest.NewServer(servers[i].Handler())
+		t.Cleanup(hs.Close)
+		cfg.Backends = append(cfg.Backends, hs.URL)
+	}
+	gw, err := NewGateway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	return gw, servers
+}
+
+func sbVariant(i int) string {
+	return strings.Replace(sbSrc, "X86 sb", fmt.Sprintf("X86 sb%04d", i), 1)
+}
+
+// TestGatewayRoutesAndCaches: repeated runs of one test land on one
+// backend (key affinity), so exactly one backend simulates and the
+// repeat is a cache hit there.
+func TestGatewayKeyAffinity(t *testing.T) {
+	gw, servers := newFleet(t, 3, GatewayConfig{ProbeInterval: time.Hour})
+	req := serve.RunRequest{Litmus: sbSrc, Model: serve.ModelSpec{Name: "tso"}}
+
+	first, err := gw.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Verdict != "Allowed" || first.Cached {
+		t.Fatalf("first run: verdict %q cached %v, want a fresh Allowed", first.Verdict, first.Cached)
+	}
+	second, err := gw.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached || second.Key != first.Key {
+		t.Errorf("second run: cached=%v key match=%v, want a hit on the same backend", second.Cached, second.Key == first.Key)
+	}
+	var misses, hits uint64
+	for _, s := range servers {
+		misses += s.Cache().Stats().Misses
+		hits += s.Cache().Stats().Hits
+	}
+	if misses != 1 || hits != 1 {
+		t.Errorf("fleet-wide misses=%d hits=%d, want 1/1 (one home backend)", misses, hits)
+	}
+}
+
+// TestGatewayFailover: with the home backend down, requests reroute to a
+// surviving backend and still answer correctly; the dead backend's
+// breaker opens after enough failures.
+func TestGatewayFailover(t *testing.T) {
+	servers := make([]*serve.Server, 2)
+	urls := make([]string, 2)
+	var hss [2]*httptest.Server
+	for i := range servers {
+		servers[i] = serve.New(serve.Config{})
+		hss[i] = httptest.NewServer(servers[i].Handler())
+		defer hss[i].Close()
+		urls[i] = hss[i].URL
+	}
+	gw, err := NewGateway(GatewayConfig{
+		Backends:         urls,
+		Policy:           Policy{MaxAttempts: 2, BaseBackoff: time.Millisecond},
+		ProbeInterval:    time.Hour, // probes out of the way; the request path drives the breaker
+		BreakerThreshold: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	// Kill backend 0. Any key homed there must fail over to backend 1.
+	hss[0].Close()
+	deadName := strings.TrimRight(urls[0], "/")
+
+	routedToDead := false
+	for i := 0; i < 16; i++ {
+		req := serve.RunRequest{Litmus: sbVariant(i), Model: serve.ModelSpec{Name: "tso"}}
+		key, cerr := gw.verdictKey(req)
+		if cerr != nil {
+			t.Fatal(cerr)
+		}
+		if rendezvous(key, gw.names)[0] == deadName {
+			routedToDead = true
+		}
+		resp, err := gw.Run(context.Background(), req)
+		if err != nil {
+			t.Fatalf("run %d with one dead backend: %v", i, err)
+		}
+		if resp.Verdict != "Allowed" {
+			t.Fatalf("run %d: verdict %q, want Allowed", i, resp.Verdict)
+		}
+	}
+	if !routedToDead {
+		t.Fatal("no key homed on the dead backend; the failover path never ran")
+	}
+	if st := gw.backends[deadName].breaker.State(); st != BreakerOpen {
+		t.Errorf("dead backend's breaker is %v, want open", st)
+	}
+	_, page := gwMetrics(t, gw)
+	if !strings.Contains(page, "gw_reroutes_total") {
+		t.Error("reroute counter missing from gateway metrics")
+	}
+}
+
+func gwMetrics(t *testing.T, gw *Gateway) (*httptest.ResponseRecorder, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	gw.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	return rec, rec.Body.String()
+}
+
+// TestGatewayCoalescing: concurrent duplicate requests collapse to one
+// upstream computation — the backends together simulate once, and the
+// gateway's coalesced counter records the joins.
+func TestGatewayCoalescing(t *testing.T) {
+	gw, servers := newFleet(t, 2, GatewayConfig{ProbeInterval: time.Hour})
+	req := serve.RunRequest{Litmus: sbSrc, Model: serve.ModelSpec{Name: "tso"}}
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = gw.Run(context.Background(), req)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent run %d: %v", i, err)
+		}
+	}
+	var misses uint64
+	for _, s := range servers {
+		misses += s.Cache().Stats().Misses
+	}
+	if misses != 1 {
+		t.Errorf("fleet-wide misses = %d for %d duplicate requests, want 1", misses, n)
+	}
+}
+
+// TestGatewayBatch: a batch fans out across backends and reassembles in
+// request order, parse failures costing only their row.
+func TestGatewayBatch(t *testing.T) {
+	gw, _ := newFleet(t, 2, GatewayConfig{ProbeInterval: time.Hour, BatchWorkers: 4})
+	tests := []string{sbVariant(0), "not litmus at all", sbVariant(1)}
+
+	body, _ := json.Marshal(serve.BatchRequest{Tests: tests, Model: serve.ModelSpec{Name: "tso"}})
+	rec := httptest.NewRecorder()
+	gw.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(string(body))))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp serve.BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Report.Jobs) != 3 {
+		t.Fatalf("report has %d rows, want 3", len(resp.Report.Jobs))
+	}
+	if resp.Report.Jobs[0].Status != campaign.StatusOK || resp.Report.Jobs[2].Status != campaign.StatusOK {
+		t.Errorf("good rows: %s / %s, want OK / OK", resp.Report.Jobs[0].Status, resp.Report.Jobs[2].Status)
+	}
+	if resp.Report.Jobs[1].Status != campaign.StatusError {
+		t.Errorf("bad row: %s, want Error", resp.Report.Jobs[1].Status)
+	}
+	if resp.Keys[0] == "" || resp.Keys[2] == "" || resp.Keys[1] != "" {
+		t.Errorf("keys = %q, want set/empty/set", resp.Keys)
+	}
+}
+
+// TestGatewayPermanentErrorsPropagate: a permanent client error (bad
+// model) surfaces once through the gateway envelope, without burning
+// retries or tripping breakers.
+func TestGatewayPermanentErrors(t *testing.T) {
+	gw, _ := newFleet(t, 2, GatewayConfig{ProbeInterval: time.Hour})
+	body, _ := json.Marshal(serve.RunRequest{Litmus: sbSrc, Model: serve.ModelSpec{Name: "no-such-model"}})
+	rec := httptest.NewRecorder()
+	gw.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/run", strings.NewReader(string(body))))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404: %s", rec.Code, rec.Body.String())
+	}
+	var env struct {
+		Error serve.ErrorBody `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || env.Error.Code != "not_found" {
+		t.Errorf("envelope %+v (err %v), want code not_found", env, err)
+	}
+	for _, b := range gw.backends {
+		if st := b.breaker.State(); st != BreakerClosed {
+			t.Errorf("breaker %v after a permanent error, want closed", st)
+		}
+	}
+}
+
+// TestGatewayProbesRecoverBackend: the probe loop ejects a dead backend
+// and readmits it when it comes back, without any request traffic.
+func TestGatewayProbesRecoverBackend(t *testing.T) {
+	s := serve.New(serve.Config{})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	// A controllable backend: healthy until told otherwise.
+	var down sync.Mutex
+	isDown := false
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		down.Lock()
+		d := isDown
+		down.Unlock()
+		if d {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		s.Handler().ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+
+	gw, err := NewGateway(GatewayConfig{
+		Backends:         []string{hs.URL, flaky.URL},
+		ProbeInterval:    20 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	flakyName := strings.TrimRight(flaky.URL, "/")
+
+	down.Lock()
+	isDown = true
+	down.Unlock()
+	waitState(t, gw, flakyName, func(s BreakerState) bool { return s != BreakerClosed })
+
+	down.Lock()
+	isDown = false
+	down.Unlock()
+	waitState(t, gw, flakyName, func(s BreakerState) bool { return s == BreakerClosed })
+}
+
+func waitState(t *testing.T, gw *Gateway, name string, ok func(BreakerState) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if ok(gw.backends[name].breaker.State()) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("backend %s breaker stuck in %v", name, gw.backends[name].breaker.State())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestGatewayBackendsEndpoint: /gw/backends lists every backend with its
+// breaker state.
+func TestGatewayBackendsEndpoint(t *testing.T) {
+	gw, _ := newFleet(t, 2, GatewayConfig{ProbeInterval: time.Hour})
+	rec := httptest.NewRecorder()
+	gw.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/gw/backends", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var out []BackendStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("%d backends listed, want 2", len(out))
+	}
+	for _, b := range out {
+		if b.Breaker != "closed" {
+			t.Errorf("backend %s breaker %q, want closed", b.Name, b.Breaker)
+		}
+	}
+}
+
+// TestCampaignOverFleet: internal/campaign pointed at the fleet client —
+// the Jobs bridge — sweeps tests remotely with campaign-side
+// classification intact.
+func TestCampaignOverFleet(t *testing.T) {
+	gw, _ := newFleet(t, 2, GatewayConfig{ProbeInterval: time.Hour})
+	tests := []string{sbVariant(10), sbVariant(11), "garbage"}
+	jobs := Jobs(gw, tests, serve.ModelSpec{Name: "tso"}, serve.BudgetSpec{})
+	rep := campaign.Run(context.Background(), campaign.Config{Retries: 2, Backoff: time.Millisecond}, jobs)
+	if rep.Counts[campaign.StatusOK] != 2 {
+		t.Errorf("OK rows = %d, want 2: %+v", rep.Counts[campaign.StatusOK], rep.Counts)
+	}
+	if rep.Counts[campaign.StatusError] != 1 {
+		t.Errorf("Error rows = %d, want 1", rep.Counts[campaign.StatusError])
+	}
+	// The garbage row is a permanent (parse) error: exactly one attempt.
+	for _, j := range rep.Jobs {
+		if j.Status == campaign.StatusError && j.Attempts != 1 {
+			t.Errorf("permanent error row ran %d attempts, want 1", j.Attempts)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRendezvousDeterministicAndComplete: the ranking is a stable
+// permutation of the backend set, independent of input order.
+func TestRendezvousDeterministicAndComplete(t *testing.T) {
+	names := []string{"http://a:1", "http://b:1", "http://c:1"}
+	ranked := rendezvous("key-1", names)
+	if len(ranked) != len(names) {
+		t.Fatalf("ranking has %d entries, want %d", len(ranked), len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range ranked {
+		seen[n] = true
+	}
+	if len(seen) != len(names) {
+		t.Fatalf("ranking %v is not a permutation of %v", ranked, names)
+	}
+	again := rendezvous("key-1", []string{"http://c:1", "http://a:1", "http://b:1"})
+	for i := range ranked {
+		if ranked[i] != again[i] {
+			t.Fatalf("ranking depends on input order: %v vs %v", ranked, again)
+		}
+	}
+}
+
+// TestRendezvousSpread: many keys spread across all backends — no
+// backend is starved or monopolised.
+func TestRendezvousSpread(t *testing.T) {
+	names := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[rendezvous(fmt.Sprintf("key-%d", i), names)[0]]++
+	}
+	for _, n := range names {
+		got := counts[n]
+		// Fair share is 1000; allow a generous ±40% band.
+		if got < 600 || got > 1400 {
+			t.Errorf("backend %s owns %d/%d keys, want near %d", n, got, keys, keys/len(names))
+		}
+	}
+}
+
+// TestRendezvousStability is the property the verdict caches depend on:
+// removing one backend moves ONLY the keys that lived on it; every other
+// key keeps its home.
+func TestRendezvousStability(t *testing.T) {
+	full := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	without := []string{"http://a:1", "http://b:1", "http://d:1"} // c removed
+	moved, kept := 0, 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := rendezvous(key, full)[0]
+		after := rendezvous(key, without)[0]
+		if before == "http://c:1" {
+			moved++
+			continue // its home is gone; any new home is fine
+		}
+		if before != after {
+			t.Fatalf("key %q moved from %s to %s though its home survived", key, before, after)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate spread: moved=%d kept=%d", moved, kept)
+	}
+}

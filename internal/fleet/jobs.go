@@ -1,0 +1,120 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"herdcats/internal/campaign"
+	"herdcats/internal/exec"
+	"herdcats/internal/serve"
+	"herdcats/internal/sim"
+)
+
+// Runner is anything that can answer a /v1/run request: a single-backend
+// *Client or a routing *Gateway. Campaigns built by Jobs are agnostic to
+// which sits behind them.
+type Runner interface {
+	Run(ctx context.Context, req serve.RunRequest) (*serve.RunResponse, error)
+}
+
+// Jobs turns litmus sources into campaign jobs whose simulation happens
+// remotely via r — the bridge that points internal/campaign at the
+// fleet. Each job's error keeps the client's retryable/permanent
+// classification, so the campaign's own retry loop (and its full-jitter
+// backoff) composes with the client's: transport blips retry, parse
+// errors settle at once.
+func Jobs(r Runner, tests []string, model serve.ModelSpec, budget serve.BudgetSpec) []campaign.Job {
+	jobs := make([]campaign.Job, len(tests))
+	for i, src := range tests {
+		name := fmt.Sprintf("tests[%d]", i)
+		src := src
+		jobs[i] = campaign.Job{
+			Name: name,
+			Run: func(ctx context.Context, jb exec.Budget) (*sim.Outcome, error) {
+				req := serve.RunRequest{Litmus: src, Model: model, Budget: budget}
+				// The campaign's (possibly retry-scaled) budget wins
+				// over the static spec when it is tighter or set at all:
+				// the pool owns budget policy once a job is scheduled.
+				if jb.MaxCandidates > 0 || jb.MaxTracesPerThread > 0 || jb.Timeout > 0 {
+					req.Budget = serve.BudgetSpec{
+						MaxCandidates:      jb.MaxCandidates,
+						MaxTracesPerThread: jb.MaxTracesPerThread,
+						TimeoutMS:          jb.Timeout.Milliseconds(),
+					}
+				}
+				resp, err := r.Run(ctx, req)
+				if err != nil {
+					return nil, err
+				}
+				return outcomeFromJSON(resp.Outcome), nil
+			},
+		}
+	}
+	return jobs
+}
+
+// outcomeFromJSON reconstructs the minimal sim.Outcome a campaign needs
+// from the wire form — OutcomeJSON is one-way (it drops the compiled
+// test), so only the counters, states and verdict survive the trip. Test
+// stays nil; campaign classification never touches it.
+func outcomeFromJSON(o sim.OutcomeJSON) *sim.Outcome {
+	out := &sim.Outcome{
+		Model:        o.Model,
+		Candidates:   o.Candidates,
+		Valid:        o.Valid,
+		CondObserved: o.Allowed,
+		Incomplete:   o.Incomplete,
+		States:       make(map[string]int, len(o.States)),
+		FailedBy:     make(map[string]int, len(o.FailedBy)),
+	}
+	for _, s := range o.States {
+		out.States[s.State] = s.Count
+	}
+	for _, f := range o.FailedBy {
+		out.FailedBy[f.Check] = f.Count
+	}
+	if o.Reason != "" {
+		out.Reason = errors.New(o.Reason)
+	}
+	return out
+}
+
+// jobResultFromRun folds one gateway-routed run into a campaign row for
+// the batch report.
+func jobResultFromRun(resp *serve.RunResponse) campaign.JobResult {
+	res := campaign.JobResult{
+		Name:       resp.Outcome.Test,
+		Model:      resp.Outcome.Model,
+		Candidates: resp.Outcome.Candidates,
+		Valid:      resp.Outcome.Valid,
+		Attempts:   1,
+		ElapsedMS:  resp.ElapsedMS,
+	}
+	if len(resp.Outcome.States) > 0 {
+		res.States = make(map[string]int, len(resp.Outcome.States))
+		for _, s := range resp.Outcome.States {
+			res.States[s.State] = s.Count
+		}
+	}
+	switch resp.Verdict {
+	case "Allowed":
+		res.Status = campaign.StatusOK
+	case "Forbidden":
+		res.Status = campaign.StatusForbidden
+	default:
+		res.Status = campaign.StatusIncomplete
+		res.Reason = resp.Outcome.Reason
+	}
+	return res
+}
+
+// errorJobResult folds a failed gateway run into a campaign row.
+func errorJobResult(name string, err error) campaign.JobResult {
+	return campaign.JobResult{
+		Name:     name,
+		Status:   campaign.StatusError,
+		Reason:   err.Error(),
+		Attempts: 1,
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"errors"
+	"fmt"
 	"sync"
 
 	"herdcats/internal/cat"
@@ -40,6 +41,12 @@ import (
 
 // DefaultMaxEntries bounds each cache layer when New is given no bound.
 const DefaultMaxEntries = 4096
+
+// ErrLeaderPanicked is what a single-flight follower receives when the
+// leader it joined panicked instead of completing: the follower's request
+// was never simulated, and the key is immediately usable again (the next
+// caller starts a fresh simulation — a panic never poisons a key).
+var ErrLeaderPanicked = errors.New("memo: in-flight simulation leader panicked")
 
 // Fingerprinter is implemented by checkers whose identity is their content
 // (cat.Model hashes its source); checkers without it are identified by
@@ -225,41 +232,65 @@ func (c *Cache) RunKeyed(ctx context.Context, key string, t *litmus.Test, model 
 	return c.Simulate(ctx, Request{Key: key, Test: t, Model: model, Budget: b})
 }
 
-// Simulate answers req through the cache (see Run for the semantics of
-// the boolean).
-func (c *Cache) Simulate(ctx context.Context, req Request) (*sim.Outcome, bool, error) {
-	t, model, b := req.Test, req.Model, req.Budget
-	key := req.Key
+// keys derives the request's content address and its timeout-free variant.
+// The completeKey addresses the same request with the timeout zeroed: a
+// complete outcome is independent of the timeout it beat, so that is where
+// complete outcomes live (see Key). With no timeout the two keys coincide
+// and the extra lookup disappears.
+func (req Request) keys() (key, completeKey string) {
+	key = req.Key
 	if key == "" {
-		key = Key(CanonicalTest(t), ModelID(model), b)
+		key = Key(CanonicalTest(req.Test), ModelID(req.Model), req.Budget)
 	}
-	// completeKey addresses the same request with the timeout zeroed: a
-	// complete outcome is independent of the timeout it beat, so that is
-	// where complete outcomes live (see Key). With no timeout the two
-	// keys coincide and the extra lookup disappears.
-	completeKey := key
-	if b.Timeout != 0 {
-		tb := b
+	completeKey = key
+	if req.Budget.Timeout != 0 {
+		tb := req.Budget
 		tb.Timeout = 0
-		completeKey = Key(CanonicalTest(t), ModelID(model), tb)
+		completeKey = Key(CanonicalTest(req.Test), ModelID(req.Model), tb)
 	}
-	c.mu.Lock()
+	return key, completeKey
+}
+
+// lookupLocked consults the verdict layer under c.mu, counting a Hit on
+// success. Only a complete outcome may cross timeouts: the timeout-free
+// key is also a regular key (for requests made with Timeout=0), so it can
+// hold a deterministically-truncated outcome — valid there, but not an
+// answer for a different timeout.
+func (c *Cache) lookupLocked(key, completeKey string) (*sim.Outcome, bool) {
 	if v, ok := c.verdicts.get(key); ok {
 		c.stats.Hits++
-		c.mu.Unlock()
-		return v.(*sim.Outcome), true, nil
+		return v.(*sim.Outcome), true
 	}
 	if completeKey != key {
-		// Only a complete outcome may cross timeouts: the timeout-free
-		// key is also a regular key (for requests made with Timeout=0),
-		// so it can hold a deterministically-truncated outcome — valid
-		// there, but not an answer for a different timeout.
 		if v, ok := c.verdicts.get(completeKey); ok && !v.(*sim.Outcome).Incomplete {
 			c.stats.Hits++
 			c.stats.CrossTimeoutHits++
-			c.mu.Unlock()
-			return v.(*sim.Outcome), true, nil
+			return v.(*sim.Outcome), true
 		}
+	}
+	return nil, false
+}
+
+// Lookup reports the cached outcome for req, if any, without simulating,
+// joining an in-flight leader, or blocking beyond the cache mutex. This is
+// the serving layer's brownout path: a saturated server keeps answering
+// warm traffic from here while it sheds the cold traffic that would need
+// an enumeration. A successful Lookup counts as a Hit.
+func (c *Cache) Lookup(req Request) (*sim.Outcome, bool) {
+	key, completeKey := req.keys()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lookupLocked(key, completeKey)
+}
+
+// Simulate answers req through the cache (see Run for the semantics of
+// the boolean).
+func (c *Cache) Simulate(ctx context.Context, req Request) (*sim.Outcome, bool, error) {
+	key, completeKey := req.keys()
+	c.mu.Lock()
+	if out, ok := c.lookupLocked(key, completeKey); ok {
+		c.mu.Unlock()
+		return out, true, nil
 	}
 	if cl, ok := c.inflight[key]; ok {
 		c.stats.Waits++
@@ -278,24 +309,41 @@ func (c *Cache) Simulate(ctx context.Context, req Request) (*sim.Outcome, bool, 
 	c.stats.Misses++
 	c.mu.Unlock()
 
-	out, err := c.simulate(ctx, req)
-
-	c.mu.Lock()
-	delete(c.inflight, key)
-	if err == nil && cacheable(out) {
-		storeKey := key
-		if !out.Incomplete {
-			// Complete verdicts are re-keyed timeout-free so every
-			// timeout variant of this request finds them. Truncated
-			// (but deterministic) outcomes keep the full key.
-			storeKey = completeKey
+	var (
+		out *sim.Outcome
+		err error
+	)
+	// The leader must ALWAYS release its followers and its in-flight slot,
+	// even when the model panics mid-simulation: without this a single
+	// panic would poison the key forever (every later caller joins a call
+	// that never completes). The panic is re-raised for the caller's own
+	// containment (campaign.Run recovers per attempt); followers receive
+	// ErrLeaderPanicked, and the next request for the key starts fresh.
+	defer func() {
+		r := recover()
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if r == nil && err == nil && cacheable(out) {
+			storeKey := key
+			if !out.Incomplete {
+				// Complete verdicts are re-keyed timeout-free so every
+				// timeout variant of this request finds them. Truncated
+				// (but deterministic) outcomes keep the full key.
+				storeKey = completeKey
+			}
+			c.stats.Evictions += uint64(c.verdicts.add(storeKey, out))
 		}
-		c.stats.Evictions += uint64(c.verdicts.add(storeKey, out))
-	}
-	c.mu.Unlock()
-
-	cl.out, cl.err = out, err
-	close(cl.done)
+		c.mu.Unlock()
+		if r != nil {
+			out, err = nil, fmt.Errorf("%w: %v", ErrLeaderPanicked, r)
+		}
+		cl.out, cl.err = out, err
+		close(cl.done)
+		if r != nil {
+			panic(r)
+		}
+	}()
+	out, err = c.simulate(ctx, req)
 	return out, false, err
 }
 

@@ -2,6 +2,7 @@ package memo_test
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -282,6 +283,172 @@ func TestWaiterCancellation(t *testing.T) {
 	if err := <-leaderDone; err != nil {
 		t.Fatalf("leader failed: %v", err)
 	}
+}
+
+// TestWaiterCancellationPrompt pins the follower contract: a single-flight
+// follower whose context dies returns within milliseconds carrying its own
+// context's cause — it must never sit out the leader's (possibly very
+// long) simulation.
+func TestWaiterCancellationPrompt(t *testing.T) {
+	c := memo.New(0)
+	test := mustTest(t, "mp")
+	gate := &gateChecker{started: make(chan struct{}), release: make(chan struct{})}
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Run(context.Background(), test, gate, exec.Budget{})
+		leaderDone <- err
+	}()
+	<-gate.started // the leader is stuck inside the simulation
+
+	ctx, cancel := context.WithCancel(context.Background())
+	type res struct {
+		cached bool
+		err    error
+	}
+	waiterDone := make(chan res, 1)
+	go func() {
+		_, cached, err := c.Run(ctx, test, gate, exec.Budget{})
+		waiterDone <- res{cached, err}
+	}()
+	for c.Stats().Waits != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	cancel()
+	select {
+	case r := <-waiterDone:
+		if !errors.Is(r.err, context.Canceled) {
+			t.Fatalf("follower error = %v, want its context.Canceled", r.err)
+		}
+		if r.cached {
+			t.Fatal("abandoned follower claimed a cached result")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled follower still waiting on the leader")
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Errorf("follower took %v to notice its cancellation", waited)
+	}
+	close(gate.release) // the leader, untouched, finishes normally
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader failed: %v", err)
+	}
+}
+
+// panicOnceChecker panics on its first simulation and behaves on later
+// ones, modelling a model bug that one retry would clear.
+type panicOnceChecker struct {
+	started chan struct{} // closed when the panicking call is entered
+	release chan struct{} // gates the panic so a follower can join first
+	calls   atomic.Int64
+}
+
+func (p *panicOnceChecker) Name() string { return "panic-once" }
+
+func (p *panicOnceChecker) Check(*events.Execution) core.Result {
+	if p.calls.Add(1) == 1 {
+		close(p.started)
+		<-p.release
+		panic("injected checker panic")
+	}
+	return core.Result{Valid: true}
+}
+
+// TestLeaderPanicDoesNotPoisonKey: a leader that panics must re-raise the
+// panic to its own caller, hand every follower ErrLeaderPanicked promptly,
+// and leave the key immediately retryable — the next request simulates
+// fresh instead of joining a corpse.
+func TestLeaderPanicDoesNotPoisonKey(t *testing.T) {
+	c := memo.New(0)
+	test := mustTest(t, "mp")
+	chk := &panicOnceChecker{started: make(chan struct{}), release: make(chan struct{})}
+
+	leaderPanic := make(chan any, 1)
+	go func() {
+		defer func() { leaderPanic <- recover() }()
+		_, _, _ = c.Run(context.Background(), test, chk, exec.Budget{})
+	}()
+	<-chk.started
+
+	followerErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.Run(context.Background(), test, chk, exec.Budget{})
+		followerErr <- err
+	}()
+	for c.Stats().Waits != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(chk.release) // let the leader panic now
+
+	if r := <-leaderPanic; r == nil {
+		t.Fatal("leader's panic was swallowed instead of re-raised")
+	}
+	select {
+	case err := <-followerErr:
+		if !errors.Is(err, memo.ErrLeaderPanicked) {
+			t.Fatalf("follower error = %v, want ErrLeaderPanicked", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower still waiting: the leader's panic poisoned the key")
+	}
+
+	// The key is free again: a later caller simulates fresh and succeeds
+	// (the checker only panics once).
+	out, cached, err := c.Run(context.Background(), test, chk, exec.Budget{})
+	if err != nil || cached || out == nil {
+		t.Fatalf("post-panic run: out=%v cached=%v err=%v, want a fresh simulation", out, cached, err)
+	}
+	if s := c.Stats(); s.Inflight != 0 {
+		t.Fatalf("inflight = %d after the panic settled, want 0", s.Inflight)
+	}
+}
+
+// TestLookupPeeks: Lookup serves resident verdicts (counting a Hit, with
+// cross-timeout semantics intact) but never simulates, never joins an
+// in-flight leader, and never blocks.
+func TestLookupPeeks(t *testing.T) {
+	c := memo.New(0)
+	test := mustTest(t, "mp")
+
+	if _, ok := c.Lookup(memo.Request{Test: test, Model: models.Power}); ok {
+		t.Fatal("Lookup hit an empty cache")
+	}
+	if s := c.Stats(); s.Misses != 0 {
+		t.Fatalf("a Lookup miss must not count as a simulation: %+v", s)
+	}
+
+	out, _, err := c.Run(context.Background(), test, models.Power, exec.Budget{Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Lookup(memo.Request{Test: test, Model: models.Power, Budget: exec.Budget{Timeout: time.Minute}})
+	if !ok || got != out {
+		t.Fatalf("Lookup missed a resident verdict (ok=%v)", ok)
+	}
+	// Cross-timeout: the complete verdict answers any timeout variant.
+	if _, ok := c.Lookup(memo.Request{Test: test, Model: models.Power, Budget: exec.Budget{Timeout: time.Hour}}); !ok {
+		t.Fatal("Lookup did not honour cross-timeout hits")
+	}
+
+	// While a simulation is in flight, Lookup must return immediately
+	// with a miss rather than join the leader.
+	gate := &gateChecker{started: make(chan struct{}), release: make(chan struct{})}
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		_, _, _ = c.Run(context.Background(), mustTest(t, "sb"), gate, exec.Budget{})
+	}()
+	<-gate.started
+	start := time.Now()
+	if _, ok := c.Lookup(memo.Request{Test: mustTest(t, "sb"), Model: gate}); ok {
+		t.Fatal("Lookup returned an in-flight (unfinished) simulation")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("Lookup blocked for %v on an in-flight key", d)
+	}
+	close(gate.release)
+	<-leaderDone
 }
 
 // TestCrossTimeoutHit is the cache-key regression: a COMPLETE verdict

@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// occupyAllSlots claims every admission slot directly, simulating a
+// saturated server, and returns a function releasing them all.
+func occupyAllSlots(t *testing.T, s *Server) func() {
+	t.Helper()
+	n := cap(s.adm.slots)
+	releases := make([]func(), 0, n)
+	for i := 0; i < n; i++ {
+		release, err := s.adm.acquire(context.Background())
+		if err != nil {
+			t.Fatalf("slot %d/%d: %v", i, n, err)
+		}
+		releases = append(releases, release)
+	}
+	return func() {
+		for _, r := range releases {
+			r()
+		}
+	}
+}
+
+// shedBody decodes a 429 envelope and checks its shape: code
+// "overloaded" plus a whole-seconds Retry-After header.
+func checkShed(t *testing.T, rec *httptest.ResponseRecorder, body []byte) {
+	t.Helper()
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", rec.Code, body)
+	}
+	ra := rec.Header().Get("Retry-After")
+	if sec, err := strconv.Atoi(ra); err != nil || sec < 1 {
+		t.Errorf("Retry-After = %q, want a whole-seconds count >= 1", ra)
+	}
+	var e apiError
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("shed body is not the envelope: %v\n%s", err, body)
+	}
+	if e.Error.Code != "overloaded" {
+		t.Errorf("shed code = %q, want overloaded", e.Error.Code)
+	}
+}
+
+// TestOverloadSheds is the overload acceptance test: with every slot
+// held and the queue filled to capacity, further arrivals shed
+// immediately with 429 (queue_full), queued arrivals shed after
+// MaxQueueWait (queue_wait) instead of waiting unboundedly, and the
+// queue-depth / shed / wait instruments expose it all on /metrics.
+func TestOverloadSheds(t *testing.T) {
+	s := New(Config{
+		MaxConcurrent: 1,
+		MaxQueue:      2,
+		MaxQueueWait:  600 * time.Millisecond, // long enough that the queue stays full while we probe it
+	})
+	h := s.Handler()
+	releaseAll := occupyAllSlots(t, s)
+	defer releaseAll()
+
+	// Fill the queue: MaxQueue requests park waiting for the held slot.
+	var wg sync.WaitGroup
+	queued := make(chan *httptest.ResponseRecorder, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec, _ := postJSON(t, h, "/v1/run", RunRequest{Litmus: sbSrc, Model: ModelSpec{Name: "tso"}})
+			queued <- rec
+		}()
+	}
+	waitFor(t, func() bool { return s.adm.queued.Load() == 2 })
+
+	// 2x capacity: everything beyond the queue sheds at once, bounding
+	// the latency of rejection to ~0 rather than MaxQueueWait.
+	for i := 0; i < 2; i++ {
+		start := time.Now()
+		rec, body := postJSON(t, h, "/v1/run", RunRequest{Litmus: sbSrc, Model: ModelSpec{Name: "tso"}})
+		checkShed(t, rec, body)
+		// Rejection is immediate — bounded far below MaxQueueWait even
+		// on a loaded CI box.
+		if d := time.Since(start); d > 2*time.Second {
+			t.Errorf("queue-full shed took %v, want immediate", d)
+		}
+	}
+
+	// The queued pair sheds once MaxQueueWait expires — the slot never
+	// frees — with the same 429 shape.
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		rec := <-queued
+		if rec.Code != http.StatusTooManyRequests {
+			t.Errorf("queued request: status %d, want 429 after MaxQueueWait", rec.Code)
+		}
+	}
+
+	_, page := getMetrics(t, h)
+	samples := parseExposition(t, page)
+	if v := samples[`herdd_admission_shed_total{reason="queue_full"}`]; v != 2 {
+		t.Errorf("queue_full sheds = %v, want 2", v)
+	}
+	if v := samples[`herdd_admission_shed_total{reason="queue_wait"}`]; v != 2 {
+		t.Errorf("queue_wait sheds = %v, want 2", v)
+	}
+	if v := samples["herdd_admission_queue_depth"]; v != 0 {
+		t.Errorf("queue depth after draining = %v, want 0", v)
+	}
+	if v := samples["herdd_admission_slots_in_use"]; v != 1 {
+		t.Errorf("slots in use = %v, want the 1 the test still holds", v)
+	}
+	if v := samples[`herdd_admission_wait_us_count`]; v < 1 {
+		t.Errorf("admission wait histogram count = %v, want >= 1", v)
+	}
+}
+
+// TestBrownoutServesCacheHits: a fully saturated server still answers
+// requests whose verdict is resident — the cache-hit path does not need
+// an admission slot.
+func TestBrownoutServesCacheHits(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, MaxQueue: 1, MaxQueueWait: 100 * time.Millisecond})
+	h := s.Handler()
+
+	// Warm the cache while the server is healthy.
+	rec, body := postJSON(t, h, "/v1/run", RunRequest{Litmus: sbSrc, Model: ModelSpec{Name: "tso"}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warmup: status %d: %s", rec.Code, body)
+	}
+
+	releaseAll := occupyAllSlots(t, s)
+	defer releaseAll()
+
+	// Warm traffic flows at full speed; only cold misses shed.
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		rec, body := postJSON(t, h, "/v1/run", RunRequest{Litmus: sbSrc, Model: ModelSpec{Name: "tso"}})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("brownout hit %d: status %d: %s", i, rec.Code, body)
+		}
+		var resp RunResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Cached || resp.Verdict != "Allowed" {
+			t.Errorf("brownout hit %d: cached=%v verdict=%q, want a cached Allowed", i, resp.Cached, resp.Verdict)
+		}
+		if d := time.Since(start); d > time.Second {
+			t.Errorf("brownout hit %d took %v, want immediate", i, d)
+		}
+	}
+	cold := strings.Replace(sbSrc, "X86 sb", "X86 sb-cold", 1)
+	crec, cbody := postJSON(t, h, "/v1/run", RunRequest{Litmus: cold, Model: ModelSpec{Name: "tso"}})
+	checkShed(t, crec, cbody)
+}
+
+// TestAdmissionBoundsConcurrency: N slots admit exactly N holders; the
+// N+1th waits until a release, then gets through.
+func TestAdmissionBoundsConcurrency(t *testing.T) {
+	s := New(Config{MaxConcurrent: 2, MaxQueue: 4, MaxQueueWait: 5 * time.Second})
+	r1, err := s.adm.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.adm.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		r3, err3 := s.adm.acquire(context.Background())
+		if err3 == nil {
+			r3()
+		}
+		var e error
+		if err3 != nil {
+			e = err3
+		}
+		got <- e
+	}()
+	waitFor(t, func() bool { return s.adm.queued.Load() == 1 })
+	select {
+	case <-got:
+		t.Fatal("third acquire returned while both slots were held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	r1()
+	if err := <-got; err != nil {
+		t.Fatalf("third acquire after a release: %v", err)
+	}
+	r2()
+	if n := len(s.adm.slots); n != 0 {
+		t.Fatalf("slots leaked: %d still in use", n)
+	}
+}
+
+// waitFor polls cond (a cheap atomic read) until it holds or 5s pass.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBatchShedsWhenSaturated: batch jobs share the admission envelope;
+// a saturated server turns cold batch rows into retryable overloaded
+// errors instead of queueing the whole batch behind a stuck slot.
+func TestBatchShedsWhenSaturated(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, MaxQueue: 1, MaxQueueWait: 50 * time.Millisecond, Workers: 2})
+	h := s.Handler()
+	releaseAll := occupyAllSlots(t, s)
+	defer releaseAll()
+
+	srcs := []string{
+		strings.Replace(sbSrc, "X86 sb", "X86 sb-b0", 1),
+		strings.Replace(sbSrc, "X86 sb", "X86 sb-b1", 1),
+	}
+	rec, body := postJSON(t, h, "/v1/batch", BatchRequest{Tests: srcs, Model: ModelSpec{Name: "tso"}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", rec.Code, body)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	for i, job := range resp.Report.Jobs {
+		if job.Status != "Error" || !strings.Contains(job.Reason, "overloaded") {
+			t.Errorf("job %d: status %s reason %q, want an overloaded Error", i, job.Status, job.Reason)
+		}
+	}
+}
+
+// TestDefaultsApplied pins the documented admission defaults.
+func TestAdmissionDefaults(t *testing.T) {
+	cfg := Config{}
+	if got := cfg.maxConcurrent(); got < 4 {
+		t.Errorf("default MaxConcurrent = %d, want >= 4", got)
+	}
+	if got := cfg.maxQueue(); got != DefaultMaxQueue {
+		t.Errorf("default MaxQueue = %d, want %d", got, DefaultMaxQueue)
+	}
+	if got := cfg.maxQueueWait(); got != DefaultMaxQueueWait {
+		t.Errorf("default MaxQueueWait = %v, want %v", got, DefaultMaxQueueWait)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -57,16 +58,55 @@ type RunRequest struct {
 	Litmus string     `json:"litmus"`
 	Model  ModelSpec  `json:"model"`
 	Budget BudgetSpec `json:"budget"`
+
+	// DeadlineMS is the whole-request deadline budget in milliseconds
+	// (0 = none). The X-Deadline header carries the same budget
+	// hop-by-hop; when both are present the tighter one wins.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 func (r *RunRequest) validate() error {
 	if strings.TrimSpace(r.Litmus) == "" {
 		return errors.New("litmus: a litmus test source is required")
 	}
+	if r.DeadlineMS < 0 {
+		return errors.New("deadline_ms: must be non-negative")
+	}
 	if err := r.Model.validate(); err != nil {
 		return err
 	}
 	return r.Budget.validate()
+}
+
+// DeadlineHeader carries a request's remaining deadline budget in
+// milliseconds. A gateway decrements it hop-by-hop (subtracting its own
+// queueing and transfer time), so a deadline set once at the edge bounds
+// the whole call tree; a request arriving with no budget left is shed
+// before any work happens.
+const DeadlineHeader = "X-Deadline"
+
+// errDeadlineExpired: the request arrived with its deadline budget
+// already spent.
+var errDeadlineExpired = errors.New("deadline: no budget remaining")
+
+// deadlineBudget resolves a request's deadline budget from the
+// X-Deadline header and the body's deadline_ms field (tighter wins;
+// 0 = unbounded).
+func deadlineBudget(r *http.Request, bodyMS int64) (time.Duration, error) {
+	ms := bodyMS
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		v, err := strconv.ParseInt(h, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %q is not a millisecond count", DeadlineHeader, h)
+		}
+		if v <= 0 {
+			return 0, errDeadlineExpired
+		}
+		if ms == 0 || v < ms {
+			ms = v
+		}
+	}
+	return time.Duration(ms) * time.Millisecond, nil
 }
 
 // EffectiveOptions echoes the options a request actually ran under, after
@@ -102,6 +142,10 @@ type BatchRequest struct {
 	Tests  []string   `json:"tests"`
 	Model  ModelSpec  `json:"model"`
 	Budget BudgetSpec `json:"budget"`
+
+	// DeadlineMS bounds the whole batch in milliseconds (0 = none);
+	// see RunRequest.DeadlineMS and the X-Deadline header.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // BatchResponse is the body of a successful POST /v1/batch. Report.Jobs,
@@ -146,8 +190,16 @@ func errorCode(status int) string {
 		return "too_large"
 	case http.StatusUnprocessableEntity:
 		return "unprocessable"
+	case http.StatusTooManyRequests:
+		return "overloaded"
 	case http.StatusInternalServerError:
 		return "internal"
+	case http.StatusBadGateway:
+		return "bad_gateway"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusGatewayTimeout:
+		return "deadline_exceeded"
 	}
 	return "error"
 }
@@ -263,6 +315,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	deadline, derr := deadlineBudget(r, req.DeadlineMS)
+	if derr != nil {
+		if errors.Is(derr, errDeadlineExpired) {
+			writeOverloaded(w, s.adm.expired())
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", derr)
+		return
+	}
 	tr := obs.NewTrace()
 	stopParse := tr.Phase(obs.PhaseParse)
 	test, err := litmus.Parse(req.Litmus)
@@ -280,7 +341,34 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	key := memo.Key(memo.CanonicalTest(test), memo.ModelID(checker), b)
 
 	start := time.Now()
-	out, cached, err := s.cache.Simulate(r.Context(), memo.Request{
+	// Brownout fast path: a resident verdict is served without an
+	// admission slot, so a saturated server still answers warm traffic
+	// at full speed — only work that needs CPU queues for it.
+	if out, ok := s.cache.Lookup(memo.Request{Key: key, Test: test, Model: checker, Budget: b}); ok {
+		writeJSON(w, http.StatusOK, RunResponse{
+			Key:       key,
+			Cached:    true,
+			Verdict:   verdict(out),
+			Outcome:   out.JSON(),
+			Options:   s.effectiveOptions(b),
+			ElapsedMS: time.Since(start).Milliseconds(),
+			Trace:     tr.Summary(),
+		})
+		return
+	}
+	ctx := r.Context()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	release, oerr := s.adm.acquire(ctx)
+	if oerr != nil {
+		writeOverloaded(w, oerr)
+		return
+	}
+	defer release()
+	out, cached, err := s.cache.Simulate(ctx, memo.Request{
 		Key: key, Test: test, Model: checker, Budget: b, Obs: tr,
 	})
 	if err != nil {
@@ -324,6 +412,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if req.DeadlineMS < 0 {
+		writeError(w, http.StatusBadRequest, "deadline_ms: must be non-negative")
+		return
+	}
+	deadline, derr := deadlineBudget(r, req.DeadlineMS)
+	if derr != nil {
+		if errors.Is(derr, errDeadlineExpired) {
+			writeOverloaded(w, s.adm.expired())
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", derr)
+		return
+	}
 	checker, status, err := s.resolveModel(req.Model)
 	if err != nil {
 		writeError(w, status, "model: %v", err)
@@ -355,13 +456,31 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			Name:  test.Name,
 			Model: checker,
 			Run: func(ctx context.Context, jb exec.Budget) (*sim.Outcome, error) {
+				// Batch jobs share the admission slots with /v1/run —
+				// one concurrency envelope for the whole server — with
+				// the same brownout fast path for resident verdicts.
+				if out, ok := s.cache.Lookup(memo.Request{Key: keys[i], Test: test, Model: checker, Budget: jb}); ok {
+					cached[i] = true
+					return out, nil
+				}
+				release, oerr := s.adm.acquire(ctx)
+				if oerr != nil {
+					return nil, oerr
+				}
+				defer release()
 				out, hit, err := s.cache.RunKeyed(ctx, keys[i], test, checker, jb)
 				cached[i] = hit
 				return out, err
 			},
 		}
 	}
-	rep := campaign.Run(r.Context(), campaign.Config{
+	ctx := r.Context()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	rep := campaign.Run(ctx, campaign.Config{
 		Workers: s.cfg.Workers,
 		Budget:  b,
 		Retries: -1, // the client's budget is a hard bound, and keys must match

@@ -67,6 +67,10 @@ func TestMetricsEndpointGolden(t *testing.T) {
 	// kind. Extra families are allowed (the registry is extensible), but
 	// these must all be present and correctly typed.
 	goldenTypes := map[string]string{
+		"herdd_admission_queue_depth":   "gauge",
+		"herdd_admission_shed_total":    "counter",
+		"herdd_admission_slots_in_use":  "gauge",
+		"herdd_admission_wait_us":       "histogram",
 		"herdd_cache_entries":           "gauge",
 		"herdd_cache_evictions_total":   "counter",
 		"herdd_cache_hits_total":        "counter",
@@ -110,6 +114,14 @@ func TestMetricsEndpointGolden(t *testing.T) {
 
 	// Value invariants after one uncached run.
 	samples := parseExposition(t, page)
+	// The shed counters are pre-registered per reason, so dashboards see
+	// every series at 0 before the first overload.
+	for _, reason := range []string{"queue_full", "queue_wait", "deadline"} {
+		name := `herdd_admission_shed_total{reason="` + reason + `"}`
+		if v, ok := samples[name]; !ok || v != 0 {
+			t.Errorf("%s = %v (present=%v), want 0 on an idle server", name, v, ok)
+		}
+	}
 	if v := samples[`herdd_requests_total{route="/v1/run"}`]; v != 1 {
 		t.Errorf("run requests = %v, want 1", v)
 	}

@@ -67,6 +67,19 @@ type Config struct {
 	// Candidates counters in responses shrink. Fixed per server, so the
 	// cache never mixes pruned and unpruned counters.
 	Prune bool
+
+	// MaxConcurrent bounds the simulations running at once across /v1/run
+	// and /v1/batch — the admission-control slot pool (<= 0 selects
+	// 2×GOMAXPROCS with a floor of 4). Cache hits bypass it entirely.
+	MaxConcurrent int
+
+	// MaxQueue bounds the requests allowed to wait for a slot; arrivals
+	// beyond it are shed immediately with 429 (<= 0 selects 64).
+	MaxQueue int
+
+	// MaxQueueWait bounds how long one request may wait for a slot
+	// before it is shed with 429 + Retry-After (<= 0 selects 1s).
+	MaxQueueWait time.Duration
 }
 
 func (c Config) maxRequestBytes() int64 {
@@ -92,6 +105,7 @@ type Server struct {
 
 	reg  *obs.Registry  // /metrics exposition
 	enum *obs.EnumStats // process-wide enumeration counters (via memo)
+	adm  *admission     // concurrency slots + bounded queue + shedding
 
 	requests atomic.Int64 // requests completed
 	errors   atomic.Int64 // requests answered with a 4xx/5xx status
@@ -101,6 +115,7 @@ type Server struct {
 // New builds a server and registers its expvar and /metrics instruments.
 func New(cfg Config) *Server {
 	s := &Server{cfg: cfg, reg: obs.NewRegistry(), enum: &obs.EnumStats{}}
+	s.adm = newAdmission(cfg, s.reg)
 	s.cache = memo.NewWithOptions(cfg.CacheEntries,
 		memo.Options{Workers: cfg.EnumWorkers, Prune: cfg.Prune, Obs: s.enum})
 	s.mux = http.NewServeMux()

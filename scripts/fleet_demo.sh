@@ -1,0 +1,69 @@
+#!/usr/bin/env sh
+# fleet_demo.sh — a local 2-node herdd fleet behind herd-gw.
+#
+# Starts two herdd backends (ports 8787 and 8788) and one herd-gw in
+# front of them (port 8786), then runs a request through the gateway and
+# leaves everything up for poking at failover by hand:
+#
+#   - kill -9 one herdd and re-run the curl: the gateway reroutes and the
+#     verdict still comes back (watch gw_reroutes_total on :8786/metrics);
+#   - watch the dead backend's breaker open on :8786/gw/backends, and the
+#     probe loop readmit it when you restart the backend;
+#   - repeat one request: the second answer is a cache hit on the same
+#     backend ("cached": true) because the gateway routes by verdict key.
+#
+# Ctrl-C tears the whole fleet down.
+set -eu
+
+GW_PORT="${GW_PORT:-8786}"
+B1_PORT="${B1_PORT:-8787}"
+B2_PORT="${B2_PORT:-8788}"
+BIN="${BIN:-go run}"
+
+cleanup() {
+    # shellcheck disable=SC2046 — the PIDs are our own children
+    kill $(jobs -p) 2>/dev/null || true
+    wait 2>/dev/null || true
+}
+trap cleanup INT TERM EXIT
+
+echo "fleet-demo: starting herdd on :$B1_PORT and :$B2_PORT"
+$BIN ./cmd/herdd -addr ":$B1_PORT" &
+$BIN ./cmd/herdd -addr ":$B2_PORT" &
+
+for port in "$B1_PORT" "$B2_PORT"; do
+    i=0
+    until curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -gt 50 ] && { echo "backend :$port never came up" >&2; exit 1; }
+        sleep 0.2
+    done
+done
+
+echo "fleet-demo: starting herd-gw on :$GW_PORT"
+$BIN ./cmd/herd-gw -addr ":$GW_PORT" \
+    -backends "http://127.0.0.1:$B1_PORT,http://127.0.0.1:$B2_PORT" \
+    -probe-interval 500ms -breaker-cooldown 2s &
+
+i=0
+until curl -fsS "http://127.0.0.1:$GW_PORT/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && { echo "gateway never came up" >&2; exit 1; }
+    sleep 0.2
+done
+
+echo "fleet-demo: one verdict through the gateway:"
+curl -fsS "http://127.0.0.1:$GW_PORT/v1/run" -d '{
+  "litmus": "X86 sb\n{ }\n P0 | P1 ;\n MOV [x],$1 | MOV [y],$1 ;\n MOV EAX,[y] | MOV EAX,[x] ;\nexists (0:EAX=0 /\\ 1:EAX=0)",
+  "model": {"name": "tso"}
+}'
+
+cat <<EOF
+
+fleet-demo: up. Try:
+  curl http://127.0.0.1:$GW_PORT/gw/backends        # breaker states
+  curl http://127.0.0.1:$GW_PORT/metrics            # routing counters
+  kill a herdd, re-run the curl above, watch it reroute
+Ctrl-C to stop the fleet.
+EOF
+wait
