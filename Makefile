@@ -1,7 +1,7 @@
 GO ?= go
 NPROC ?= $(shell nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)
 
-.PHONY: build test vet race bench chaos-smoke fleet-demo ci serve
+.PHONY: build test vet race bench chaos-smoke mine-smoke fleet-demo ci serve
 
 build:
 	$(GO) build ./...
@@ -34,11 +34,19 @@ bench:
 chaos-smoke:
 	$(GO) test -race -run 'TestChaos' -count=1 -v -timeout 150s ./internal/fleet/
 
+# The differential-mining acceptance test under the race detector: a
+# fixed-seed campaign sweeping 500+ generated tests across the smoke pair
+# table with zero disagreements, a restart that resumes entirely from the
+# memo journal, and the planted-bug minimization check. Records the
+# mining throughput in BENCH_mine.json. Bounded well under 30 seconds.
+mine-smoke:
+	BENCH_MINE_OUT=$(CURDIR)/BENCH_mine.json $(GO) test -race -run 'TestMineSmoke|TestMinimize|TestMinerEmitsWitness' -count=1 -v -timeout 120s ./internal/mine/
+
 # A local 2-node fleet behind herd-gw, for poking at failover by hand.
 fleet-demo: build
 	./scripts/fleet_demo.sh
 
-ci: vet test race chaos-smoke
+ci: vet test race chaos-smoke mine-smoke
 
 # The litmus-simulation service (cmd/herdd): HTTP verdicts with a
 # content-addressed cache. See the "herdd" section of README.md.

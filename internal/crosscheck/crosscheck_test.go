@@ -1,22 +1,20 @@
-// Package crosscheck_test validates that every engine in the repository
-// agrees with every other on a generated corpus (not just the catalogue):
-// the native Go models, the cat interpreter, the intermediate operational
-// machine (Thm. 7.1) and the SAT-based model checker all implement the
-// same mathematical object.
+// Package crosscheck_test validates the exported differential-comparison
+// library on a generated corpus: every engine in the repository (native Go
+// models, cat interpreter, operational machine, SAT-based model checker,
+// multi-event checker, simulated hardware) is run through the same
+// expected-agreement table the mining daemon sweeps, so the test and the
+// daemon share one comparison implementation.
 package crosscheck_test
 
 import (
 	"context"
+	"errors"
 	"testing"
 
-	"herdcats/internal/bmc"
-	"herdcats/internal/cat"
+	"herdcats/internal/crosscheck"
 	"herdcats/internal/diy"
-	"herdcats/internal/exec"
 	"herdcats/internal/litmus"
-	"herdcats/internal/machine"
 	"herdcats/internal/models"
-	"herdcats/internal/sim"
 )
 
 // corpus builds a deterministic sample of generated Power tests: every
@@ -48,132 +46,197 @@ func corpus(t *testing.T, max4 int) []*litmus.Test {
 // TestAllGeneratedSCForbidden: diy cycles are critical cycles — minimal SC
 // violations — so no generated test's condition is SC-observable.
 func TestAllGeneratedSCForbidden(t *testing.T) {
+	sc := crosscheck.Axiomatic(models.SC)
 	for _, test := range corpus(t, 80) {
-		out, err := sim.Simulate(context.Background(), sim.Request{Test: test, Checker: models.SC})
+		allowed, err := sc.Decide(context.Background(), test)
 		if err != nil {
 			t.Fatalf("%s: %v", test.Name, err)
 		}
-		if out.Allowed() {
+		if allowed {
 			t.Errorf("%s: observable under SC\n%s", test.Name, test)
 		}
 	}
 }
 
-// TestCatAgreesOnCorpus: the Fig. 38 cat model equals the native Power
-// model on every candidate execution of the corpus.
-func TestCatAgreesOnCorpus(t *testing.T) {
-	catPower, err := cat.Builtin("power")
+// TestPairsAgreeOnCorpus sweeps the full PPC expected-agreement table —
+// the exact workload internal/mine runs continuously — over the sampled
+// corpus: the Thm. 7.1 machine equivalence, the Fig. 38 cat model, the
+// SAT encodings of SC/TSO/Power, the CAV12 inclusion, the model
+// monotonicity inclusions and the hardware-soundness inclusion must all
+// hold on every generated test.
+func TestPairsAgreeOnCorpus(t *testing.T) {
+	pairs := crosscheck.Pairs(litmus.PPC)
+	if len(pairs) < 8 {
+		t.Fatalf("PPC table has %d pairs, want the full zoo", len(pairs))
+	}
+	for _, test := range corpus(t, 15) {
+		rep, err := crosscheck.ComparePairs(context.Background(), test, pairs...)
+		if err != nil {
+			t.Fatalf("%s: %v", test.Name, err)
+		}
+		for _, e := range rep.Errors {
+			t.Errorf("%s: decider %s failed: %s", test.Name, e.Decider, e.Err)
+		}
+		for _, d := range rep.Disagreements {
+			t.Errorf("%s: %s (%s)\n%s", test.Name, d, d.Why, test)
+		}
+		if rep.Pairs != len(pairs) {
+			t.Errorf("%s: evaluated %d/%d pairs", test.Name, rep.Pairs, len(pairs))
+		}
+	}
+}
+
+// TestModelMonotonicityOnCorpus keeps the finer per-candidate refinement
+// the whole-test Subset pairs cannot see: an SC-valid candidate execution
+// stays valid under every weaker model, candidate by candidate. (The
+// whole-test inclusions themselves are covered by the table above.)
+func TestModelMonotonicityOnCorpus(t *testing.T) {
+	for _, test := range corpus(t, 25) {
+		for _, pair := range []struct {
+			strong, weak models.Model
+		}{
+			{models.SC, models.TSO},
+			{models.SC, models.Power},
+			{models.SC, models.PowerStatic},
+			{models.Power, models.PowerStatic},
+		} {
+			strong := crosscheck.Axiomatic(pair.strong)
+			weak := crosscheck.Axiomatic(pair.weak)
+			a, err := strong.Decide(context.Background(), test)
+			if err != nil {
+				t.Fatalf("%s: %v", test.Name, err)
+			}
+			b, err := weak.Decide(context.Background(), test)
+			if err != nil {
+				t.Fatalf("%s: %v", test.Name, err)
+			}
+			if a && !b {
+				t.Errorf("%s: allowed under %s but not %s", test.Name, pair.strong.Name(), pair.weak.Name())
+			}
+		}
+	}
+}
+
+// stub is a decider with a fixed verdict (or error), for exercising the
+// report structure without real engines.
+type stub struct {
+	name    string
+	allowed bool
+	err     error
+	calls   *int
+}
+
+func (s stub) Name() string { return s.name }
+func (s stub) Decide(context.Context, *litmus.Test) (bool, error) {
+	if s.calls != nil {
+		*s.calls++
+	}
+	return s.allowed, s.err
+}
+
+func onePPCTest(t *testing.T) *litmus.Test {
+	t.Helper()
+	c, err := diy.ParseCycle("SyncdWW Rfe DpAddrdR Fre")
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, test := range corpus(t, 40) {
-		p, err := exec.Compile(test)
-		if err != nil {
-			t.Fatalf("%s: %v", test.Name, err)
-		}
-		err = p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
-			if catPower.Check(c.X).Valid != models.Power.Check(c.X).Valid {
-				t.Errorf("%s: cat and native Power disagree", test.Name)
-				return false
-			}
-			return true
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
+	test, err := diy.Generate(litmus.PPC, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return test
+}
+
+// TestCompareReport: Compare runs each distinct decider once, reports the
+// violated equality with both verdicts, and counts agreements.
+func TestCompareReport(t *testing.T) {
+	test := onePPCTest(t)
+	callsA, callsB := 0, 0
+	a := stub{name: "a", allowed: true, calls: &callsA}
+	b := stub{name: "b", allowed: false, calls: &callsB}
+	c := stub{name: "c", allowed: true}
+
+	rep, err := crosscheck.Compare(context.Background(), test, a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if callsA != 1 || callsB != 1 {
+		t.Errorf("decider runs not deduplicated: a=%d b=%d", callsA, callsB)
+	}
+	if rep.Pairs != 3 || rep.Agreements != 1 || len(rep.Disagreements) != 2 {
+		t.Fatalf("report = %d pairs, %d agreements, %d disagreements; want 3/1/2",
+			rep.Pairs, rep.Agreements, len(rep.Disagreements))
+	}
+	d := rep.Disagreements[0]
+	if d.Pair != "a==b" || !d.A.Allowed || d.B.Allowed {
+		t.Errorf("disagreement = %+v, want a==b with a allowed", d)
+	}
+	if rep.Agreed() {
+		t.Error("Agreed() on a disagreeing report")
 	}
 }
 
-// TestMachineAgreesOnCorpus extends the Thm. 7.1 equivalence check beyond
-// the catalogue: operational acceptance equals axiomatic validity on every
-// candidate execution of the sampled corpus.
-func TestMachineAgreesOnCorpus(t *testing.T) {
-	for _, test := range corpus(t, 25) {
-		p, err := exec.Compile(test)
-		if err != nil {
-			t.Fatalf("%s: %v", test.Name, err)
-		}
-		err = p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
-			m, err := machine.New(models.Power.Arch, c.X)
-			if err != nil {
-				t.Fatalf("%s: %v", test.Name, err)
-			}
-			ax := models.Power.Check(c.X).Valid
-			if m.Accepts() != ax {
-				t.Errorf("%s: machine=%v axioms=%v", test.Name, m.Accepts(), ax)
-				return false
-			}
-			// And for valid executions, the Lemma 7.3 path is accepted.
-			if ax {
-				path, ok := m.ConstructPath()
-				if !ok || !m.AcceptsPath(path) {
-					t.Errorf("%s: constructed path rejected", test.Name)
-					return false
-				}
-			}
-			return true
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
+// TestCompareSubsetRelation: a Subset pair is violated only in the
+// forbidden direction.
+func TestCompareSubsetRelation(t *testing.T) {
+	test := onePPCTest(t)
+	strong := stub{name: "strong", allowed: false}
+	weak := stub{name: "weak", allowed: true}
+
+	// strong ⊆ weak with strong forbidden: satisfied whatever weak says.
+	rep, err := crosscheck.ComparePairs(context.Background(), test,
+		crosscheck.Pair{A: strong, B: weak, Rel: crosscheck.Subset})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Agreed() || rep.Agreements != 1 {
+		t.Errorf("forbidden ⊆ allowed should agree: %+v", rep)
+	}
+
+	// allowed ⊄ forbidden: violated.
+	rep, err = crosscheck.ComparePairs(context.Background(), test,
+		crosscheck.Pair{A: weak, B: strong, Rel: crosscheck.Subset})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Agreed() || len(rep.Disagreements) != 1 {
+		t.Errorf("allowed ⊆ forbidden should disagree: %+v", rep)
 	}
 }
 
-// TestBMCAgreesOnCorpus: SAT reachability equals simulator observability
-// under SC, TSO and Power on the sampled corpus.
-func TestBMCAgreesOnCorpus(t *testing.T) {
-	for _, test := range corpus(t, 20) {
-		for _, id := range []bmc.ModelID{bmc.SC, bmc.TSO, bmc.Power} {
-			inst, err := bmc.Encode(test, id)
-			if err != nil {
-				t.Fatalf("%s: %v", test.Name, err)
-			}
-			var m models.Model
-			switch id {
-			case bmc.SC:
-				m = models.SC
-			case bmc.TSO:
-				m = models.TSO
-			default:
-				m = models.Power
-			}
-			out, err := sim.Simulate(context.Background(), sim.Request{Test: test, Checker: m})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if inst.Solve() != out.Allowed() {
-				t.Errorf("%s under %s: BMC disagrees with simulator", test.Name, id)
-			}
-		}
+// TestCompareDeciderError: an errored decider lands in Errors, its pairs
+// are skipped, and the healthy pairs still evaluate.
+func TestCompareDeciderError(t *testing.T) {
+	test := onePPCTest(t)
+	bad := stub{name: "bad", err: errors.New("boom")}
+	okA := stub{name: "okA", allowed: true}
+	okB := stub{name: "okB", allowed: true}
+
+	rep, err := crosscheck.ComparePairs(context.Background(), test,
+		crosscheck.Pair{A: bad, B: okA, Rel: crosscheck.Equal},
+		crosscheck.Pair{A: okA, B: okB, Rel: crosscheck.Equal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Errors) != 1 || rep.Errors[0].Decider != "bad" {
+		t.Fatalf("errors = %+v, want bad", rep.Errors)
+	}
+	if rep.Pairs != 1 || rep.Agreements != 1 || len(rep.Disagreements) != 0 {
+		t.Errorf("healthy pair not evaluated: %+v", rep)
+	}
+	if rep.Agreed() {
+		t.Error("Agreed() despite a decider error")
 	}
 }
 
-// TestModelMonotonicityOnCorpus: SC-valid executions stay valid under the
-// weaker models, per candidate.
-func TestModelMonotonicityOnCorpus(t *testing.T) {
-	for _, test := range corpus(t, 40) {
-		p, err := exec.Compile(test)
-		if err != nil {
-			t.Fatal(err)
-		}
-		err = p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
-			if models.SC.Check(c.X).Valid {
-				for _, m := range []models.Model{models.TSO, models.Power, models.PowerStatic} {
-					if !m.Check(c.X).Valid {
-						t.Errorf("%s: SC-valid but invalid under %s", test.Name, m.Name())
-						return false
-					}
-				}
-			}
-			// The static ppo is weaker than the full one.
-			if models.Power.Check(c.X).Valid && !models.PowerStatic.Check(c.X).Valid {
-				t.Errorf("%s: full Power valid but nodetour invalid", test.Name)
-				return false
-			}
-			return true
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
+// TestCompareCanceled: a canceled context surfaces as the returned error,
+// not as a disagreement.
+func TestCompareCanceled(t *testing.T) {
+	test := onePPCTest(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := crosscheck.ComparePairs(ctx, test, crosscheck.Pairs(litmus.PPC)...)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -1,0 +1,237 @@
+package crosscheck
+
+import (
+	"context"
+	"fmt"
+
+	"herdcats/internal/bmc"
+	"herdcats/internal/cat"
+	"herdcats/internal/exec"
+	"herdcats/internal/hardware"
+	"herdcats/internal/litmus"
+	"herdcats/internal/machine"
+	"herdcats/internal/memo"
+	"herdcats/internal/models"
+	"herdcats/internal/multi"
+	"herdcats/internal/sim"
+)
+
+// Decider answers the whole-test question every engine in the repository
+// can be asked: is the test's final condition observable? Names must be
+// unique per behaviour — ComparePairs runs each distinct name once per
+// test, and the mining store uses names as content-address material.
+type Decider interface {
+	Name() string
+	Decide(ctx context.Context, test *litmus.Test) (allowed bool, err error)
+}
+
+// --- axiomatic simulation --------------------------------------------------
+
+type axiomatic struct {
+	prefix string
+	model  sim.Checker
+	cache  *memo.Cache
+	budget exec.Budget
+}
+
+// Axiomatic wraps a checker (a native models.Model, multi.Model, or a
+// cat-compiled model) as a decider over the single-event simulator.
+func Axiomatic(m sim.Checker) Decider { return axiomatic{prefix: "sim", model: m} }
+
+// AxiomaticCached is Axiomatic through a verdict cache, so repeated tests
+// (minimization re-checks, resumed sweeps) cost one simulation each.
+func AxiomaticCached(m sim.Checker, c *memo.Cache) Decider {
+	return axiomatic{prefix: "sim", model: m, cache: c}
+}
+
+// Multi wraps the multi-event CAV12 checker.
+func Multi() Decider { return axiomatic{prefix: "multi", model: multi.Model{}} }
+
+// Cat loads the builtin cat model by file name ("power", "sc", "tso", ...)
+// and wraps it as a decider. The prefix keeps it distinct from the native
+// model of the same name, so a pair (native, cat) compares two engines
+// instead of collapsing into one.
+func Cat(name string) (Decider, error) {
+	m, err := cat.Builtin(name)
+	if err != nil {
+		return nil, err
+	}
+	return axiomatic{prefix: "cat", model: m}, nil
+}
+
+// MustCat is Cat for the builtin tables, where a missing model is a
+// programming error.
+func MustCat(name string) Decider {
+	d, err := Cat(name)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func (d axiomatic) Name() string { return d.prefix + ":" + d.model.Name() }
+
+func (d axiomatic) Decide(ctx context.Context, test *litmus.Test) (bool, error) {
+	var (
+		out *sim.Outcome
+		err error
+	)
+	if d.cache != nil {
+		out, _, err = d.cache.Run(ctx, test, d.model, d.budget)
+	} else {
+		out, err = sim.Simulate(ctx, sim.Request{Test: test, Checker: d.model, Budget: d.budget})
+	}
+	if err != nil {
+		return false, err
+	}
+	if out.Incomplete {
+		// A truncated enumeration has no whole-test verdict: treating a
+		// lower bound as the answer would mint false disagreements.
+		return false, fmt.Errorf("crosscheck: %s incomplete: %v", d.Name(), out.Reason)
+	}
+	return out.Allowed(), nil
+}
+
+// --- operational machine ---------------------------------------------------
+
+type operational struct{ model models.Model }
+
+// Operational wraps the intermediate machine (Thm. 7.1): the test is
+// allowed iff some candidate execution is accepted by the machine and
+// satisfies the final condition.
+func Operational(m models.Model) Decider { return operational{model: m} }
+
+func (d operational) Name() string { return "machine:" + d.model.Name() }
+
+func (d operational) Decide(ctx context.Context, test *litmus.Test) (bool, error) {
+	p, err := exec.Compile(test)
+	if err != nil {
+		return false, err
+	}
+	allowed := false
+	var machineErr error
+	err = p.Search(ctx, exec.Request{}, func(c *exec.Candidate) bool {
+		m, err := machine.New(d.model.Arch, c.X)
+		if err != nil {
+			machineErr = err
+			return false
+		}
+		if m.Accepts() && (p.Test.Cond == nil || p.Test.Cond.Eval(c.State)) {
+			allowed = true
+			return false // one witness decides the Exists question
+		}
+		return true
+	})
+	if machineErr != nil {
+		return false, machineErr
+	}
+	if err != nil {
+		return false, err
+	}
+	return allowed, nil
+}
+
+// --- SAT-based bounded model checking --------------------------------------
+
+type bmcDecider struct{ id bmc.ModelID }
+
+// BMC wraps the SAT encoding of the given model: the test is allowed iff
+// the instance conjoining the model's axioms with the condition is
+// satisfiable.
+func BMC(id bmc.ModelID) Decider { return bmcDecider{id: id} }
+
+func (d bmcDecider) Name() string { return "bmc:" + d.id.String() }
+
+func (d bmcDecider) Decide(ctx context.Context, test *litmus.Test) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	inst, err := bmc.Encode(test, d.id)
+	if err != nil {
+		return false, err
+	}
+	return inst.Solve(), nil
+}
+
+// --- simulated hardware ----------------------------------------------------
+
+type hwDecider struct{ m hardware.Machine }
+
+// Hardware wraps a simulated machine: the test is allowed iff the machine
+// observes its condition. Only useful in Subset pairs — hardware observes
+// at most what its model allows (and less, per its restrictions).
+func Hardware(m hardware.Machine) Decider { return hwDecider{m: m} }
+
+func (d hwDecider) Name() string { return "hw:" + d.m.Name }
+
+func (d hwDecider) Decide(ctx context.Context, test *litmus.Test) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	obs, err := d.m.RunLitmus(test)
+	if err != nil {
+		return false, err
+	}
+	return obs.CondObserved, nil
+}
+
+// --- the expected-agreement table ------------------------------------------
+
+// Pairs returns the expected-agreement table for tests of one dialect —
+// every relation between deciders that the paper (or an in-repo theorem
+// test) guarantees, so any violation found by mining is a genuine engine
+// bug. The table is the daemon's default workload and the ground truth of
+// the promoted crosscheck tests.
+func Pairs(arch litmus.Arch) []Pair {
+	simSC := Axiomatic(models.SC)
+	simTSO := Axiomatic(models.TSO)
+	switch arch {
+	case litmus.PPC:
+		simPower := Axiomatic(models.Power)
+		power7, _ := hardware.ByName("power7")
+		return []Pair{
+			{A: simSC, B: BMC(bmc.SC), Rel: Equal,
+				Why: "SAT encoding of SC equals the simulator (Fig. 21)"},
+			{A: simTSO, B: BMC(bmc.TSO), Rel: Equal,
+				Why: "SAT encoding of TSO equals the simulator (Fig. 21)"},
+			{A: simPower, B: BMC(bmc.Power), Rel: Equal,
+				Why: "SAT encoding of Power equals the simulator"},
+			{A: simPower, B: MustCat("power"), Rel: Equal,
+				Why: "the Fig. 38 cat model is the native Power model"},
+			{A: simPower, B: Operational(models.Power), Rel: Equal,
+				Why: "operational acceptance equals axiomatic validity (Thm. 7.1)"},
+			{A: Multi(), B: simPower, Rel: Subset,
+				Why: "the CAV12 multi-event ppo is a superset of Power's"},
+			{A: simSC, B: simTSO, Rel: Subset,
+				Why: "SC-valid executions stay valid under weaker models"},
+			{A: simSC, B: simPower, Rel: Subset,
+				Why: "SC-valid executions stay valid under weaker models"},
+			{A: simPower, B: Axiomatic(models.PowerStatic), Rel: Subset,
+				Why: "the static ppo is weaker than the full one (Sec. 8.2)"},
+			{A: Hardware(power7), B: simPower, Rel: Subset,
+				Why: "Power hardware does not invalidate the Power model (Sec. 8.1.1)"},
+		}
+	case litmus.ARM:
+		simARM := Axiomatic(models.ARM)
+		return []Pair{
+			{A: simSC, B: BMC(bmc.SC), Rel: Equal,
+				Why: "SC ignores fences; the SAT encoding equals the simulator"},
+			{A: simTSO, B: BMC(bmc.TSO), Rel: Equal,
+				Why: "TSO on ARM dialect: the SAT encoding equals the simulator"},
+			{A: simARM, B: MustCat("arm"), Rel: Equal,
+				Why: "the cat ARM model is the native proposed-ARM model"},
+			{A: simSC, B: simARM, Rel: Subset,
+				Why: "SC-valid executions stay valid under weaker models"},
+		}
+	case litmus.X86:
+		return []Pair{
+			{A: simSC, B: BMC(bmc.SC), Rel: Equal,
+				Why: "SAT encoding of SC equals the simulator"},
+			{A: simTSO, B: BMC(bmc.TSO), Rel: Equal,
+				Why: "SAT encoding of TSO equals the simulator"},
+			{A: simSC, B: simTSO, Rel: Subset,
+				Why: "SC-valid executions stay valid under weaker models"},
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package diy
+
+import "math/rand/v2"
+
+// sampleMaxMisses bounds how many consecutive failed draws (broken walks,
+// invalid cycles, duplicates) Sample tolerates before concluding the
+// reachable space is effectively exhausted and returning. It is the
+// sampler's termination guarantee on small pools.
+const sampleMaxMisses = 4096
+
+// Sample yields a seeded, replayable stream of distinct valid cycles drawn
+// from the edge pool: each draw picks a length from sizes and random-walks
+// the pool's Src/Dst chaining until the walk closes. The stream is fully
+// determined by (pool, sizes, seed) — same inputs, byte-identical corpus —
+// which is what makes a mining campaign resumable and a discrepancy
+// replayable from its seed alone.
+//
+// Cycles are deduplicated up to rotation (like Enumerate). Sample returns
+// when yield returns false, or after sampleMaxMisses consecutive draws
+// produce nothing new — so a pool whose space is smaller than the caller's
+// appetite terminates instead of spinning.
+func Sample(pool []Edge, sizes []int, seed uint64, yield func(Cycle) bool) {
+	if len(pool) == 0 || len(sizes) == 0 {
+		return
+	}
+	// Index the pool by source direction once; candidate lists keep pool
+	// order, so draws depend only on the PCG stream.
+	var bySrc [2][]Edge
+	for _, e := range pool {
+		bySrc[e.Src] = append(bySrc[e.Src], e)
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	seen := map[string]bool{}
+	for misses := 0; misses < sampleMaxMisses; {
+		size := sizes[rng.IntN(len(sizes))]
+		c, ok := walk(rng, pool, &bySrc, size)
+		if !ok || c.Validate() != nil {
+			misses++
+			continue
+		}
+		key := canonical(c)
+		if seen[key] {
+			misses++
+			continue
+		}
+		seen[key] = true
+		misses = 0
+		if !yield(c) {
+			return
+		}
+	}
+}
+
+// walk draws one closed edge walk of the given size: a uniform first edge,
+// then uniform successors among the edges whose Src matches, with the last
+// step restricted to edges that close the cycle.
+func walk(rng *rand.Rand, pool []Edge, bySrc *[2][]Edge, size int) (Cycle, bool) {
+	if size < 2 {
+		return nil, false
+	}
+	first := pool[rng.IntN(len(pool))]
+	c := make(Cycle, 0, size)
+	c = append(c, first)
+	for len(c) < size {
+		cands := bySrc[c[len(c)-1].Dst]
+		if len(c) == size-1 {
+			// The closing step must land back on the first edge's source.
+			var closing []Edge
+			for _, e := range cands {
+				if e.Dst == first.Src {
+					closing = append(closing, e)
+				}
+			}
+			cands = closing
+		}
+		if len(cands) == 0 {
+			return nil, false
+		}
+		c = append(c, cands[rng.IntN(len(cands))])
+	}
+	return c, true
+}

@@ -1,0 +1,103 @@
+package diy
+
+import (
+	"strings"
+	"testing"
+)
+
+// collect drains up to n sampled cycles into their canonical names.
+func collect(pool []Edge, sizes []int, seed uint64, n int) []string {
+	var names []string
+	Sample(pool, sizes, seed, func(c Cycle) bool {
+		names = append(names, c.Name())
+		return len(names) < n
+	})
+	return names
+}
+
+// TestSampleDeterministic: the sampled corpus is a pure function of
+// (pool, sizes, seed) — same seed, byte-identical stream; different seed,
+// a different one.
+func TestSampleDeterministic(t *testing.T) {
+	a := collect(PowerPool(), []int{4, 5}, 42, 60)
+	b := collect(PowerPool(), []int{4, 5}, 42, 60)
+	if len(a) != 60 {
+		t.Fatalf("sampled %d cycles, want 60", len(a))
+	}
+	if strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Fatal("same seed produced different corpora")
+	}
+	c := collect(PowerPool(), []int{4, 5}, 43, 60)
+	if strings.Join(a, "\n") == strings.Join(c, "\n") {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+// TestSampleEarlyStop: a yield that returns false stops the stream at once
+// — exactly k invocations, no further draws.
+func TestSampleEarlyStop(t *testing.T) {
+	const k = 7
+	calls := 0
+	Sample(PowerPool(), []int{4}, 1, func(Cycle) bool {
+		calls++
+		return calls < k
+	})
+	if calls != k {
+		t.Fatalf("yield called %d times, want exactly %d", calls, k)
+	}
+}
+
+// TestSampleCyclesValid: every sampled cycle is well-formed, of a
+// requested size, and distinct up to rotation.
+func TestSampleCyclesValid(t *testing.T) {
+	seen := map[string]bool{}
+	count := 0
+	Sample(ARMPool(), []int{3, 4}, 7, func(c Cycle) bool {
+		count++
+		if err := c.Validate(); err != nil {
+			t.Fatalf("invalid cycle %s: %v", c.Name(), err)
+		}
+		if len(c) != 3 && len(c) != 4 {
+			t.Fatalf("cycle %s has size %d, want 3 or 4", c.Name(), len(c))
+		}
+		key := canonical(c)
+		if seen[key] {
+			t.Fatalf("duplicate cycle %s", c.Name())
+		}
+		seen[key] = true
+		return count < 100
+	})
+	if count != 100 {
+		t.Fatalf("sampled %d cycles, want 100", count)
+	}
+}
+
+// TestSampleExhaustsSmallSpace: on a pool too small for the appetite the
+// sampler terminates by itself (miss bound) after covering what exists,
+// instead of spinning forever.
+func TestSampleExhaustsSmallSpace(t *testing.T) {
+	pool := []Edge{
+		{Kind: Rfe, Src: W, Dst: R},
+		{Kind: Fre, Src: R, Dst: W},
+	}
+	var got []string
+	Sample(pool, []int{2}, 3, func(c Cycle) bool {
+		got = append(got, c.Name())
+		return true
+	})
+	// The only closed 2-walk over this pool is Rfe+Fre up to rotation.
+	if len(got) != 1 || (got[0] != "Rfe+Fre" && got[0] != "Fre+Rfe") {
+		t.Fatalf("sampled %v, want exactly one rotation of Rfe+Fre", got)
+	}
+}
+
+// TestSampleEmptyInputs: degenerate inputs yield nothing and return.
+func TestSampleEmptyInputs(t *testing.T) {
+	called := false
+	Sample(nil, []int{3}, 1, func(Cycle) bool { called = true; return true })
+	Sample(PowerPool(), nil, 1, func(Cycle) bool { called = true; return true })
+	Sample(PowerPool(), []int{1}, 1, func(Cycle) bool { called = true; return true })
+	if called {
+		t.Fatal("degenerate inputs should not yield")
+	}
+}

@@ -1,0 +1,114 @@
+package mine
+
+import (
+	"context"
+
+	"herdcats/internal/diy"
+	"herdcats/internal/litmus"
+)
+
+// Oracle reports whether the property being minimized (a pair
+// disagreement) still reproduces on the given test.
+type Oracle func(ctx context.Context, test *litmus.Test) (bool, error)
+
+// Minimize greedily shrinks a disagreeing cycle to a smallest witness: at
+// each step it tries, in a fixed deterministic order, to drop one edge
+// (where the Src/Dst chaining still closes) and then to weaken one edge
+// (fence → plain program order, dependency → plain program order, ctrl+
+// fence → plain ctrl), re-running the oracle on each candidate and keeping
+// the first shrink that still reproduces. It stops at a fixpoint: a cycle
+// none of whose one-step shrinks reproduce.
+//
+// The returned cycle generates the returned test; steps counts oracle
+// invocations (the minimization's cost). Minimize never returns a cycle
+// the oracle rejected: if even the input does not reproduce, it returns
+// the input with ok=false.
+func Minimize(ctx context.Context, arch litmus.Arch, c diy.Cycle, oracle Oracle) (min diy.Cycle, test *litmus.Test, steps int, ok bool, err error) {
+	cur := append(diy.Cycle{}, c...)
+	curTest, genErr := diy.Generate(arch, cur)
+	if genErr != nil {
+		return cur, nil, 0, false, genErr
+	}
+	steps++
+	repro, err := oracle(ctx, curTest)
+	if err != nil {
+		return cur, curTest, steps, false, err
+	}
+	if !repro {
+		return cur, curTest, steps, false, nil
+	}
+	for {
+		improved := false
+		for _, cand := range shrinks(cur) {
+			if cand.Validate() != nil {
+				continue
+			}
+			candTest, genErr := diy.Generate(arch, cand)
+			if genErr != nil {
+				continue // this shrink has no realisation; try the next
+			}
+			steps++
+			repro, err := oracle(ctx, candTest)
+			if err != nil {
+				return cur, curTest, steps, true, err
+			}
+			if repro {
+				cur, curTest = cand, candTest
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return cur, curTest, steps, true, nil
+		}
+	}
+}
+
+// shrinks enumerates the one-step reductions of a cycle in the order
+// Minimize tries them: all single-edge drops first (a strictly smaller
+// witness beats a weaker one), then all single-edge weakenings.
+func shrinks(c diy.Cycle) []diy.Cycle {
+	var out []diy.Cycle
+	n := len(c)
+	if n > 2 {
+		for i := 0; i < n; i++ {
+			prev := c[(i-1+n)%n]
+			next := c[(i+1)%n]
+			if prev.Dst != next.Src {
+				continue // dropping edge i would break the chaining
+			}
+			cand := make(diy.Cycle, 0, n-1)
+			cand = append(cand, c[:i]...)
+			cand = append(cand, c[i+1:]...)
+			out = append(out, cand)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for _, w := range weakenings(c[i]) {
+			cand := append(diy.Cycle{}, c...)
+			cand[i] = w
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// weakenings lists the strictly weaker variants of one edge, strongest
+// reduction first: a fenced or dependency-ordered pair falls back to plain
+// program order (same directions and locality), and a ctrl+fence
+// dependency falls back to plain ctrl.
+func weakenings(e diy.Edge) []diy.Edge {
+	switch e.Kind {
+	case diy.Fenced:
+		return []diy.Edge{{Kind: diy.Po, Src: e.Src, Dst: e.Dst, SameLoc: e.SameLoc}}
+	case diy.Dep:
+		out := []diy.Edge{{Kind: diy.Po, Src: e.Src, Dst: e.Dst, SameLoc: e.SameLoc}}
+		if e.Dep == diy.DepCtrlFence {
+			weaker := e
+			weaker.Dep = diy.DepCtrl
+			out = append(out, weaker)
+		}
+		return out
+	}
+	return nil
+}

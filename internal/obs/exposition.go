@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseExposition parses a Prometheus text page (the format WriteText
+// emits) into sample name → value, labels included verbatim in the name.
+// Comment and blank lines are skipped; any other line that is not a
+// `name value` pair is an error. It is the inverse half of WriteText that
+// golden tests (serve's and mine's /metrics suites) need to assert on
+// counter values without a Prometheus dependency.
+func ParseExposition(body string) (map[string]float64, error) {
+	samples := make(map[string]float64)
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("obs: malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: malformed value in %q: %v", line, err)
+		}
+		samples[line[:i]] = v
+	}
+	return samples, nil
+}

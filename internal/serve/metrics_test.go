@@ -6,9 +6,10 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sort"
-	"strconv"
 	"strings"
 	"testing"
+
+	"herdcats/internal/obs"
 )
 
 func getMetrics(t *testing.T, h http.Handler) (*httptest.ResponseRecorder, string) {
@@ -20,24 +21,13 @@ func getMetrics(t *testing.T, h http.Handler) (*httptest.ResponseRecorder, strin
 }
 
 // parseExposition splits a Prometheus text page into sample name→value,
-// failing the test on any line that is neither a comment nor a
-// `name value` pair.
+// failing the test on any malformed line (obs.ParseExposition behind a
+// test helper).
 func parseExposition(t *testing.T, body string) map[string]float64 {
 	t.Helper()
-	samples := make(map[string]float64)
-	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		i := strings.LastIndexByte(line, ' ')
-		if i < 0 {
-			t.Fatalf("malformed exposition line %q", line)
-		}
-		v, err := strconv.ParseFloat(line[i+1:], 64)
-		if err != nil {
-			t.Fatalf("malformed value in %q: %v", line, err)
-		}
-		samples[line[:i]] = v
+	samples, err := obs.ParseExposition(body)
+	if err != nil {
+		t.Fatal(err)
 	}
 	return samples
 }
