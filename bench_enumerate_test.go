@@ -12,8 +12,12 @@ import (
 	"testing"
 	"time"
 
+	"herdcats/internal/cat"
+	"herdcats/internal/core"
+	"herdcats/internal/events"
 	"herdcats/internal/exec"
 	"herdcats/internal/litmus"
+	"herdcats/internal/models"
 	"herdcats/internal/obs"
 )
 
@@ -199,28 +203,50 @@ func TestBenchEnumerateJSON(t *testing.T) {
 	// cancels out: interleave nil-sink and live-sink repetitions and
 	// compare medians. The engine flushes its counters once per search
 	// (or per shard), so the enabled path should sit within noise of the
-	// disabled one; the record keeps CI honest about it.
+	// disabled one; the record keeps CI honest about it. The raw ratio is
+	// kept verbatim, but the headline number clamps small negatives to
+	// zero: an earlier record shipped obs_overhead = -1.05%, which is not
+	// the instrumentation speeding up the search, just scheduler noise at
+	// a magnitude below what this harness can resolve. A negative reading
+	// beyond the floor survives the clamp — that would be a real anomaly
+	// worth seeing.
 	offMed, onMed := obsOverhead(t, p)
-	overhead := float64(onMed)/float64(offMed) - 1
+	rawOverhead := float64(onMed)/float64(offMed) - 1
+	const obsNoiseFloor = 0.03
+	overhead := rawOverhead
+	if overhead < 0 && overhead >= -obsNoiseFloor {
+		overhead = 0
+	}
+
+	// The checking layer itself: the allocation-storm before/after.
+	checkRows, catSpeedup, catAllocRatio := checkBenchRows(t, p)
 
 	record := struct {
-		Test          string     `json:"test"`
-		Candidates    int        `json:"candidates"`
-		Cores         int        `json:"cores"`
-		GoMaxProcs    int        `json:"gomaxprocs"`
-		Rows          []benchRow `json:"rows"`
-		ObsOffNsPerOp int64      `json:"obs_off_ns_per_op"`
-		ObsOnNsPerOp  int64      `json:"obs_on_ns_per_op"`
-		ObsOverhead   float64    `json:"obs_overhead"`
+		Test           string     `json:"test"`
+		Candidates     int        `json:"candidates"`
+		Cores          int        `json:"cores"`
+		GoMaxProcs     int        `json:"gomaxprocs"`
+		Rows           []benchRow `json:"rows"`
+		CheckRows      []checkRow `json:"check_rows"`
+		CatSpeedup     float64    `json:"cat_check_speedup"`
+		CatAllocRatio  float64    `json:"cat_check_alloc_ratio"`
+		ObsOffNsPerOp  int64      `json:"obs_off_ns_per_op"`
+		ObsOnNsPerOp   int64      `json:"obs_on_ns_per_op"`
+		ObsOverhead    float64    `json:"obs_overhead"`
+		ObsOverheadRaw float64    `json:"obs_overhead_raw"`
 	}{
-		Test:          "coheavy (4 threads x 3 writes, 4!^3 candidates)",
-		Candidates:    wantN,
-		Cores:         runtime.NumCPU(),
-		GoMaxProcs:    runtime.GOMAXPROCS(0),
-		Rows:          rows,
-		ObsOffNsPerOp: offMed,
-		ObsOnNsPerOp:  onMed,
-		ObsOverhead:   overhead,
+		Test:           "coheavy (4 threads x 3 writes, 4!^3 candidates)",
+		Candidates:     wantN,
+		Cores:          runtime.NumCPU(),
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Rows:           rows,
+		CheckRows:      checkRows,
+		CatSpeedup:     catSpeedup,
+		CatAllocRatio:  catAllocRatio,
+		ObsOffNsPerOp:  offMed,
+		ObsOnNsPerOp:   onMed,
+		ObsOverhead:    overhead,
+		ObsOverheadRaw: rawOverhead,
 	}
 	data, err := json.MarshalIndent(record, "", "  ")
 	if err != nil {
@@ -235,24 +261,176 @@ func TestBenchEnumerateJSON(t *testing.T) {
 		t.Logf("  workers=%d procs=%d: %v/op, speedup %.2fx, efficiency %.0f%%",
 			r.Workers, r.Procs, time.Duration(r.NsPerOp), r.Speedup, r.Efficiency*100)
 	}
-	t.Logf("obs overhead: off %v, on %v (%.1f%%)",
-		time.Duration(offMed), time.Duration(onMed), overhead*100)
+	t.Logf("obs overhead: off %v, on %v (%.1f%%, raw %.1f%%)",
+		time.Duration(offMed), time.Duration(onMed), overhead*100, rawOverhead*100)
+	for _, r := range checkRows {
+		t.Logf("check %s: %v/op, %.1f allocs/op, gc pause %v",
+			r.Checker, time.Duration(r.NsPerOp), r.AllocsPerOp, time.Duration(r.GCPauseTotalNs))
+	}
+	t.Logf("cat check compiled vs interpreted: %.1fx faster, %.0fx fewer allocs",
+		catSpeedup, catAllocRatio)
+}
+
+// TestCheckAllocsCeiling is the CI bench-smoke regression guard for the
+// per-candidate allocation storm: the compiled cat Power evaluator, warm,
+// must average no more than a handful of allocations per co-heavy
+// candidate (the interpreter's figure is in the hundreds). The slack over
+// zero covers the failed-check name slices of invalid candidates; the
+// steady-state relation work itself draws entirely on the evaluator's
+// pooled buffers. Gated on BENCH_ENUM_OUT like the other bench asserts.
+func TestCheckAllocsCeiling(t *testing.T) {
+	if os.Getenv("BENCH_ENUM_OUT") == "" {
+		t.Skip("set BENCH_ENUM_OUT to run the allocation ceiling check")
+	}
+	p := compileBench(t, coHeavySrc)
+	xs := collectExecutions(t, p)
+	m, err := cat.Builtin("power")
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := m.Compiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, allocs, _ := checkBench(t, xs, compiled.NewEvaluator().Check)
+	const ceiling = 8.0
+	if allocs > ceiling {
+		t.Errorf("compiled cat Power: %.2f allocs per candidate, ceiling %.0f — the allocation storm is back",
+			allocs, ceiling)
+	}
+}
+
+// checkRow is one model-checking measurement of BENCH_enumerate.json:
+// one checker driven over every pre-derived co-heavy candidate on a single
+// core, with the allocator and GC accounted per candidate.
+type checkRow struct {
+	Checker        string  `json:"checker"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+	GCPauseTotalNs uint64  `json:"gc_pause_total_ns"`
+}
+
+// collectExecutions enumerates the workload once and keeps every derived
+// candidate execution, so checker timings below measure checking alone —
+// no enumeration, no rf/co picking, no dynamic derivation.
+func collectExecutions(tb testing.TB, p *exec.Program) []*events.Execution {
+	tb.Helper()
+	var xs []*events.Execution
+	err := p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
+		xs = append(xs, c.X)
+		return true
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return xs
+}
+
+// checkBench times one checker over the collected executions: median-of-3
+// wall clock plus allocation and GC-pause deltas from the slowest-run-free
+// pass. The checker is warmed first so one-time work (static binding, lazy
+// model lowering, arena growth) isn't billed to the steady state.
+func checkBench(tb testing.TB, xs []*events.Execution, check func(*events.Execution) core.Result) (nsPerOp int64, allocsPerOp float64, gcPause uint64) {
+	tb.Helper()
+	for _, x := range xs[:min(len(xs), 64)] {
+		check(x)
+	}
+	var best int64
+	var ms0, ms1 runtime.MemStats
+	for rep := 0; rep < 3; rep++ {
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		for _, x := range xs {
+			check(x)
+		}
+		el := time.Since(t0).Nanoseconds()
+		runtime.ReadMemStats(&ms1)
+		if rep == 0 || el < best {
+			best = el
+			allocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(len(xs))
+			gcPause = ms1.PauseTotalNs - ms0.PauseTotalNs
+		}
+	}
+	return best / int64(len(xs)), allocsPerOp, gcPause
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// checkBenchRows measures the per-candidate cost of the checking layer
+// itself on the co-heavy candidates: the cat Power model through the AST
+// interpreter (the old per-candidate path) and through the compiled
+// evaluator, plus the hand-written Power model through its arena evaluator.
+// The interpreted/compiled pair is the before/after of the allocation-storm
+// fix; their ratios are recorded alongside the raw rows.
+func checkBenchRows(tb testing.TB, p *exec.Program) (rows []checkRow, speedup, allocRatio float64) {
+	tb.Helper()
+	xs := collectExecutions(tb, p)
+	m, err := cat.Builtin("power")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	compiled, err := m.Compiled()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ev := compiled.NewEvaluator()
+	zoo := models.Power.NewEvaluator()
+	cases := []struct {
+		name  string
+		check func(*events.Execution) core.Result
+	}{
+		{"cat:power:interpreted", m.Interpreted().Check},
+		{"cat:power:compiled", ev.Check},
+		{"models:power:arena", zoo.Check},
+	}
+	for _, c := range cases {
+		ns, allocs, pause := checkBench(tb, xs, c.check)
+		rows = append(rows, checkRow{Checker: c.name, NsPerOp: ns, AllocsPerOp: allocs, GCPauseTotalNs: pause})
+	}
+	interp, comp := rows[0], rows[1]
+	speedup = float64(interp.NsPerOp) / float64(comp.NsPerOp)
+	den := comp.AllocsPerOp
+	if den < 0.01 {
+		den = 0.01 // a fully allocation-free run would divide by zero
+	}
+	allocRatio = interp.AllocsPerOp / den
+	return rows, speedup, allocRatio
 }
 
 // obsOverhead interleaves sequential enumerations with the sink off and on
-// and returns the two medians.
-func obsOverhead(t *testing.T, p *exec.Program) (offMed, onMed int64) {
+// and returns the minimum of each. Two choices keep the estimate honest on
+// a noisy, time-shared runner (where run-to-run wall clock swings far more
+// than the few atomics the sink costs). The pair order alternates per
+// repetition: with a fixed off-then-on order, every on-run is warmer than
+// its partner, which biased earlier records negative. And the estimator is
+// the minimum, not the median: external interference only ever adds time,
+// so the least-interfered run of each mode is the best estimate of its
+// true cost — medians of oscillating interference produced overheads like
+// -21% that say nothing about the instrumentation.
+func obsOverhead(t *testing.T, p *exec.Program) (offMin, onMin int64) {
 	t.Helper()
-	const reps = 5
+	const reps = 6
 	var off, on []int64
 	sink := &obs.EnumStats{}
+	timedSearch(t, p, 1, nil) // warm-up, billed to nobody
 	for r := 0; r < reps; r++ {
-		off = append(off, timedSearch(t, p, 1, nil).Nanoseconds())
-		on = append(on, timedSearch(t, p, 1, sink).Nanoseconds())
+		if r%2 == 0 {
+			off = append(off, timedSearch(t, p, 1, nil).Nanoseconds())
+			on = append(on, timedSearch(t, p, 1, sink).Nanoseconds())
+		} else {
+			on = append(on, timedSearch(t, p, 1, sink).Nanoseconds())
+			off = append(off, timedSearch(t, p, 1, nil).Nanoseconds())
+		}
 	}
 	sort.Slice(off, func(i, j int) bool { return off[i] < off[j] })
 	sort.Slice(on, func(i, j int) bool { return on[i] < on[j] })
-	return off[reps/2], on[reps/2]
+	return off[0], on[0]
 }
 
 // TestObsOverheadSmoke is the CI bench-smoke assertion: enabling the

@@ -287,7 +287,12 @@ func explainTest(test *litmus.Test, p *exec.Program, checker sim.Checker) error 
 			return true
 		}
 		found = true
-		for _, v := range catModel.Explain(c.X) {
+		vs, verr := catModel.Explain(c.X)
+		if verr != nil {
+			fmt.Printf("  model evaluation failed: %v\n", verr)
+			return false
+		}
+		for _, v := range vs {
 			fmt.Printf("  %s (%s)", v.Check, v.Kind)
 			if len(v.Witness) > 1 {
 				fmt.Print(": ")

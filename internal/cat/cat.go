@@ -3,6 +3,7 @@ package cat
 import (
 	"crypto/sha256"
 	"fmt"
+	"sync"
 
 	"herdcats/internal/core"
 	"herdcats/internal/events"
@@ -87,11 +88,17 @@ type sCheck struct {
 	name string
 }
 
-// Model is a compiled cat model; it implements the simulator's Checker.
+// Model is a parsed cat model; it implements the simulator's Checker by
+// interpreting the AST, and core.EvaluatorProvider by lowering itself once
+// (see compile.go) into the allocation-free compiled form.
 type Model struct {
 	name  string
 	fp    string // sha256 of the source, the model's content identity
 	stmts []stmt
+
+	compileOnce sync.Once
+	compiled    *Compiled
+	compileErr  error
 }
 
 // Name returns the model's declared name.
@@ -642,8 +649,16 @@ func (e *env) evalLet(st sLet) {
 }
 
 // Check implements the simulator's Checker interface: it evaluates the
-// model's definitions over the execution and applies every check.
-func (m *Model) Check(x *events.Execution) core.Result {
+// model's definitions over the execution and applies every check. A model
+// that fails to evaluate — a let rec that never converges — is reported as
+// Result.Err rather than a panic, so a bad model registered with a running
+// daemon poisons one request, not the serving goroutine.
+func (m *Model) Check(x *events.Execution) (res core.Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = core.Result{Err: fmt.Errorf("cat: model %q evaluation failed: %v", m.name, r)}
+		}
+	}()
 	e := &env{x: x, defs: map[string]rel.Rel{}}
 	var failed []string
 	for _, st := range m.stmts {
@@ -680,10 +695,16 @@ type CheckViolation struct {
 }
 
 // Explain evaluates the model and returns a witness for each failed check —
-// the cycle herd shows when explaining why a behaviour is forbidden.
-func (m *Model) Explain(x *events.Execution) []CheckViolation {
+// the cycle herd shows when explaining why a behaviour is forbidden. Like
+// Check, evaluation failure surfaces as an error, never a panic.
+func (m *Model) Explain(x *events.Execution) (out []CheckViolation, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = nil
+			err = fmt.Errorf("cat: model %q evaluation failed: %v", m.name, r)
+		}
+	}()
 	e := &env{x: x, defs: map[string]rel.Rel{}}
-	var out []CheckViolation
 	for _, st := range m.stmts {
 		switch st := st.(type) {
 		case sLet:
@@ -714,5 +735,5 @@ func (m *Model) Explain(x *events.Execution) []CheckViolation {
 			}
 		}
 	}
-	return out
+	return out, nil
 }

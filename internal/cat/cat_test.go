@@ -322,7 +322,10 @@ func TestExplainWitness(t *testing.T) {
 	explained := false
 	err = p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 		if entry.Test().Cond.Eval(c.State) {
-			vs := m.Explain(c.X)
+			vs, verr := m.Explain(c.X)
+			if verr != nil {
+				t.Fatal(verr)
+			}
 			if len(vs) == 0 {
 				t.Error("no violations explained for the SC-forbidden sb state")
 				return false
@@ -346,7 +349,7 @@ func TestExplainWitness(t *testing.T) {
 	// Valid executions yield no violations.
 	err = p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
 		if m.Check(c.X).Valid {
-			if vs := m.Explain(c.X); len(vs) != 0 {
+			if vs, _ := m.Explain(c.X); len(vs) != 0 {
 				t.Errorf("valid execution explained: %v", vs)
 			}
 			return false

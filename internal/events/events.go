@@ -153,8 +153,21 @@ func (e Event) String() string {
 //
 // After populating the base fields, call Derive to compute every derived
 // relation. Architectures (ppo, fences, prop) consume the derived fields.
+//
+// Derivation splits in two: DeriveStatic computes everything determined by
+// the event structure alone (sets, po-loc, fences, dependencies — invariant
+// across every rf/co choice over the same skeleton), DeriveDynamic the
+// relations downstream of the enumerated rf and co. The enumerator derives
+// the static half once per skeleton and shares it into each candidate via
+// AdoptStatic; Derive runs both halves for standalone executions.
 type Execution struct {
 	Events []Event
+
+	// Base is the skeleton execution this candidate adopted its static
+	// derived state from (AdoptStatic), or nil for standalone executions.
+	// Candidates of one skeleton share the same Base pointer, which lets
+	// per-search evaluators cache skeleton-derived work.
+	Base *Execution
 
 	// Base relations, over all events.
 	PO       rel.Rel // program order: same thread, increasing PC (inter-instruction)
@@ -165,22 +178,28 @@ type Execution struct {
 	RF       rel.Rel // memory read-from (chosen by the enumerator)
 	CO       rel.Rel // coherence: per-location total order of writes
 
-	// Event sets (filled by Derive).
+	// Event sets (filled by DeriveStatic).
 	All, R, W, M, B, RegEvents rel.Set
 
-	// Derived relations (filled by Derive).
-	POLoc      rel.Rel // po ∩ same location, over memory events
-	FR         rel.Rel // from-read: rf⁻¹ ; co
-	Com        rel.Rel // co ∪ rf ∪ fr (memory events)
-	SW         rel.Rel // synchronises-with: release-write -> acquire-read rf edges
-	RFE, RFI   rel.Rel
-	COE, COI   rel.Rel
-	FRE, FRI   rel.Rel
-	Addr       rel.Rel               // address dependencies (Fig. 22)
-	Data       rel.Rel               // data dependencies
-	Ctrl       rel.Rel               // control dependencies
-	CtrlCfence map[FenceKind]rel.Rel // ctrl+cfence per control-fence flavour
-	FenceRel   map[FenceKind]rel.Rel // memory pairs separated by the given fence
+	// Static derived relations (filled by DeriveStatic).
+	POLoc       rel.Rel               // po ∩ same location, over memory events
+	IntraThread rel.Rel               // same-thread event pairs (incl. the init pseudo-thread)
+	Addr        rel.Rel               // address dependencies (Fig. 22)
+	Data        rel.Rel               // data dependencies
+	Ctrl        rel.Rel               // control dependencies
+	CtrlCfence  map[FenceKind]rel.Rel // ctrl+cfence per control-fence flavour
+	FenceRel    map[FenceKind]rel.Rel // memory pairs separated by the given fence
+
+	// Dynamic derived relations (filled by DeriveDynamic).
+	FR       rel.Rel // from-read: rf⁻¹ ; co
+	Com      rel.Rel // co ∪ rf ∪ fr (memory events)
+	SW       rel.Rel // synchronises-with: release-write -> acquire-read rf edges
+	RFE, RFI rel.Rel
+	COE, COI rel.Rel
+	FRE, FRI rel.Rel
+
+	memRF    rel.Rel // cached RF.Restrict(W, R), filled by DeriveDynamic
+	hasMemRF bool
 }
 
 // NewExecution returns an execution shell over n events with empty relations.
@@ -199,13 +218,30 @@ func NewExecution(n int) *Execution {
 // N returns the number of events.
 func (x *Execution) N() int { return len(x.Events) }
 
-// MemRF returns rf restricted to memory events.
-func (x *Execution) MemRF() rel.Rel { return x.RF.Restrict(x.W, x.R) }
+// MemRF returns rf restricted to memory events. After DeriveDynamic the
+// restriction is cached, so hot callers (models' prop functions, cat's rf
+// builtin) don't re-allocate it per candidate.
+func (x *Execution) MemRF() rel.Rel {
+	if x.hasMemRF {
+		return x.memRF
+	}
+	return x.RF.Restrict(x.W, x.R)
+}
 
 // Derive computes every derived relation and set. It must be called after
 // Events, PO, IICO, IICOAddr, IICOData, RFReg, RF and CO are populated,
 // and before the execution is handed to a model.
 func (x *Execution) Derive() {
+	x.DeriveStatic()
+	x.DeriveDynamic()
+}
+
+// DeriveStatic computes the derived state determined by the event structure
+// alone — sets, po-loc, same-thread pairs, fence relations and dependencies.
+// It is invariant across every rf/co assignment over the same skeleton, so
+// the enumerator runs it once per skeleton and shares the result into each
+// candidate with AdoptStatic.
+func (x *Execution) DeriveStatic() {
 	n := x.N()
 	x.All = rel.FullSet(n)
 	x.R = rel.NewSet(n)
@@ -213,6 +249,7 @@ func (x *Execution) Derive() {
 	x.B = rel.NewSet(n)
 	x.RegEvents = rel.NewSet(n)
 	fenceEvents := map[FenceKind][]int{}
+	tidSets := map[int]rel.Set{}
 	for _, e := range x.Events {
 		switch e.Kind {
 		case MemRead:
@@ -226,6 +263,12 @@ func (x *Execution) Derive() {
 		case Fence:
 			fenceEvents[e.Fence] = append(fenceEvents[e.Fence], e.ID)
 		}
+		s, ok := tidSets[e.Tid]
+		if !ok {
+			s = rel.NewSet(n)
+			tidSets[e.Tid] = s
+		}
+		s.Add(e.ID)
 	}
 	x.M = x.R.Union(x.W)
 
@@ -237,24 +280,13 @@ func (x *Execution) Derive() {
 		}
 	}
 
-	// fr = rf⁻¹ ; co (memory only).
-	memRF := x.MemRF()
-	x.FR = memRF.Inverse().Seq(x.CO)
-	x.Com = x.CO.Union(memRF).Union(x.FR)
-
-	// synchronises-with: rf edges from releasing writes to acquiring reads
-	// (the C11 extension; empty for assembly dialects).
-	x.SW = rel.New(n)
-	for _, p := range memRF.Pairs() {
-		if x.Events[p[0]].Order.Releases() && x.Events[p[1]].Order.Acquires() {
-			x.SW.Add(p[0], p[1])
-		}
+	// Same-thread pairs, one block per thread (the init pseudo-thread
+	// included): the mask DeriveDynamic splits rf/co/fr against, replacing
+	// a per-candidate walk over their pair lists.
+	x.IntraThread = rel.New(n)
+	for _, s := range tidSets {
+		x.IntraThread.UnionInto(rel.Cross(s, s))
 	}
-
-	// Internal/external splits.
-	x.RFE, x.RFI = x.split(memRF)
-	x.COE, x.COI = x.split(x.CO)
-	x.FRE, x.FRI = x.split(x.FR)
 
 	// Fence relations: memory pairs (e1,e2) with a fence of the given kind
 	// in between in program order.
@@ -275,12 +307,57 @@ func (x *Execution) Derive() {
 					after.Add(m)
 				}
 			}
-			fr = fr.Union(rel.Cross(before, after))
+			fr.UnionInto(rel.Cross(before, after))
 		}
 		x.FenceRel[kind] = fr
 	}
 
 	x.deriveDependencies()
+}
+
+// AdoptStatic shares base's static derived state — sets, po-loc,
+// same-thread pairs, fence relations, dependencies — into x instead of
+// recomputing it, and records base as x.Base. x must have the same event
+// structure as base; only RF and CO may differ. Call DeriveDynamic after.
+func (x *Execution) AdoptStatic(base *Execution) {
+	x.Base = base
+	x.All, x.R, x.W, x.M = base.All, base.R, base.W, base.M
+	x.B, x.RegEvents = base.B, base.RegEvents
+	x.POLoc = base.POLoc
+	x.IntraThread = base.IntraThread
+	x.Addr, x.Data, x.Ctrl = base.Addr, base.Data, base.Ctrl
+	x.CtrlCfence = base.CtrlCfence
+	x.FenceRel = base.FenceRel
+}
+
+// DeriveDynamic computes the relations downstream of the enumerated rf and
+// co: fr, com, sw and the internal/external splits. It requires the static
+// half (DeriveStatic or AdoptStatic) to be in place.
+func (x *Execution) DeriveDynamic() {
+	n := x.N()
+
+	// fr = rf⁻¹ ; co (memory only).
+	memRF := x.RF.Restrict(x.W, x.R)
+	x.memRF, x.hasMemRF = memRF, true
+	x.FR = memRF.Inverse().Seq(x.CO)
+	x.Com = rel.New(n)
+	x.Com.CopyFrom(x.CO)
+	x.Com.UnionInto(memRF)
+	x.Com.UnionInto(x.FR)
+
+	// synchronises-with: rf edges from releasing writes to acquiring reads
+	// (the C11 extension; empty for assembly dialects).
+	x.SW = rel.New(n)
+	memRF.ForEachPair(func(w, r int) {
+		if x.Events[w].Order.Releases() && x.Events[r].Order.Acquires() {
+			x.SW.Add(w, r)
+		}
+	})
+
+	// Internal/external splits against the same-thread mask.
+	x.RFE, x.RFI = x.split(memRF)
+	x.COE, x.COI = x.split(x.CO)
+	x.FRE, x.FRI = x.split(x.FR)
 }
 
 // Fences returns the fence relation for the given kind (empty if unused).
@@ -292,18 +369,15 @@ func (x *Execution) Fences(kind FenceKind) rel.Rel {
 }
 
 // split partitions a relation into external (distinct threads) and
-// internal (same thread) parts, in that order.
+// internal (same thread) parts, in that order, by masking against the
+// precomputed same-thread relation.
 func (x *Execution) split(r rel.Rel) (external, internal rel.Rel) {
 	external = rel.New(x.N())
+	external.CopyFrom(r)
+	external.DiffInto(x.IntraThread)
 	internal = rel.New(x.N())
-	for _, p := range r.Pairs() {
-		a, b := x.Events[p[0]], x.Events[p[1]]
-		if a.Tid == b.Tid {
-			internal.Add(p[0], p[1])
-		} else {
-			external.Add(p[0], p[1])
-		}
-	}
+	internal.CopyFrom(r)
+	internal.InterInto(x.IntraThread)
 	return external, internal
 }
 

@@ -1,8 +1,11 @@
 package exec
 
 import (
+	"sync"
+
 	"herdcats/internal/events"
 	"herdcats/internal/litmus"
+	"herdcats/internal/rel"
 )
 
 // The data-flow enumeration over one trace combination is a decision tree:
@@ -29,8 +32,9 @@ type decision struct {
 
 // expansion is the assembled skeleton of one trace combination: the global
 // event structure with its fixed relations (po, iico, rf-reg), plus the
-// decision tree over it. It is immutable once built, so any number of
-// walkers — on any number of goroutines — may share it.
+// decision tree over it. It is immutable once built — except for the
+// one-shot static derivation below — so any number of walkers, on any
+// number of goroutines, may share it.
 type expansion struct {
 	p         *Program
 	evs       []events.Event
@@ -38,6 +42,14 @@ type expansion struct {
 	x         *events.Execution // skeleton: PO/IICO/RFReg set, RF/CO empty
 	finalRegs map[litmus.RegKey]litmus.Value
 	baseMem   map[string]litmus.Value // final memory of single-write locations
+
+	// staticOnce guards the skeleton's DeriveStatic: the static derived
+	// state (sets, po-loc, fences, dependencies) is identical for every
+	// candidate of the expansion, so it is computed once at the first
+	// emitted candidate and shared into all of them via AdoptStatic.
+	// sync.Once gives the emitting worker a happens-before edge on the
+	// skeleton fields it then reads.
+	staticOnce sync.Once
 
 	reads     []int   // memory-read event IDs, in event order
 	rfCands   [][]int // per read: feeding-write candidates (same loc+value)
@@ -382,17 +394,22 @@ func (w *walker) locAcyclic(li int) bool {
 }
 
 // emitCandidate materialises the fully-decided assignment as a Candidate
-// and hands it to the search.
+// and hands it to the search. The candidate shares the skeleton's event
+// structure and static derived state (AdoptStatic); only rf, co and the
+// dynamic derivation downstream of them are built per candidate.
 func (w *walker) emitCandidate() {
 	e := w.e
-	cx := events.NewExecution(e.n)
-	cx.Events = e.evs
-	cx.PO = e.x.PO
-	cx.IICO = e.x.IICO
-	cx.IICOAddr = e.x.IICOAddr
-	cx.IICOData = e.x.IICOData
-	cx.RFReg = e.x.RFReg
-	cx.RF = e.x.RF.Clone()
+	e.staticOnce.Do(e.x.DeriveStatic)
+	cx := &events.Execution{
+		Events:   e.evs,
+		PO:       e.x.PO,
+		IICO:     e.x.IICO,
+		IICOAddr: e.x.IICOAddr,
+		IICOData: e.x.IICOData,
+		RFReg:    e.x.RFReg,
+		RF:       rel.New(e.n),
+		CO:       rel.New(e.n),
+	}
 	for i, r := range e.reads {
 		cx.RF.Add(w.rfPick[i], r)
 	}
@@ -409,6 +426,7 @@ func (w *walker) emitCandidate() {
 		}
 		finalMem[loc] = e.p.Decode(e.evs[order[len(order)-1]].Val)
 	}
-	cx.Derive()
+	cx.AdoptStatic(e.x)
+	cx.DeriveDynamic()
 	w.s.emit(&Candidate{X: cx, State: &litmus.State{Regs: e.finalRegs, Mem: finalMem}})
 }

@@ -1,0 +1,179 @@
+package rel
+
+// Differential tests for the destructive kernels against their allocating
+// counterparts, and unit tests for the Arena pool. The kernels exist so
+// per-candidate model checking allocates nothing; these tests pin their
+// semantics to the pure operations the rest of the suite already trusts.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randRel(rng *rand.Rand, n int, density float64) Rel {
+	r := New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < density {
+				r.Add(i, j)
+			}
+		}
+	}
+	return r
+}
+
+func TestKernelsMatchPure(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(20)
+		a := randRel(rng, n, 0.2)
+		b := randRel(rng, n, 0.2)
+
+		check := func(name string, got, want Rel) {
+			t.Helper()
+			if !got.Equal(want) {
+				t.Fatalf("trial %d n=%d: %s diverges from pure op", trial, n, name)
+			}
+		}
+
+		d := New(n)
+		d.CopyFrom(a)
+		d.UnionInto(b)
+		check("UnionInto", d, a.Union(b))
+
+		d.CopyFrom(a)
+		d.InterInto(b)
+		check("InterInto", d, a.Inter(b))
+
+		d.CopyFrom(a)
+		d.DiffInto(b)
+		check("DiffInto", d, a.Diff(b))
+
+		d.SeqInto(a, b)
+		check("SeqInto", d, a.Seq(b))
+
+		d.SeqInto(a, a)
+		check("SeqInto aliased operands", d, a.Seq(a))
+
+		d.CopyFrom(a)
+		d.PlusInPlace()
+		check("PlusInPlace", d, a.Plus())
+
+		d.CopyFrom(a)
+		d.PlusInPlace()
+		d.UnionIdentity()
+		check("PlusInPlace+UnionIdentity", d, a.Star())
+
+		d.CopyFrom(a)
+		d.ComplementInPlace()
+		check("ComplementInPlace", d, a.Complement())
+
+		src, dst := NewSet(n), NewSet(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				src.Add(i)
+			}
+			if rng.Intn(2) == 0 {
+				dst.Add(i)
+			}
+		}
+		d.CopyFrom(a)
+		d.RestrictInPlace(src, dst)
+		check("RestrictInPlace", d, a.Restrict(src, dst))
+
+		d.CopyFrom(a)
+		d.Clear()
+		check("Clear", d, New(n))
+	}
+}
+
+func TestSeqIntoAliasPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SeqInto with aliased destination did not panic")
+		}
+	}()
+	a := New(4)
+	a.Add(0, 1)
+	b := New(4)
+	b.Add(1, 2)
+	a.SeqInto(a, b)
+}
+
+func TestForEachPair(t *testing.T) {
+	a := New(70) // spans two words per row
+	pairs := [][2]int{{0, 0}, {0, 63}, {0, 64}, {3, 69}, {69, 0}}
+	for _, p := range pairs {
+		a.Add(p[0], p[1])
+	}
+	var got [][2]int
+	a.ForEachPair(func(i, j int) { got = append(got, [2]int{i, j}) })
+	if len(got) != len(pairs) {
+		t.Fatalf("ForEachPair visited %d pairs, want %d", len(got), len(pairs))
+	}
+	for k, p := range pairs {
+		if got[k] != p {
+			t.Fatalf("pair %d: got %v, want %v", k, got[k], p)
+		}
+	}
+}
+
+func TestArenaReuse(t *testing.T) {
+	ar := NewArena()
+	r1 := ar.Get(8)
+	r1.Add(1, 2)
+	ar.Put(r1)
+	r2 := ar.Get(8)
+	if !r2.IsEmpty() {
+		t.Fatal("arena returned a dirty buffer")
+	}
+	// Same words, same backing array: the buffer really was recycled.
+	r2.Add(3, 4)
+	if r1.Has(3, 4) != true {
+		t.Fatal("expected r1 and r2 to share backing after recycling")
+	}
+	// Size change drops the pool and serves fresh buffers.
+	r3 := ar.Get(16)
+	if r3.N() != 16 || !r3.IsEmpty() {
+		t.Fatal("arena did not resize cleanly")
+	}
+	// Stale Put of a wrong-size buffer is dropped, not pooled.
+	ar.Put(r2)
+	r4 := ar.Get(16)
+	if r4.N() != 16 {
+		t.Fatal("arena pooled a wrong-size buffer")
+	}
+}
+
+func TestArenaNilSafe(t *testing.T) {
+	var ar *Arena
+	r := ar.Get(4)
+	if r.N() != 4 {
+		t.Fatal("nil arena Get did not allocate")
+	}
+	ar.Put(r) // must not panic
+	if ar.DFS() != nil {
+		t.Fatal("nil arena DFS scratch should be nil")
+	}
+}
+
+func TestAcyclicScratchMatchesAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var sc DFSScratch
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(16)
+		r := randRel(rng, n, 0.15)
+		if r.AcyclicScratch(&sc) != r.Acyclic() {
+			t.Fatalf("trial %d: AcyclicScratch diverges from Acyclic", trial)
+		}
+		w := r.CycleWitness()
+		if (w == nil) != r.Acyclic() {
+			t.Fatalf("trial %d: CycleWitness presence disagrees with Acyclic", trial)
+		}
+		for i := 0; i < len(w); i++ {
+			if !r.Has(w[i], w[(i+1)%len(w)]) {
+				t.Fatalf("trial %d: witness %v is not a cycle", trial, w)
+			}
+		}
+	}
+}

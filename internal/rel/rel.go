@@ -11,9 +11,9 @@
 package rel
 
 import (
+	"container/heap"
 	"fmt"
 	"math/bits"
-	"sort"
 	"strings"
 )
 
@@ -125,6 +125,143 @@ func (r Rel) Clone() Rel {
 func (r Rel) sameUniverse(s Rel) {
 	if r.n != s.n {
 		panic(fmt.Sprintf("rel: universe mismatch %d vs %d", r.n, s.n))
+	}
+}
+
+// --- In-place kernels ----------------------------------------------------
+//
+// The destructive counterparts of the functional operators below. They are
+// what lets the hot candidate-checking loop run with zero steady-state
+// allocations: an Arena hands out Rel buffers once and the kernels mutate
+// them in place. Every kernel requires its operands to share r's universe.
+
+// Clear removes every pair, leaving the empty relation.
+func (r Rel) Clear() {
+	for i := range r.bits {
+		r.bits[i] = 0
+	}
+}
+
+// CopyFrom overwrites r with the pairs of s.
+func (r Rel) CopyFrom(s Rel) {
+	r.sameUniverse(s)
+	copy(r.bits, s.bits)
+}
+
+// UnionInto adds every pair of s to r (r ∪= s).
+func (r Rel) UnionInto(s Rel) {
+	r.sameUniverse(s)
+	for i := range r.bits {
+		r.bits[i] |= s.bits[i]
+	}
+}
+
+// InterInto keeps only the pairs of r also in s (r ∩= s).
+func (r Rel) InterInto(s Rel) {
+	r.sameUniverse(s)
+	for i := range r.bits {
+		r.bits[i] &= s.bits[i]
+	}
+}
+
+// DiffInto removes every pair of s from r (r \= s).
+func (r Rel) DiffInto(s Rel) {
+	r.sameUniverse(s)
+	for i := range r.bits {
+		r.bits[i] &^= s.bits[i]
+	}
+}
+
+// SeqInto overwrites r with the composition a ; b. r must not alias a or b
+// (their buffers would be read while being written); a and b may alias each
+// other.
+func (r Rel) SeqInto(a, b Rel) {
+	r.sameUniverse(a)
+	r.sameUniverse(b)
+	if len(r.bits) > 0 && (&r.bits[0] == &a.bits[0] || &r.bits[0] == &b.bits[0]) {
+		panic("rel: SeqInto destination aliases an operand")
+	}
+	r.Clear()
+	for i := 0; i < r.n; i++ {
+		src := a.row(i)
+		dst := r.row(i)
+		for w, word := range src {
+			for word != 0 {
+				bit := bits.TrailingZeros64(word)
+				word &= word - 1
+				mid := b.row(w*wordBits + bit)
+				for k := range dst {
+					dst[k] |= mid[k]
+				}
+			}
+		}
+	}
+}
+
+// PlusInPlace replaces r with its transitive closure r⁺ (Floyd–Warshall).
+func (r Rel) PlusInPlace() {
+	for k := 0; k < r.n; k++ {
+		krow := r.row(k)
+		bit := uint64(1) << (uint(k) % wordBits)
+		w := k / wordBits
+		for i := 0; i < r.n; i++ {
+			irow := r.row(i)
+			if irow[w]&bit != 0 {
+				for x := range irow {
+					irow[x] |= krow[x]
+				}
+			}
+		}
+	}
+}
+
+// ComplementInPlace replaces r with its complement (including diagonal pairs).
+func (r Rel) ComplementInPlace() {
+	for i := range r.bits {
+		r.bits[i] = ^r.bits[i]
+	}
+	r.trim()
+}
+
+// UnionIdentity adds the full diagonal (i,i) for every universe element,
+// turning r⁺ into r* and r into r? in place.
+func (r Rel) UnionIdentity() {
+	for i := 0; i < r.n; i++ {
+		r.row(i)[i/wordBits] |= 1 << (uint(i) % wordBits)
+	}
+}
+
+// RestrictInPlace keeps only pairs with source in src and target in dst,
+// the destructive form of Restrict.
+func (r Rel) RestrictInPlace(src, dst Set) {
+	r.checkSet(src)
+	r.checkSet(dst)
+	for i := 0; i < r.n; i++ {
+		row := r.row(i)
+		if !src.Has(i) {
+			for w := range row {
+				row[w] = 0
+			}
+			continue
+		}
+		for w := range row {
+			row[w] &= dst.bits[w]
+		}
+	}
+}
+
+// ForEachPair calls f for every pair in lexicographic order without
+// materialising the pair list.
+func (r Rel) ForEachPair(f func(i, j int)) {
+	for i := 0; i < r.n; i++ {
+		row := r.row(i)
+		for w, word := range row {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				f(i, w*wordBits+b)
+			}
+		}
 	}
 }
 
@@ -246,27 +383,55 @@ func (r Rel) Irreflexive() bool {
 	return true
 }
 
-// Acyclic reports whether r contains no cycle, i.e. r⁺ is irreflexive.
-func (r Rel) Acyclic() bool {
-	// A DFS three-colour check is cheaper than computing the closure.
+// dfsFrame is one level of the iterative three-colour DFS: the node being
+// expanded plus a cursor over its successor bitset.
+type dfsFrame struct {
+	node int
+	word int
+	bits uint64
+}
+
+// DFSScratch holds the reusable traversal state of the cycle DFS, so hot
+// callers (AcyclicScratch) can run acyclicity checks without allocating.
+// The zero value is ready to use; one scratch serves one goroutine.
+type DFSScratch struct {
+	colour []byte
+	stack  []dfsFrame
+}
+
+// cycleDFS is the iterative three-colour DFS shared by Acyclic,
+// AcyclicScratch and CycleWitness — a DFS cycle check is cheaper than
+// computing the closure, and an explicit frame stack keeps mined-scale
+// universes from overflowing the goroutine stack. It reports whether a
+// cycle exists; with wantWitness set it also returns one cycle (the grey
+// path from the revisited node to the top of the stack, each element
+// related to the next and the last to the first).
+func (r Rel) cycleDFS(sc *DFSScratch, wantWitness bool) (found bool, witness []int) {
 	const (
 		white = 0
 		grey  = 1
 		black = 2
 	)
-	colour := make([]byte, r.n)
-	type frame struct {
-		node int
-		word int
-		bits uint64
+	if sc == nil {
+		sc = &DFSScratch{}
 	}
-	var stack []frame
+	if cap(sc.colour) < r.n {
+		sc.colour = make([]byte, r.n)
+	} else {
+		sc.colour = sc.colour[:r.n]
+		for i := range sc.colour {
+			sc.colour[i] = white
+		}
+	}
+	colour := sc.colour
+	stack := sc.stack[:0]
+	defer func() { sc.stack = stack }()
 	for start := 0; start < r.n; start++ {
 		if colour[start] != white {
 			continue
 		}
 		colour[start] = grey
-		stack = append(stack[:0], frame{start, 0, r.row(start)[0]})
+		stack = append(stack[:0], dfsFrame{start, 0, r.row(start)[0]})
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
 			if f.bits == 0 {
@@ -284,14 +449,41 @@ func (r Rel) Acyclic() bool {
 			next := f.word*wordBits + b
 			switch colour[next] {
 			case grey:
-				return false
+				if wantWitness {
+					at := 0
+					for k := range stack {
+						if stack[k].node == next {
+							at = k
+							break
+						}
+					}
+					witness = make([]int, 0, len(stack)-at)
+					for _, fr := range stack[at:] {
+						witness = append(witness, fr.node)
+					}
+				}
+				return true, witness
 			case white:
 				colour[next] = grey
-				stack = append(stack, frame{next, 0, r.row(next)[0]})
+				stack = append(stack, dfsFrame{next, 0, r.row(next)[0]})
 			}
 		}
 	}
-	return true
+	return false, nil
+}
+
+// Acyclic reports whether r contains no cycle, i.e. r⁺ is irreflexive.
+func (r Rel) Acyclic() bool {
+	found, _ := r.cycleDFS(nil, false)
+	return !found
+}
+
+// AcyclicScratch is Acyclic reusing the given traversal scratch, so
+// repeated checks over same-sized universes allocate nothing. A nil
+// scratch falls back to Acyclic's behaviour.
+func (r Rel) AcyclicScratch(sc *DFSScratch) bool {
+	found, _ := r.cycleDFS(sc, false)
+	return !found
 }
 
 // Reflexive reports whether r relates some element to itself
@@ -453,71 +645,66 @@ func (r Rel) Range() Set {
 
 // CycleWitness returns one cycle of r as a sequence of elements
 // (each related to the next, last related to first), or nil if acyclic.
+// It shares the iterative traversal of Acyclic: the witness is the grey
+// path sitting on the explicit frame stack when a cycle closes, so
+// arbitrarily deep universes cannot overflow the goroutine stack.
 func (r Rel) CycleWitness() []int {
-	colour := make([]byte, r.n)
-	parent := make([]int, r.n)
-	for i := range parent {
-		parent[i] = -1
-	}
-	var found []int
-	var dfs func(u int) bool
-	dfs = func(u int) bool {
-		colour[u] = 1
-		for _, v := range r.Succ(u) {
-			switch colour[v] {
-			case 0:
-				parent[v] = u
-				if dfs(v) {
-					return true
-				}
-			case 1:
-				// Reconstruct cycle v -> ... -> u -> v.
-				cyc := []int{u}
-				for x := u; x != v; x = parent[x] {
-					cyc = append(cyc, parent[x])
-				}
-				// Reverse so it reads v ... u in edge order.
-				for a, b := 0, len(cyc)-1; a < b; a, b = a+1, b-1 {
-					cyc[a], cyc[b] = cyc[b], cyc[a]
-				}
-				found = cyc
-				return true
-			}
-		}
-		colour[u] = 2
-		return false
-	}
-	for i := 0; i < r.n; i++ {
-		if colour[i] == 0 && dfs(i) {
-			return found
-		}
-	}
-	return nil
+	_, witness := r.cycleDFS(nil, true)
+	return witness
+}
+
+// intHeap is a min-heap of ints for TopoSort's ready queue.
+type intHeap []int
+
+func (h intHeap) Len() int            { return len(h) }
+func (h intHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
 }
 
 // TopoSort returns a topological order of the universe consistent with r,
 // or ok=false if r has a cycle. Ties are broken by smallest element first,
-// which makes the output deterministic.
+// which makes the output deterministic: the ready queue is a min-heap, so
+// each pop takes the smallest ready element in O(log n) instead of
+// re-sorting the whole queue, and indegrees are counted straight off the
+// successor rows without materialising the pair list.
 func (r Rel) TopoSort() (order []int, ok bool) {
 	indeg := make([]int, r.n)
-	for _, p := range r.Pairs() {
-		indeg[p[1]]++
+	for i := 0; i < r.n; i++ {
+		for w, word := range r.row(i) {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				indeg[w*wordBits+b]++
+			}
+		}
 	}
-	var ready []int
+	ready := make(intHeap, 0, r.n)
 	for i := 0; i < r.n; i++ {
 		if indeg[i] == 0 {
 			ready = append(ready, i)
 		}
 	}
-	for len(ready) > 0 {
-		sort.Ints(ready)
-		u := ready[0]
-		ready = ready[1:]
+	heap.Init(&ready)
+	order = make([]int, 0, r.n)
+	for ready.Len() > 0 {
+		u := heap.Pop(&ready).(int)
 		order = append(order, u)
-		for _, v := range r.Succ(u) {
-			indeg[v]--
-			if indeg[v] == 0 {
-				ready = append(ready, v)
+		for w, word := range r.row(u) {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				v := w*wordBits + b
+				indeg[v]--
+				if indeg[v] == 0 {
+					heap.Push(&ready, v)
+				}
 			}
 		}
 	}

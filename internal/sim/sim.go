@@ -125,8 +125,24 @@ func Simulate(ctx context.Context, req Request) (*Outcome, error) {
 		Test: p.Test, Model: req.Checker.Name(),
 		States: map[string]int{}, FailedBy: map[string]int{},
 	}
+
+	// Upgrade the checker to a per-search evaluator when it offers one
+	// (compiled cat models, the built-in zoo): the evaluator owns pooled
+	// relation buffers reused across candidates, so the steady-state check
+	// allocates nothing. Search delivers candidates on this goroutine in a
+	// deterministic order regardless of worker count, so one evaluator per
+	// Simulate is exactly right. Name, pruning and the outcome still come
+	// from the original checker.
+	check := req.Checker.Check
+	if prov, ok := req.Checker.(core.EvaluatorProvider); ok {
+		if ev := prov.NewEvaluator(); ev != nil {
+			check = ev.Check
+		}
+	}
+
 	traced := req.Obs != nil
 	var checkNS int64
+	var evalErr error
 	stopEnum := req.Obs.Phase(obs.PhaseEnumerate)
 	err := p.Search(ctx, er, func(c *exec.Candidate) bool {
 		out.Candidates++
@@ -134,9 +150,16 @@ func Simulate(ctx context.Context, req Request) (*Outcome, error) {
 		if traced {
 			t0 = time.Now()
 		}
-		res := req.Checker.Check(c.X)
+		res := check(c.X)
 		if traced {
 			checkNS += time.Since(t0).Nanoseconds()
+		}
+		if res.Err != nil {
+			// The model itself failed to evaluate (e.g. a divergent let
+			// rec). No verdict can be trusted; abort the search and
+			// surface the error instead of tallying garbage.
+			evalErr = res.Err
+			return false
 		}
 		if !res.Valid {
 			for _, name := range res.FailedChecks {
@@ -159,6 +182,9 @@ func Simulate(ctx context.Context, req Request) (*Outcome, error) {
 		req.Obs.Observe(obs.PhaseCheck, time.Duration(checkNS))
 	}
 	defer req.Obs.Phase(obs.PhaseVerdict)()
+	if evalErr != nil {
+		return nil, evalErr
+	}
 	if err != nil {
 		if errors.Is(err, exec.ErrBudgetExceeded) || errors.Is(err, exec.ErrCanceled) {
 			out.Incomplete = true
