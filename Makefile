@@ -26,7 +26,7 @@ race:
 # original record was taken with an inherited GOMAXPROCS=1, which
 # serialised the 2/4/8-worker timings and flattened the scaling curve.
 bench:
-	GOMAXPROCS=$(NPROC) BENCH_ENUM_OUT=$(CURDIR)/BENCH_enumerate.json $(GO) test -run 'TestBenchEnumerateJSON|TestObsOverheadSmoke|TestCheckAllocsCeiling' -count=1 -v .
+	GOMAXPROCS=$(NPROC) BENCH_ENUM_OUT=$(CURDIR)/BENCH_enumerate.json $(GO) test -run 'TestBenchEnumerateJSON|TestObsOverheadSmoke|TestCheckAllocsCeiling|TestEnumAllocsCeiling' -count=1 -v .
 
 # The fleet acceptance test under the race detector: a 500-test batch
 # through herd-gw while one backend is killed mid-batch and another runs

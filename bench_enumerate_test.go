@@ -218,6 +218,9 @@ func TestBenchEnumerateJSON(t *testing.T) {
 		overhead = 0
 	}
 
+	// The enumeration cost itself: the walk alone, allocator-accounted.
+	enumRows := []enumRow{enumBench(t, p, 1), enumBench(t, p, 8)}
+
 	// The checking layer itself: the allocation-storm before/after.
 	checkRows, catSpeedup, catAllocRatio := checkBenchRows(t, p)
 
@@ -227,6 +230,7 @@ func TestBenchEnumerateJSON(t *testing.T) {
 		Cores          int        `json:"cores"`
 		GoMaxProcs     int        `json:"gomaxprocs"`
 		Rows           []benchRow `json:"rows"`
+		EnumRows       []enumRow  `json:"enum_rows"`
 		CheckRows      []checkRow `json:"check_rows"`
 		CatSpeedup     float64    `json:"cat_check_speedup"`
 		CatAllocRatio  float64    `json:"cat_check_alloc_ratio"`
@@ -240,6 +244,7 @@ func TestBenchEnumerateJSON(t *testing.T) {
 		Cores:          runtime.NumCPU(),
 		GoMaxProcs:     runtime.GOMAXPROCS(0),
 		Rows:           rows,
+		EnumRows:       enumRows,
 		CheckRows:      checkRows,
 		CatSpeedup:     catSpeedup,
 		CatAllocRatio:  catAllocRatio,
@@ -263,6 +268,10 @@ func TestBenchEnumerateJSON(t *testing.T) {
 	}
 	t.Logf("obs overhead: off %v, on %v (%.1f%%, raw %.1f%%)",
 		time.Duration(offMed), time.Duration(onMed), overhead*100, rawOverhead*100)
+	for _, r := range enumRows {
+		t.Logf("enum workers=%d: %v/candidate, %.2f allocs/candidate, gc pause %v",
+			r.Workers, time.Duration(r.NsPerOp), r.AllocsPerOp, time.Duration(int64(r.GCPauseTotalNs)))
+	}
 	for _, r := range checkRows {
 		t.Logf("check %s: %v/op, %.1f allocs/op, gc pause %v",
 			r.Checker, time.Duration(r.NsPerOp), r.AllocsPerOp, time.Duration(r.GCPauseTotalNs))
@@ -300,6 +309,74 @@ func TestCheckAllocsCeiling(t *testing.T) {
 	}
 }
 
+// enumRow is one enumeration-cost measurement of BENCH_enumerate.json:
+// the bare walk (candidates fully derived, consumed in place, discarded),
+// with the allocator and GC accounted per candidate. This is the cost the
+// arena refactor targets; the scaling rows above time the same walk but
+// only report wall clock.
+type enumRow struct {
+	Workers        int     `json:"workers"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+	GCPauseTotalNs uint64  `json:"gc_pause_total_ns"`
+}
+
+// enumBench measures the bare co-heavy walk: best-of-3 wall clock with the
+// allocation and GC-pause deltas of the best run. A warm-up search runs
+// first so one-time costs (trace enumeration scratch, the first search's
+// arena growth are per-search either way, but the allocator's own warmup
+// is not) don't inflate the first repetition.
+func enumBench(tb testing.TB, p *exec.Program, workers int) enumRow {
+	tb.Helper()
+	timedSearch(tb, p, workers, nil)
+	var best int64
+	var allocsPerOp float64
+	var gcPause uint64
+	var ms0, ms1 runtime.MemStats
+	for rep := 0; rep < 3; rep++ {
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		n := 0
+		err := p.Search(context.Background(), exec.Request{Workers: workers},
+			func(*exec.Candidate) bool { n++; return true })
+		el := time.Since(t0).Nanoseconds()
+		runtime.ReadMemStats(&ms1)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if n != 13824 {
+			tb.Fatalf("enumerated %d candidates, want 13824", n)
+		}
+		if rep == 0 || el < best {
+			best = el
+			allocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(n)
+			gcPause = ms1.PauseTotalNs - ms0.PauseTotalNs
+		}
+	}
+	return enumRow{Workers: workers, NsPerOp: best / 13824, AllocsPerOp: allocsPerOp, GCPauseTotalNs: gcPause}
+}
+
+// TestEnumAllocsCeiling is the CI bench-smoke regression guard for the
+// enumeration side of the allocation discipline: the warm sequential walk
+// must average no more than a handful of allocations per candidate. The
+// steady state is the per-emit Candidate header (one small allocation,
+// deliberate — it carries the expiry generation) plus amortised per-search
+// setup; the relations, final state and dynamic derivation all live in the
+// search's arena. Gated on BENCH_ENUM_OUT like the other bench asserts.
+func TestEnumAllocsCeiling(t *testing.T) {
+	if os.Getenv("BENCH_ENUM_OUT") == "" {
+		t.Skip("set BENCH_ENUM_OUT to run the enumeration allocation ceiling check")
+	}
+	p := compileBench(t, coHeavySrc)
+	row := enumBench(t, p, 1)
+	const ceiling = 8.0
+	if row.AllocsPerOp > ceiling {
+		t.Errorf("sequential walk: %.2f allocs per candidate, ceiling %.0f — the enumeration allocation storm is back",
+			row.AllocsPerOp, ceiling)
+	}
+}
+
 // checkRow is one model-checking measurement of BENCH_enumerate.json:
 // one checker driven over every pre-derived co-heavy candidate on a single
 // core, with the allocator and GC accounted per candidate.
@@ -312,12 +389,13 @@ type checkRow struct {
 
 // collectExecutions enumerates the workload once and keeps every derived
 // candidate execution, so checker timings below measure checking alone —
-// no enumeration, no rf/co picking, no dynamic derivation.
+// no enumeration, no rf/co picking, no dynamic derivation. The yielded
+// candidates live in the search's arena slot, so retention requires Clone.
 func collectExecutions(tb testing.TB, p *exec.Program) []*events.Execution {
 	tb.Helper()
 	var xs []*events.Execution
 	err := p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
-		xs = append(xs, c.X)
+		xs = append(xs, c.Clone().X)
 		return true
 	})
 	if err != nil {

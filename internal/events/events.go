@@ -200,6 +200,23 @@ type Execution struct {
 
 	memRF    rel.Rel // cached RF.Restrict(W, R), filled by DeriveDynamic
 	hasMemRF bool
+
+	// emptyRel is a shared all-empty relation handed out by read-only
+	// accessors (Fences on a miss, CtrlCfenceAll with no control fences)
+	// instead of allocating a fresh one per call. Filled by DeriveStatic,
+	// shared by AdoptStatic; callers must never mutate it.
+	emptyRel    rel.Rel
+	hasEmptyRel bool
+
+	// ctrlCfenceAll caches the union of CtrlCfence over all flavours —
+	// static per skeleton, so computed once by DeriveStatic.
+	ctrlCfenceAll    rel.Rel
+	hasCtrlCfenceAll bool
+
+	// dynN records the universe size the dynamic relation buffers (FR, Com,
+	// SW, the splits, memRF) were last allocated for; DeriveDynamicInto
+	// reuses them in place when it matches instead of allocating afresh.
+	dynN int
 }
 
 // NewExecution returns an execution shell over n events with empty relations.
@@ -313,6 +330,18 @@ func (x *Execution) DeriveStatic() {
 	}
 
 	x.deriveDependencies()
+
+	// Shared read-only singletons: the empty relation handed out by
+	// accessor misses, and the union of ctrl+cfence over all flavours.
+	// Both are static per skeleton, so hot per-candidate callers (model
+	// fence lookups) stop allocating on every miss.
+	x.emptyRel = rel.New(n)
+	x.hasEmptyRel = true
+	x.ctrlCfenceAll = rel.New(n)
+	for _, r := range x.CtrlCfence {
+		x.ctrlCfenceAll.UnionInto(r)
+	}
+	x.hasCtrlCfenceAll = true
 }
 
 // AdoptStatic shares base's static derived state — sets, po-loc,
@@ -328,57 +357,101 @@ func (x *Execution) AdoptStatic(base *Execution) {
 	x.Addr, x.Data, x.Ctrl = base.Addr, base.Data, base.Ctrl
 	x.CtrlCfence = base.CtrlCfence
 	x.FenceRel = base.FenceRel
+	x.emptyRel, x.hasEmptyRel = base.emptyRel, base.hasEmptyRel
+	x.ctrlCfenceAll, x.hasCtrlCfenceAll = base.ctrlCfenceAll, base.hasCtrlCfenceAll
 }
 
 // DeriveDynamic computes the relations downstream of the enumerated rf and
 // co: fr, com, sw and the internal/external splits. It requires the static
-// half (DeriveStatic or AdoptStatic) to be in place.
+// half (DeriveStatic or AdoptStatic) to be in place. Every output relation
+// is freshly allocated, so references to the previous derivation stay
+// valid; the enumeration hot loop uses DeriveDynamicInto instead.
 func (x *Execution) DeriveDynamic() {
-	n := x.N()
+	x.dynN = -1 // force fresh buffers: callers may hold the old ones
+	x.DeriveDynamicInto(nil)
+}
 
-	// fr = rf⁻¹ ; co (memory only).
-	memRF := x.RF.Restrict(x.W, x.R)
-	x.memRF, x.hasMemRF = memRF, true
-	x.FR = memRF.Inverse().Seq(x.CO)
-	x.Com = rel.New(n)
+// DeriveDynamicInto is DeriveDynamic for the allocation-free hot loop: the
+// dynamic relations (fr, com, sw, the splits, the memory-rf cache) are
+// recomputed in place into the buffers of the previous derivation when the
+// universe size matches, and scratch is drawn from (and returned to) the
+// arena. First use — or a universe-size change — allocates the buffers
+// through the arena; they then belong to the execution, not the pool. A
+// nil arena degrades to plain allocation. The caller must not hold
+// references to x's dynamic relations across calls: they are overwritten.
+func (x *Execution) DeriveDynamicInto(a *rel.Arena) {
+	n := x.N()
+	if x.dynN != n {
+		x.FR, x.Com, x.SW = a.Get(n), a.Get(n), a.Get(n)
+		x.RFE, x.RFI = a.Get(n), a.Get(n)
+		x.COE, x.COI = a.Get(n), a.Get(n)
+		x.FRE, x.FRI = a.Get(n), a.Get(n)
+		x.memRF = a.Get(n)
+		x.dynN = n
+	}
+
+	// rf over memory events, cached for MemRF.
+	x.memRF.CopyFrom(x.RF)
+	x.memRF.RestrictInPlace(x.W, x.R)
+	x.hasMemRF = true
+
+	// fr = rf⁻¹ ; co; the inverse is pure scratch.
+	inv := a.Get(n)
+	inv.InverseInto(x.memRF)
+	x.FR.SeqInto(inv, x.CO)
+	a.Put(inv)
+
 	x.Com.CopyFrom(x.CO)
-	x.Com.UnionInto(memRF)
+	x.Com.UnionInto(x.memRF)
 	x.Com.UnionInto(x.FR)
 
 	// synchronises-with: rf edges from releasing writes to acquiring reads
 	// (the C11 extension; empty for assembly dialects).
-	x.SW = rel.New(n)
-	memRF.ForEachPair(func(w, r int) {
+	x.SW.Clear()
+	x.memRF.ForEachPair(func(w, r int) {
 		if x.Events[w].Order.Releases() && x.Events[r].Order.Acquires() {
 			x.SW.Add(w, r)
 		}
 	})
 
 	// Internal/external splits against the same-thread mask.
-	x.RFE, x.RFI = x.split(memRF)
-	x.COE, x.COI = x.split(x.CO)
-	x.FRE, x.FRI = x.split(x.FR)
+	x.splitInto(x.RFE, x.RFI, x.memRF)
+	x.splitInto(x.COE, x.COI, x.CO)
+	x.splitInto(x.FRE, x.FRI, x.FR)
 }
 
-// Fences returns the fence relation for the given kind (empty if unused).
+// CloneDynamicCache replaces the unexported dynamic caches (the memory-rf
+// restriction) with private copies. Callers deep-copying an execution —
+// having already cloned the exported dynamic relations — use this so the
+// copy shares no mutable buffer with the original; the static singletons
+// (shared empty relation, ctrl+cfence union) are read-only and stay shared.
+func (x *Execution) CloneDynamicCache() {
+	if x.hasMemRF {
+		x.memRF = x.memRF.Clone()
+	}
+}
+
+// Fences returns the fence relation for the given kind. A miss returns the
+// skeleton's shared empty relation (callers must not mutate it); before
+// DeriveStatic has run it falls back to allocating one.
 func (x *Execution) Fences(kind FenceKind) rel.Rel {
 	if r, ok := x.FenceRel[kind]; ok {
 		return r
 	}
+	if x.hasEmptyRel {
+		return x.emptyRel
+	}
 	return rel.New(x.N())
 }
 
-// split partitions a relation into external (distinct threads) and
-// internal (same thread) parts, in that order, by masking against the
-// precomputed same-thread relation.
-func (x *Execution) split(r rel.Rel) (external, internal rel.Rel) {
-	external = rel.New(x.N())
+// splitInto partitions r into its external (distinct threads) and internal
+// (same thread) parts by masking against the precomputed same-thread
+// relation, overwriting the two destination buffers.
+func (x *Execution) splitInto(external, internal, r rel.Rel) {
 	external.CopyFrom(r)
 	external.DiffInto(x.IntraThread)
-	internal = rel.New(x.N())
 	internal.CopyFrom(r)
 	internal.InterInto(x.IntraThread)
-	return external, internal
 }
 
 // deriveDependencies computes addr, data, ctrl and ctrl+cfence per Fig. 22:
@@ -433,11 +506,16 @@ func (x *Execution) deriveDependencies() {
 }
 
 // CtrlCfenceAll returns the union of ctrl+cfence over all control-fence
-// flavours (isync on Power, isb on ARM).
+// flavours (isync on Power, isb on ARM). After DeriveStatic the union is
+// cached on the skeleton and shared (callers must not mutate it); before
+// that it is computed afresh.
 func (x *Execution) CtrlCfenceAll() rel.Rel {
+	if x.hasCtrlCfenceAll {
+		return x.ctrlCfenceAll
+	}
 	out := rel.New(x.N())
 	for _, r := range x.CtrlCfence {
-		out = out.Union(r)
+		out.UnionInto(r)
 	}
 	return out
 }

@@ -1,0 +1,126 @@
+package exec_test
+
+// Tests for the zero-copy yield contract: candidates are backed by the
+// search's reusable arena slot, Clone produces standalone copies whose
+// content is identical to the in-place view, and a candidate retained past
+// its yield without cloning is detectably stale (Expired), never silently
+// corrupt-but-plausible.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"herdcats/internal/catalog"
+	"herdcats/internal/exec"
+)
+
+// dynFingerprint renders a candidate including every derived dynamic
+// relation, so a clone that shares (or mis-copies) any buffer with the
+// arena slot diverges from the in-place rendering.
+func dynFingerprint(c *exec.Candidate) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "state{%s}", c.State.Key(nil))
+	fmt.Fprintf(&b, " rf=%v co=%v fr=%v com=%v sw=%v", c.X.RF.Pairs(), c.X.CO.Pairs(),
+		c.X.FR.Pairs(), c.X.Com.Pairs(), c.X.SW.Pairs())
+	fmt.Fprintf(&b, " rfe=%v rfi=%v coe=%v coi=%v fre=%v fri=%v",
+		c.X.RFE.Pairs(), c.X.RFI.Pairs(), c.X.COE.Pairs(), c.X.COI.Pairs(),
+		c.X.FRE.Pairs(), c.X.FRI.Pairs())
+	return b.String()
+}
+
+// TestCloneMatchesInPlace: over the whole catalog, cloning every candidate
+// at yield time and reading the clones after the search reproduces exactly
+// the in-place per-candidate view — even though the arena slot behind the
+// originals has been overwritten thousands of times since.
+func TestCloneMatchesInPlace(t *testing.T) {
+	for _, e := range catalog.Tests() {
+		p, err := exec.Compile(e.Test())
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		var inPlace []string
+		var clones []*exec.Candidate
+		err = p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
+			inPlace = append(inPlace, dynFingerprint(c))
+			clones = append(clones, c.Clone())
+			return true
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if len(clones) == 0 {
+			t.Fatalf("%s: no candidates", e.Name)
+		}
+		for i, c := range clones {
+			if c.Expired() {
+				t.Fatalf("%s: clone %d reports Expired; clones must be standalone", e.Name, i)
+			}
+			if got := dynFingerprint(c); got != inPlace[i] {
+				t.Errorf("%s: candidate %d: clone diverges from in-place view\nin-place %s\nclone    %s",
+					e.Name, i, inPlace[i], got)
+			}
+		}
+	}
+}
+
+// TestRetainedCandidateExpires is the lifetime-violation detector: the slot
+// generation advances at every refill, so holding the yielded pointer past
+// its yield is observable instead of silently reading the next candidate's
+// data.
+func TestRetainedCandidateExpires(t *testing.T) {
+	p := compile(t, mpSrc)
+	var first, firstClone *exec.Candidate
+	n := 0
+	err := p.Search(context.Background(), exec.Request{}, func(c *exec.Candidate) bool {
+		if c.Expired() {
+			t.Error("live candidate reports Expired during its own yield")
+		}
+		if n == 0 {
+			first = c
+			firstClone = c.Clone()
+		}
+		n++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 2 {
+		t.Fatalf("mp enumerated %d candidates; the expiry check needs at least 2", n)
+	}
+	if !first.Expired() {
+		t.Error("candidate retained without Clone should report Expired once the slot moved on")
+	}
+	if firstClone.Expired() {
+		t.Error("cloned candidate must never expire")
+	}
+}
+
+// TestParallelYieldClonedOffSlot: on the parallel path the shard workers
+// clone before crossing the channel, so what the merger yields is already
+// slot-free — retaining it is safe and Expired stays false. (The contract
+// still tells callers to Clone; this pins the weaker invariant that the
+// parallel stream can never hand out a live slot from another goroutine.)
+func TestParallelYieldClonedOffSlot(t *testing.T) {
+	p := compile(t, mpSrc)
+	var kept []*exec.Candidate
+	var inPlace []string
+	err := p.Search(context.Background(), exec.Request{Workers: 4}, func(c *exec.Candidate) bool {
+		inPlace = append(inPlace, dynFingerprint(c))
+		kept = append(kept, c)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range kept {
+		if c.Expired() {
+			t.Fatalf("parallel-yielded candidate %d expired: a live shard slot crossed the channel", i)
+		}
+		if got := dynFingerprint(c); got != inPlace[i] {
+			t.Errorf("parallel-yielded candidate %d mutated after retention:\nthen %s\nnow  %s", i, inPlace[i], got)
+		}
+	}
+}

@@ -8,14 +8,17 @@ import (
 	"time"
 
 	"herdcats/internal/obs"
+	"herdcats/internal/rel"
 )
 
 // The enumeration of Sec. 3 is combinatorial: read-value vectors, rf maps
 // and per-location co orders multiply, and diy-generated corpora contain
 // tests whose candidate space exceeds any practical bound (the paper's
 // Tab. IV reports tests herd could not process). A Budget makes the search
-// interruptible: enumeration stops early, reporting the structured reason,
-// and every candidate yielded before the stop remains valid.
+// interruptible: enumeration stops early, reporting the structured reason.
+// Candidates are delivered under the zero-copy yield contract (see
+// Candidate): each is valid during its yield callback, and retained copies
+// must be taken with Clone.
 
 // ErrBudgetExceeded is the sentinel matched (with errors.Is) by every
 // budget-exhaustion error returned from EnumerateCtx.
@@ -137,12 +140,26 @@ type search struct {
 	stopped bool  // stop the recursion (user stop, budget, or cancel)
 	err     error // non-nil iff stopped abnormally
 	tick    uint  // throttle for the deadline/cancellation checks
+
+	slot *candSlot // lazily-built reusable candidate arena (see expand.go)
 }
 
-// flush publishes the search's private counters to an observability sink.
-// Counting privately and flushing once keeps the hot walk free of atomics;
-// a nil sink makes the whole call a branch.
-func (s *search) flush(sink *obs.EnumStats) {
+// candidateSlot returns the search's candidate arena, building it on first
+// use so searches that never reach a leaf (pruned away, canceled early)
+// pay nothing.
+func (s *search) candidateSlot() *candSlot {
+	if s.slot == nil {
+		s.slot = &candSlot{arena: rel.NewArena()}
+	}
+	return s.slot
+}
+
+// flush publishes the search's private counters to an observability sink
+// and an optional prune-statistics counter. Counting privately and
+// flushing once keeps the hot walk free of atomics; nil sinks make the
+// whole call a branch.
+func (s *search) flush(sink *obs.EnumStats, ps *PruneStats) {
+	ps.AddSubtrees(int64(s.pruned))
 	if sink == nil {
 		return
 	}

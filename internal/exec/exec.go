@@ -27,9 +27,49 @@ import (
 const addrBase = 0x1000
 
 // Candidate is one candidate execution with its observable final state.
+//
+// Ownership: a candidate delivered by Program.Search is backed by the
+// search's reusable arena slot and is valid only for the duration of the
+// yield callback — the next candidate is derived into the same buffers.
+// Callers that retain a candidate (or any relation reachable from X) past
+// their yield must take a Clone; a retained original is detectably stale
+// (Expired reports true) rather than silently corrupt.
 type Candidate struct {
 	X     *events.Execution
 	State *litmus.State
+
+	slot *candSlot // arena slot backing this candidate; nil for standalone copies
+	gen  uint64    // slot generation at emit time
+}
+
+// Clone returns a standalone deep copy of the candidate that stays valid
+// indefinitely. The skeleton state (events, po, iico, dependencies, fence
+// relations) is immutable and stays shared; the per-candidate relations
+// (rf, co and every dynamic derivation) and the final memory are copied.
+func (c *Candidate) Clone() *Candidate {
+	x := *c.X
+	x.RF = c.X.RF.Clone()
+	x.CO = c.X.CO.Clone()
+	x.FR = c.X.FR.Clone()
+	x.Com = c.X.Com.Clone()
+	x.SW = c.X.SW.Clone()
+	x.RFE, x.RFI = c.X.RFE.Clone(), c.X.RFI.Clone()
+	x.COE, x.COI = c.X.COE.Clone(), c.X.COI.Clone()
+	x.FRE, x.FRI = c.X.FRE.Clone(), c.X.FRI.Clone()
+	x.CloneDynamicCache()
+	st := &litmus.State{Regs: c.State.Regs, Mem: make(map[string]litmus.Value, len(c.State.Mem))}
+	for k, v := range c.State.Mem {
+		st.Mem[k] = v
+	}
+	return &Candidate{X: &x, State: st}
+}
+
+// Expired reports whether the arena slot backing this candidate has since
+// been reused for a later candidate, i.e. the holder violated the yield
+// lifetime without cloning. Standalone candidates (clones, hand-built ones)
+// never expire.
+func (c *Candidate) Expired() bool {
+	return c.slot != nil && c.slot.gen != c.gen
 }
 
 // Program is a compiled litmus test, ready for enumeration.
@@ -307,6 +347,8 @@ func (p *Program) threadTraces(s *search, tid int) ([]Trace, bool, error) {
 }
 
 // Candidates collects every candidate execution of a test (convenience).
+// Each candidate is cloned out of the search's arena slot, so the returned
+// slice stays valid indefinitely.
 func Candidates(t *litmus.Test) ([]*Candidate, error) {
 	p, err := Compile(t)
 	if err != nil {
@@ -314,7 +356,7 @@ func Candidates(t *litmus.Test) ([]*Candidate, error) {
 	}
 	var out []*Candidate
 	err = p.Search(context.Background(), Request{}, func(c *Candidate) bool {
-		out = append(out, c)
+		out = append(out, c.Clone())
 		return true
 	})
 	return out, err

@@ -393,27 +393,60 @@ func (w *walker) locAcyclic(li int) bool {
 	return true
 }
 
-// emitCandidate materialises the fully-decided assignment as a Candidate
-// and hands it to the search. The candidate shares the skeleton's event
-// structure and static derived state (AdoptStatic); only rf, co and the
-// dynamic derivation downstream of them are built per candidate.
+// candSlot is the reusable candidate arena of one search. Every candidate
+// the search yields is materialised into the same Execution and final
+// state, with the relation buffers drawn from (and recycled through) one
+// rel.Arena — steady-state emission allocates nothing but the small
+// Candidate header. The header is deliberately NOT part of the slot: it
+// carries the emit-time generation, and stamping it into reused memory
+// would overwrite a retained header's stamp, making Candidate.Expired
+// always agree with the slot. The generation counter advances at every
+// refill, so a candidate retained past its yield is detectably stale
+// instead of silently corrupt. A slot belongs to exactly one search
+// goroutine; the parallel path gives each shard worker its own search,
+// hence its own slot.
+type candSlot struct {
+	arena *rel.Arena
+	x     events.Execution
+	state litmus.State
+	gen   uint64
+}
+
+// emitCandidate materialises the fully-decided assignment into the search's
+// candidate slot and hands it to the search. The candidate shares the
+// skeleton's event structure and static derived state (AdoptStatic); only
+// rf, co and the dynamic derivation downstream of them are rebuilt, in
+// place, per candidate. The previous candidate's buffers are overwritten:
+// this is exactly the zero-copy yield contract documented on Candidate.
 func (w *walker) emitCandidate() {
 	e := w.e
 	e.staticOnce.Do(e.x.DeriveStatic)
-	cx := &events.Execution{
-		Events:   e.evs,
-		PO:       e.x.PO,
-		IICO:     e.x.IICO,
-		IICOAddr: e.x.IICOAddr,
-		IICOData: e.x.IICOData,
-		RFReg:    e.x.RFReg,
-		RF:       rel.New(e.n),
-		CO:       rel.New(e.n),
+	sl := w.s.candidateSlot()
+	cx := &sl.x
+	cx.Events = e.evs
+	cx.PO = e.x.PO
+	cx.IICO = e.x.IICO
+	cx.IICOAddr = e.x.IICOAddr
+	cx.IICOData = e.x.IICOData
+	cx.RFReg = e.x.RFReg
+	if cx.RF.N() != e.n {
+		// First candidate, or the universe size changed with the trace
+		// combination: draw fresh rf/co buffers (the arena re-anchors).
+		cx.RF = sl.arena.Get(e.n)
+		cx.CO = sl.arena.Get(e.n)
+	} else {
+		cx.RF.Clear()
+		cx.CO.Clear()
 	}
 	for i, r := range e.reads {
 		cx.RF.Add(w.rfPick[i], r)
 	}
-	finalMem := make(map[string]litmus.Value, len(e.p.locs))
+	if sl.state.Mem == nil {
+		sl.state.Mem = make(map[string]litmus.Value, len(e.p.locs))
+	}
+	// Every location is either single-write (baseMem) or ordered below, so
+	// each emission overwrites the full key set — no clearing needed.
+	finalMem := sl.state.Mem
 	for loc, v := range e.baseMem {
 		finalMem[loc] = v
 	}
@@ -427,6 +460,8 @@ func (w *walker) emitCandidate() {
 		finalMem[loc] = e.p.Decode(e.evs[order[len(order)-1]].Val)
 	}
 	cx.AdoptStatic(e.x)
-	cx.DeriveDynamic()
-	w.s.emit(&Candidate{X: cx, State: &litmus.State{Regs: e.finalRegs, Mem: finalMem}})
+	cx.DeriveDynamicInto(sl.arena)
+	sl.state.Regs = e.finalRegs
+	sl.gen++
+	w.s.emit(&Candidate{X: cx, State: &sl.state, slot: sl, gen: sl.gen})
 }

@@ -37,20 +37,29 @@ type Request struct {
 	// so the hot walk stays free of atomics; a nil sink costs one branch
 	// per flush point.
 	Obs *obs.EnumStats
+
+	// PruneStats, when non-nil, additionally receives the pruned-subtree
+	// count into a process-lifetime monotone counter (see PruneStats).
+	// Like Obs it is flushed once per search, never from the hot walk.
+	PruneStats *PruneStats
 }
 
 // Search enumerates every candidate execution of the compiled program
 // under req, handing each to yield (return false to stop early). The
 // search stops as soon as ctx is canceled (within one yield) or a Budget
 // bound trips, returning an error matching ErrCanceled or
-// ErrBudgetExceeded; candidates yielded before the stop are fully derived
-// and remain valid, so callers can report a partial outcome.
+// ErrBudgetExceeded.
+//
+// Candidates are delivered zero-copy: each *Candidate is backed by the
+// search's reusable arena slot and is valid only for the duration of its
+// yield call. Consume it in place, or take Candidate.Clone to retain it;
+// a retained original reports Expired once the slot moves on.
 func (p *Program) Search(ctx context.Context, req Request, yield func(*Candidate) bool) error {
 	if req.Workers > 1 {
 		return p.enumerateParallel(ctx, req, yield)
 	}
 	s := newSearch(ctx, req.Budget, yield)
-	defer s.flush(req.Obs)
+	defer s.flush(req.Obs, req.PruneStats)
 	if !s.alive(true) { // already canceled or expired before the search starts
 		return s.err
 	}
@@ -160,7 +169,7 @@ func comboChoice(allTraces [][]Trace, ci int, choice []int) {
 // cap, which no shard can exceed usefully.
 func (p *Program) enumerateParallel(ctx context.Context, req Request, yield func(*Candidate) bool) error {
 	ms := newSearch(ctx, req.Budget, yield) // the merger's search: budget + yield
-	defer ms.flush(req.Obs)
+	defer ms.flush(req.Obs, req.PruneStats)
 	if !ms.alive(true) {
 		return ms.err
 	}
@@ -186,6 +195,8 @@ func (p *Program) enumerateParallel(ctx context.Context, req Request, yield func
 		seq := req
 		seq.Workers = 1
 		seq.Obs = nil // this search's counters flush through ms
+		// seq keeps req.PruneStats: only the sequential search's walkers
+		// prune here (ms runs none), so there is no double count.
 		return p.Search(ctx, seq, yield)
 	}
 
@@ -348,8 +359,14 @@ func (p *Program) runShard(ctx context.Context, deadline time.Time, req Request,
 		deadline: deadline,
 	}
 	ws.yield = func(c *Candidate) bool {
+		// The slot behind c is refilled the moment this yield returns, but
+		// the merger consumes from the buffered channel asynchronously:
+		// crossing the goroutine boundary requires a standalone copy. This
+		// is the one Clone on the parallel path; the merger then yields the
+		// clone zero-copy to the caller.
+		cc := c.Clone()
 		select {
-		case sh.out <- c:
+		case sh.out <- cc:
 			return true
 		case <-ctx.Done():
 			ws.halt(&CancelError{Cause: context.Cause(ctx), Candidates: ws.cands})
@@ -359,6 +376,7 @@ func (p *Program) runShard(ctx context.Context, deadline time.Time, req Request,
 	defer func() {
 		req.Obs.AddShardsRun(1)
 		req.Obs.AddPruned(ws.pruned)
+		req.PruneStats.AddSubtrees(int64(ws.pruned))
 	}()
 	if !ws.alive(true) {
 		return ws.err

@@ -1,5 +1,35 @@
 package exec
 
+import "sync/atomic"
+
+// PruneStats counts the decision subtrees rejected by early pruning,
+// aggregated across any number of searches (and, within a search, across
+// shard workers). Unlike obs.EnumStats — which one enumeration flushes and
+// a caller reads back per run — PruneStats is a monotone process-lifetime
+// counter, suitable for export as a Prometheus-style metric (the herdd
+// /metrics endpoint surfaces it as enum_pruned_subtrees_total). Searches
+// accumulate privately and flush once, so the counter costs one atomic add
+// per search, not per prune. A nil *PruneStats is a valid no-op sink.
+type PruneStats struct {
+	subtrees atomic.Int64
+}
+
+// AddSubtrees adds n rejected subtrees to the counter. Safe on nil.
+func (p *PruneStats) AddSubtrees(n int64) {
+	if p == nil || n == 0 {
+		return
+	}
+	p.subtrees.Add(n)
+}
+
+// Subtrees returns the total rejected subtrees. Safe on nil (returns 0).
+func (p *PruneStats) Subtrees() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.subtrees.Load()
+}
+
 // Prune selects the level of early SC-per-location pruning applied during
 // enumeration (Sec. 4.1/4.7 of the paper). The SC PER LOCATION axiom —
 // acyclic(po-loc ∪ com) — is per-location by construction: every edge of

@@ -1,0 +1,54 @@
+package litmus
+
+import "testing"
+
+// TestStateKeyerMatchesKey pins the allocation-free keyer to State.Key:
+// byte-identical rendering over register/memory atoms, address values,
+// negative integers, missing entries and repeated (buffer-reusing) calls.
+func TestStateKeyerMatchesKey(t *testing.T) {
+	cond := &And{
+		L: &AtomReg{Key: RegKey{Tid: 1, Reg: "r5"}, Val: Value{Int: 1}},
+		R: &Or{
+			L: &AtomMem{Loc: "x", Val: Value{Int: -3}},
+			R: &Not{X: &AtomReg{Key: RegKey{Tid: 0, Reg: "r2"}, Val: Value{Loc: "y"}}},
+		},
+	}
+	k := NewStateKeyer(cond)
+	states := []*State{
+		{
+			Regs: map[RegKey]Value{{Tid: 1, Reg: "r5"}: {Int: 1}, {Tid: 0, Reg: "r2"}: {Loc: "y"}},
+			Mem:  map[string]Value{"x": {Int: -3}, "y": {Int: 7}},
+		},
+		{Regs: map[RegKey]Value{}, Mem: map[string]Value{}},
+		{
+			Regs: map[RegKey]Value{{Tid: 1, Reg: "r5"}: {Int: -12345}},
+			Mem:  map[string]Value{"x": {Loc: "x"}},
+		},
+	}
+	for i, s := range states {
+		want := s.Key(cond)
+		for rep := 0; rep < 3; rep++ {
+			if got := string(k.AppendKey(s)); got != want {
+				t.Fatalf("state %d rep %d: AppendKey = %q, want %q", i, rep, got, want)
+			}
+		}
+	}
+}
+
+// TestStateKeyerWarmAllocs: after the first render has grown the buffer,
+// AppendKey allocates nothing.
+func TestStateKeyerWarmAllocs(t *testing.T) {
+	cond := &And{
+		L: &AtomReg{Key: RegKey{Tid: 0, Reg: "r1"}, Val: Value{Int: 1}},
+		R: &AtomMem{Loc: "x", Val: Value{Int: 2}},
+	}
+	k := NewStateKeyer(cond)
+	s := &State{
+		Regs: map[RegKey]Value{{Tid: 0, Reg: "r1"}: {Int: 1}},
+		Mem:  map[string]Value{"x": {Int: 2}},
+	}
+	k.AppendKey(s)
+	if n := testing.AllocsPerRun(100, func() { k.AppendKey(s) }); n != 0 {
+		t.Errorf("warm AppendKey allocates %v/op, want 0", n)
+	}
+}

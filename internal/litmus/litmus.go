@@ -27,6 +27,7 @@ package litmus
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -180,6 +181,72 @@ func collectVars(c Cond, out map[string]bool) {
 	case *Not:
 		collectVars(c.X, out)
 	}
+}
+
+// StateKeyer renders State keys for one fixed condition without per-call
+// allocations: the variable set, its sort order and the register lookups
+// are resolved once, and every key is built into one reusable buffer. The
+// simulator's check loop visits tens of thousands of final states per test;
+// State.Key's per-call map, sort and Builder were a measurable slice of
+// that loop. The rendering is byte-identical to State.Key(cond).
+type StateKeyer struct {
+	names []string // sorted variable names
+	reg   []RegKey // parallel: the register key when isReg
+	isReg []bool
+	buf   []byte
+}
+
+// NewStateKeyer prepares a keyer for the given condition; cond must be
+// non-nil (with a nil condition the variable set depends on the state, so
+// there is no fixed layout to precompute — use State.Key directly).
+func NewStateKeyer(cond Cond) *StateKeyer {
+	vars := map[string]bool{}
+	collectVars(cond, vars)
+	k := &StateKeyer{names: make([]string, 0, len(vars))}
+	for v := range vars {
+		k.names = append(k.names, v)
+	}
+	sort.Strings(k.names)
+	k.reg = make([]RegKey, len(k.names))
+	k.isReg = make([]bool, len(k.names))
+	for i, name := range k.names {
+		if tid, reg, ok := splitRegVar(name); ok {
+			k.reg[i] = RegKey{Tid: tid, Reg: reg}
+			k.isReg[i] = true
+		}
+	}
+	return k
+}
+
+// AppendKey renders s's key into the keyer's reusable buffer and returns
+// it. The bytes are valid only until the next call; callers that keep the
+// key convert to string (map inserts do this implicitly).
+func (k *StateKeyer) AppendKey(s *State) []byte {
+	b := k.buf[:0]
+	for i, name := range k.names {
+		if i > 0 {
+			b = append(b, ';', ' ')
+		}
+		b = append(b, name...)
+		b = append(b, '=')
+		var v Value
+		if k.isReg[i] {
+			v = s.Regs[k.reg[i]]
+		} else {
+			v = s.Mem[name]
+		}
+		b = v.append(b)
+	}
+	k.buf = b
+	return b
+}
+
+// append renders the value onto b without allocating.
+func (v Value) append(b []byte) []byte {
+	if v.Loc != "" {
+		return append(b, v.Loc...)
+	}
+	return strconv.AppendInt(b, int64(v.Int), 10)
 }
 
 func splitRegVar(name string) (tid int, reg string, ok bool) {

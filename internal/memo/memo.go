@@ -155,6 +155,11 @@ type Options struct {
 	// enumeration happens). herdd points this at its process-wide stats
 	// so /metrics reports candidates and prune rejections.
 	Obs *obs.EnumStats
+	// PruneStats, when non-nil, receives every simulation's pruned-subtree
+	// count into a process-lifetime monotone counter
+	// (exec.Request.PruneStats); herdd exports it as
+	// herdd_enum_pruned_subtrees_total.
+	PruneStats *exec.PruneStats
 }
 
 // call is one in-flight simulation; waiters block on done.
@@ -368,7 +373,7 @@ func (c *Cache) simulate(ctx context.Context, req Request) (*sim.Outcome, error)
 		Program: p,
 		Checker: req.Model,
 		Budget:  req.Budget,
-		Options: sim.Options{Workers: c.opts.Workers, Prune: c.opts.Prune},
+		Options: sim.Options{Workers: c.opts.Workers, Prune: c.opts.Prune, PruneStats: c.opts.PruneStats},
 		Obs:     tr,
 	})
 	c.opts.Obs.Merge(tr.Enum().Snapshot())

@@ -84,7 +84,22 @@ func TestKernelsMatchPure(t *testing.T) {
 		d.CopyFrom(a)
 		d.Clear()
 		check("Clear", d, New(n))
+
+		d.CopyFrom(b) // pre-dirty: InverseInto must fully overwrite
+		d.InverseInto(a)
+		check("InverseInto", d, a.Inverse())
 	}
+}
+
+func TestInverseIntoAliasPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InverseInto with aliased destination did not panic")
+		}
+	}()
+	a := New(4)
+	a.Add(0, 1)
+	a.InverseInto(a)
 }
 
 func TestSeqIntoAliasPanics(t *testing.T) {

@@ -198,6 +198,26 @@ func (r Rel) SeqInto(a, b Rel) {
 	}
 }
 
+// InverseInto overwrites r with s⁻¹, i.e. {(j,i) | (i,j) ∈ s}. r must not
+// alias s (the transposition reads s while writing r).
+func (r Rel) InverseInto(s Rel) {
+	r.sameUniverse(s)
+	if len(r.bits) > 0 && &r.bits[0] == &s.bits[0] {
+		panic("rel: InverseInto destination aliases the operand")
+	}
+	r.Clear()
+	for i := 0; i < s.n; i++ {
+		row := s.row(i)
+		for w, word := range row {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				r.Add(w*wordBits+b, i)
+			}
+		}
+	}
+}
+
 // PlusInPlace replaces r with its transitive closure r⁺ (Floyd–Warshall).
 func (r Rel) PlusInPlace() {
 	for k := 0; k < r.n; k++ {

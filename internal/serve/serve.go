@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"herdcats/internal/exec"
 	"herdcats/internal/memo"
 	"herdcats/internal/obs"
 )
@@ -103,9 +104,10 @@ type Server struct {
 	mux   *http.ServeMux
 	http  *http.Server
 
-	reg  *obs.Registry  // /metrics exposition
-	enum *obs.EnumStats // process-wide enumeration counters (via memo)
-	adm  *admission     // concurrency slots + bounded queue + shedding
+	reg   *obs.Registry    // /metrics exposition
+	enum  *obs.EnumStats   // process-wide enumeration counters (via memo)
+	prune *exec.PruneStats // process-lifetime pruned-subtree counter (via memo)
+	adm   *admission       // concurrency slots + bounded queue + shedding
 
 	requests atomic.Int64 // requests completed
 	errors   atomic.Int64 // requests answered with a 4xx/5xx status
@@ -114,10 +116,10 @@ type Server struct {
 
 // New builds a server and registers its expvar and /metrics instruments.
 func New(cfg Config) *Server {
-	s := &Server{cfg: cfg, reg: obs.NewRegistry(), enum: &obs.EnumStats{}}
+	s := &Server{cfg: cfg, reg: obs.NewRegistry(), enum: &obs.EnumStats{}, prune: &exec.PruneStats{}}
 	s.adm = newAdmission(cfg, s.reg)
 	s.cache = memo.NewWithOptions(cfg.CacheEntries,
-		memo.Options{Workers: cfg.EnumWorkers, Prune: cfg.Prune, Obs: s.enum})
+		memo.Options{Workers: cfg.EnumWorkers, Prune: cfg.Prune, Obs: s.enum, PruneStats: s.prune})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -156,6 +158,7 @@ func (s *Server) registerMetrics() {
 	r := s.reg
 	r.CounterFunc("herdd_enum_candidates_total", func() uint64 { return s.enum.Snapshot().Candidates })
 	r.CounterFunc("herdd_enum_pruned_total", func() uint64 { return s.enum.Snapshot().Pruned })
+	r.CounterFunc("herdd_enum_pruned_subtrees_total", func() uint64 { return uint64(s.prune.Subtrees()) })
 	r.CounterFunc("herdd_enum_shards_built_total", func() uint64 { return s.enum.Snapshot().ShardsBuilt })
 	r.CounterFunc("herdd_enum_shards_run_total", func() uint64 { return s.enum.Snapshot().ShardsRun })
 	r.GaugeFunc("herdd_enum_workers", func() int64 { return int64(s.enum.Snapshot().Workers) })

@@ -60,6 +60,11 @@ type Options struct {
 	// OK, but Candidates shrinks and uniproc violations disappear from
 	// FailedBy: the rejected candidates are never built.
 	Prune bool
+
+	// PruneStats, when non-nil, receives the pruned-subtree count into a
+	// process-lifetime monotone counter (exec.Request.PruneStats) — the
+	// herdd server threads its /metrics counter through here.
+	PruneStats *exec.PruneStats
 }
 
 // Request is everything one simulation needs — the single entry point
@@ -114,9 +119,10 @@ func Simulate(ctx context.Context, req Request) (*Outcome, error) {
 		}
 	}
 	er := exec.Request{
-		Budget:  req.Budget,
-		Workers: req.Options.Workers,
-		Obs:     req.Obs.Enum(),
+		Budget:     req.Budget,
+		Workers:    req.Options.Workers,
+		Obs:        req.Obs.Enum(),
+		PruneStats: req.Options.PruneStats,
 	}
 	if req.Options.Prune {
 		er.Prune = PruneLevelFor(req.Checker)
@@ -143,6 +149,22 @@ func Simulate(ctx context.Context, req Request) (*Outcome, error) {
 	traced := req.Obs != nil
 	var checkNS int64
 	var evalErr error
+
+	// Final-state histogram scratch. With a condition present the variable
+	// layout is fixed, so a StateKeyer renders each key into one reusable
+	// buffer; counts go through *int cells so a warm hit costs zero
+	// allocations (the string([]byte) map lookup does not materialise the
+	// string, and the cell is updated through the pointer instead of a
+	// rewrite of the map entry). Folded into out.States after the search.
+	// A nil condition means the variable set depends on the state itself
+	// (registers differ across trace choices), so no fixed layout exists
+	// and State.Key stays the fallback.
+	var keyer *litmus.StateKeyer
+	if p.Test.Cond != nil {
+		keyer = litmus.NewStateKeyer(p.Test.Cond)
+	}
+	stateCount := map[string]*int{}
+
 	stopEnum := req.Obs.Phase(obs.PhaseEnumerate)
 	err := p.Search(ctx, er, func(c *exec.Candidate) bool {
 		out.Candidates++
@@ -168,7 +190,18 @@ func Simulate(ctx context.Context, req Request) (*Outcome, error) {
 			return true
 		}
 		out.Valid++
-		out.States[c.State.Key(p.Test.Cond)]++
+		if keyer != nil {
+			k := keyer.AppendKey(c.State)
+			if cell, ok := stateCount[string(k)]; ok {
+				*cell++
+			} else {
+				cell = new(int)
+				*cell = 1
+				stateCount[string(k)] = cell
+			}
+		} else {
+			out.States[c.State.Key(nil)]++
+		}
 		sat := p.Test.Cond == nil || p.Test.Cond.Eval(c.State)
 		if sat {
 			out.CondObserved = true
@@ -178,6 +211,9 @@ func Simulate(ctx context.Context, req Request) (*Outcome, error) {
 		return true
 	})
 	stopEnum()
+	for k, cell := range stateCount {
+		out.States[k] = *cell
+	}
 	if traced {
 		req.Obs.Observe(obs.PhaseCheck, time.Duration(checkNS))
 	}
