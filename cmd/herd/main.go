@@ -8,6 +8,7 @@
 //	herd [-model power|sc|tso|arm|arm-llh|power-arm] test.litmus...
 //	herd -cat mymodel.cat test.litmus...
 //	herd -j 8 -enum-workers 4 -prune -timeout 2s -max-candidates 100000 -json tests/*.litmus
+//	herd -server http://gw:8786 [-stream] [-tenant team] tests/*.litmus
 //	herd -list-models
 //
 // "Given a specification of a model, the tool becomes a simulator for that
@@ -52,6 +53,9 @@ func main() {
 	contOnErr := flag.Bool("continue-on-error", true, "keep simulating remaining tests after a test errors or panics")
 	jsonOut := flag.Bool("json", false, "emit the machine-readable campaign report on stdout")
 	stats := flag.Bool("stats", false, "print a per-test phase breakdown (compile/enumerate/check/verdict, candidates, pruning) and batch totals")
+	server := flag.String("server", "", "run the batch on a herdd or herd-gw base URL instead of simulating locally")
+	stream := flag.Bool("stream", false, "with -server: stream verdicts over NDJSON, printing each as it is produced")
+	tenant := flag.String("tenant", "", "with -server: X-Tenant quota account to charge the batch to")
 	flag.Parse()
 
 	if *list {
@@ -61,6 +65,24 @@ func main() {
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "herd: no litmus files given")
 		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *server != "" {
+		os.Exit(runRemote(remoteOpts{
+			server:  *server,
+			tenant:  *tenant,
+			stream:  *stream,
+			jsonOut: *jsonOut,
+			verbose: *verbose,
+			model:   *model,
+			catFile: *catFile,
+			timeout: *timeout,
+			maxCand: *maxCand,
+		}, flag.Args()))
+	}
+	if *stream {
+		fmt.Fprintln(os.Stderr, "herd: -stream requires -server")
 		os.Exit(2)
 	}
 
@@ -214,30 +236,36 @@ func errorJob(path string, err error) campaign.Job {
 // format; failures go to stderr.
 func printReport(rep *campaign.Report, verbose bool) {
 	for _, res := range rep.Jobs {
-		switch res.Status {
-		case campaign.StatusError, campaign.StatusPanicked, campaign.StatusSkipped:
-			fmt.Fprintf(os.Stderr, "herd: %s: %s: %s\n", res.Name, res.Status, res.Reason)
-			continue
-		}
-		if verbose && res.Outcome != nil {
-			fmt.Print(res.Outcome)
-			continue
-		}
-		verdict := "Forbidden"
-		if res.Status == campaign.StatusOK {
-			verdict = "Allowed"
-		}
-		note := ""
-		if res.Status == campaign.StatusIncomplete {
-			verdict = "Allowed?" // lower bound: unexplored candidates remain
-			if res.Outcome == nil || !res.Outcome.Allowed() {
-				verdict = "Unknown"
-			}
-			note = fmt.Sprintf("  Incomplete: %s", res.Reason)
-		}
-		fmt.Printf("%-40s %s  %-9s (%d/%d executions valid)%s\n",
-			res.Name, res.Model, verdict, res.Valid, res.Candidates, note)
+		printJob(res, verbose)
 	}
+}
+
+// printJob renders one test's row — also the unit the -stream mode
+// prints as each frame arrives.
+func printJob(res campaign.JobResult, verbose bool) {
+	switch res.Status {
+	case campaign.StatusError, campaign.StatusPanicked, campaign.StatusSkipped:
+		fmt.Fprintf(os.Stderr, "herd: %s: %s: %s\n", res.Name, res.Status, res.Reason)
+		return
+	}
+	if verbose && res.Outcome != nil {
+		fmt.Print(res.Outcome)
+		return
+	}
+	verdict := "Forbidden"
+	if res.Status == campaign.StatusOK {
+		verdict = "Allowed"
+	}
+	note := ""
+	if res.Status == campaign.StatusIncomplete {
+		verdict = "Allowed?" // lower bound: unexplored candidates remain
+		if res.Outcome == nil || !res.Outcome.Allowed() {
+			verdict = "Unknown"
+		}
+		note = fmt.Sprintf("  Incomplete: %s", res.Reason)
+	}
+	fmt.Printf("%-40s %s  %-9s (%d/%d executions valid)%s\n",
+		res.Name, res.Model, verdict, res.Valid, res.Candidates, note)
 }
 
 // printStats renders each traced test's phase breakdown, then the batch

@@ -1,0 +1,117 @@
+package main
+
+// The -server client mode: cmd/herd as a thin client of herdd or
+// herd-gw. The files still parse and simulate with the exact same
+// semantics — just on the service's warm caches instead of this
+// process — and -stream switches the transfer to the NDJSON wire so
+// verdicts print as they are produced rather than when the whole batch
+// lands.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"herdcats/internal/campaign"
+	"herdcats/internal/fleet"
+	"herdcats/internal/wire"
+)
+
+type remoteOpts struct {
+	server  string
+	tenant  string
+	stream  bool
+	jsonOut bool
+	verbose bool
+	model   string
+	catFile string
+	timeout time.Duration
+	maxCand int
+}
+
+// runRemote sends the files as one batch and returns the process exit
+// status (nonzero iff some test failed outright, matching local runs).
+func runRemote(opts remoteOpts, paths []string) int {
+	spec := wire.ModelSpec{Name: opts.model}
+	if opts.catFile != "" {
+		data, err := os.ReadFile(opts.catFile)
+		if err != nil {
+			fatal(err)
+		}
+		spec = wire.ModelSpec{Cat: string(data)}
+	}
+	tests := make([]string, len(paths))
+	for i, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			fatal(err)
+		}
+		tests[i] = string(data)
+	}
+	req := wire.BatchRequest{
+		Tests:   tests,
+		Model:   spec,
+		Budget:  wire.BudgetSpec{MaxCandidates: opts.maxCand, TimeoutMS: opts.timeout.Milliseconds()},
+		Ordered: true,
+	}
+	ctx := wire.WithTenant(context.Background(), opts.tenant)
+	client := fleet.NewClient(opts.server, fleet.Policy{}, nil)
+
+	if !opts.stream {
+		resp, err := client.Batch(ctx, req)
+		if err != nil {
+			fatal(err)
+		}
+		if opts.jsonOut {
+			if err := resp.Report.WriteJSON(os.Stdout); err != nil {
+				fatal(err)
+			}
+		} else {
+			printReport(resp.Report, opts.verbose)
+		}
+		if resp.Report.Failures() > 0 || resp.Report.Counts[campaign.StatusSkipped] > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	exit := 0
+	err := client.BatchStream(ctx, req, func(frame any) error {
+		if opts.jsonOut {
+			// NDJSON in, NDJSON out: each frame passes through as one
+			// stdout line, heartbeats dropped.
+			if _, hb := frame.(*wire.HeartbeatFrame); hb {
+				return nil
+			}
+			buf, err := json.Marshal(frame)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(buf))
+			return nil
+		}
+		switch f := frame.(type) {
+		case *wire.ResultFrame:
+			printJob(f.Result, opts.verbose)
+			if f.Result.Failed() || f.Result.Status == campaign.StatusSkipped {
+				exit = 1
+			}
+		case *wire.ErrorFrame:
+			exit = 1
+			if f.Index >= 0 && f.Index < len(paths) {
+				fmt.Fprintf(os.Stderr, "herd: %s: %s: %s\n", paths[f.Index], f.Error.Code, f.Error.Message)
+			} else {
+				fmt.Fprintf(os.Stderr, "herd: stream: %s: %s\n", f.Error.Code, f.Error.Message)
+			}
+		case *wire.SummaryFrame:
+			fmt.Fprintf(os.Stderr, "herd: %d tests, %d cache hits, %dms\n", f.Tests, f.CacheHits, f.ElapsedMS)
+		}
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	return exit
+}

@@ -10,6 +10,7 @@
 //	herdd [-addr :8787] [-j 0] [-enum-workers 1] [-prune]
 //	      [-cache-entries 4096] [-timeout 30s]
 //	      [-max-concurrent 0] [-max-queue 64] [-max-queue-wait 1s]
+//	      [-tenant-rate 0] [-tenant-burst 0] [-heartbeat 10s]
 //
 // Endpoints and the wire format are documented in README.md ("herdd: the
 // verdict service"). Observability: GET /metrics serves the Prometheus
@@ -46,6 +47,9 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 0, "simulations admitted at once across all requests (0 = 2x GOMAXPROCS, floor 4); cache hits bypass admission")
 	maxQueue := flag.Int("max-queue", 0, "requests allowed to wait for an admission slot before shedding with 429 (0 = 64)")
 	maxQueueWait := flag.Duration("max-queue-wait", 0, "longest one request may wait for a slot before shedding with 429 + Retry-After (0 = 1s)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant simulation admissions per second (token bucket keyed by X-Tenant; 0 = no per-tenant quota)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant burst size (0 = max(1, ceil(tenant-rate)))")
+	heartbeat := flag.Duration("heartbeat", 0, "idle interval between heartbeat frames on NDJSON batch streams (0 = 10s)")
 	flag.Parse()
 
 	ew := *enumWorkers
@@ -53,14 +57,17 @@ func main() {
 		ew = runtime.GOMAXPROCS(0)
 	}
 	srv := serve.New(serve.Config{
-		Workers:       *workers,
-		CacheEntries:  *cacheEntries,
-		MaxSimTimeout: *timeout,
-		EnumWorkers:   ew,
-		Prune:         *prune,
-		MaxConcurrent: *maxConcurrent,
-		MaxQueue:      *maxQueue,
-		MaxQueueWait:  *maxQueueWait,
+		Workers:           *workers,
+		CacheEntries:      *cacheEntries,
+		MaxSimTimeout:     *timeout,
+		EnumWorkers:       ew,
+		Prune:             *prune,
+		MaxConcurrent:     *maxConcurrent,
+		MaxQueue:          *maxQueue,
+		MaxQueueWait:      *maxQueueWait,
+		TenantRate:        *tenantRate,
+		TenantBurst:       *tenantBurst,
+		HeartbeatInterval: *heartbeat,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -55,7 +55,7 @@ type Job struct {
 	Test  *litmus.Test
 	Model sim.Checker
 
-	// Run, when set, replaces the default sim.RunOptsCtx(Test, Model)
+	// Run, when set, replaces the default sim.Simulate(Test, Model)
 	// body. It must honour ctx and the budget (incomplete work is
 	// reported via Outcome.Incomplete, hard failures via the error).
 	Run func(ctx context.Context, b exec.Budget) (*sim.Outcome, error)
@@ -103,6 +103,15 @@ type Config struct {
 	// aggregate phase totals into the Report. Off by default: tracing is
 	// cheap but not free, and large campaigns produce large reports.
 	Trace bool
+
+	// OnResult, when set, delivers each job's final result the moment it
+	// settles — the incremental-delivery hook the streaming batch API is
+	// built on. It is called from the worker goroutine that ran the job,
+	// in completion order (not job order), once per job that the pool
+	// started; jobs the pool never ran appear only in the final Report,
+	// classified Skipped. The callback must be safe for concurrent calls
+	// and should return quickly: a slow consumer stalls its worker.
+	OnResult func(index int, res JobResult)
 }
 
 func (c Config) retries() int {
@@ -256,6 +265,9 @@ func Run(ctx context.Context, cfg Config, jobs []Job) *Report {
 	results := make([]JobResult, len(jobs))
 	_ = ForEach(ctx, cfg.Workers, len(jobs), func(ctx context.Context, i int) error {
 		results[i] = runJob(ctx, cfg, jobs[i])
+		if cfg.OnResult != nil {
+			cfg.OnResult(i, results[i])
+		}
 		if cfg.StopOnError && results[i].Failed() {
 			return errStop
 		}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
-	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -13,6 +12,8 @@ import (
 	"herdcats/internal/campaign"
 	"herdcats/internal/fleet/faultproxy"
 	"herdcats/internal/serve"
+	"herdcats/internal/testleak"
+	"herdcats/internal/wire"
 )
 
 // chaosTests generates n store-buffering variants whose tso verdicts are
@@ -51,7 +52,7 @@ func TestChaosBatchSurvivesFaults(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos batch takes tens of seconds")
 	}
-	baseline := runtime.NumGoroutine()
+	leakCheck := testleak.Baseline()
 
 	// Three real herdd backends, each behind its own fault proxy. The
 	// gateway only ever sees the proxied addresses.
@@ -176,15 +177,144 @@ func TestChaosBatchSurvivesFaults(t *testing.T) {
 	}
 	transport.CloseIdleConnections()
 	http.DefaultTransport.(*http.Transport).CloseIdleConnections()
-	leakDeadline := time.Now().Add(10 * time.Second)
-	for {
-		runtime.GC()
-		if n := runtime.NumGoroutine(); n <= baseline+3 {
-			break
-		} else if time.Now().After(leakDeadline) {
-			buf := make([]byte, 1<<20)
-			t.Fatalf("goroutine leak: %d running, baseline %d\n%s", n, baseline, buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(50 * time.Millisecond)
+	leakCheck(t)
+}
+
+// TestChaosStreamingBatchSurvivesFaults is the streaming analogue: the
+// same fault schedule — one backend degraded with +500ms latency and a
+// 5% 5xx burst, another killed mid-batch — but the batch travels the
+// NDJSON wire through the gateway's stream fan-out. Every index must
+// receive exactly one frame with the correct verdict, no error or
+// skipped rows, a single terminal summary, and teardown must leak no
+// goroutines. (`make chaos-smoke` picks this up via -run 'TestChaos'.)
+func TestChaosStreamingBatchSurvivesFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streaming chaos batch takes tens of seconds")
 	}
+	leakCheck := testleak.Baseline()
+
+	const nBackends = 3
+	proxies := make([]*faultproxy.Proxy, nBackends)
+	backendURLs := make([]string, nBackends)
+	var servers []*httptest.Server
+	transport := &http.Transport{}
+	defer transport.CloseIdleConnections()
+	for i := 0; i < nBackends; i++ {
+		srv := serve.New(serve.Config{})
+		up := httptest.NewServer(srv.Handler())
+		defer up.Close()
+		p, err := faultproxy.New(up.URL, uint64(2000+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		proxies[i] = p
+		front := httptest.NewServer(p)
+		defer front.Close()
+		servers = append(servers, up, front)
+		backendURLs[i] = front.URL
+	}
+
+	gw, err := NewGateway(GatewayConfig{
+		Backends:          backendURLs,
+		Policy:            Policy{MaxAttempts: 3, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 100 * time.Millisecond, Timeout: 15 * time.Second},
+		ProbeInterval:     250 * time.Millisecond,
+		BreakerThreshold:  2,
+		BreakerCooldown:   300 * time.Millisecond,
+		BatchWorkers:      16,
+		HeartbeatInterval: time.Second,
+		HTTPClient:        &http.Client{Transport: transport},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	gwFront := httptest.NewServer(gw.Handler())
+	defer gwFront.Close()
+	client := NewClient(gwFront.URL, Policy{MaxAttempts: 1}, &http.Client{Transport: transport})
+
+	// Streaming collapses a whole group onto one request, so the error
+	// rate is higher than the buffered chaos test's 5% — otherwise the
+	// handful of stream POSTs and fallback runs would rarely draw a 503.
+	proxies[1].SetLatency(500 * time.Millisecond)
+	proxies[1].SetErrorRate(0.25)
+
+	const nTests = 240
+	tests, wantOK := chaosTests(nTests)
+
+	// The kill fires from inside the frame callback — by construction the
+	// batch is still in flight when a quarter of the verdicts are home.
+	results := make([]*campaign.JobResult, nTests)
+	var summaries int
+	var delivered int
+	killed := false
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	err = client.BatchStream(ctx, wire.BatchRequest{
+		Tests: tests,
+		Model: wire.ModelSpec{Name: "tso"},
+	}, func(frame any) error {
+		switch f := frame.(type) {
+		case *wire.ResultFrame:
+			if f.Index < 0 || f.Index >= nTests {
+				t.Errorf("result frame for out-of-range index %d", f.Index)
+				return nil
+			}
+			if results[f.Index] != nil {
+				t.Errorf("index %d delivered twice", f.Index)
+				return nil
+			}
+			r := f.Result
+			results[f.Index] = &r
+			delivered++
+			if !killed && delivered >= nTests/4 {
+				proxies[2].Kill()
+				killed = true
+			}
+		case *wire.ErrorFrame:
+			t.Errorf("error frame for index %d under chaos: %+v", f.Index, f.Error)
+		case *wire.SummaryFrame:
+			summaries++
+			if f.Tests != nTests {
+				t.Errorf("summary covers %d tests, want %d", f.Tests, nTests)
+			}
+			if n := f.Counts[campaign.StatusError] + f.Counts[campaign.StatusSkipped]; n != 0 {
+				t.Errorf("summary reports %d errored/skipped rows, want 0", n)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("streaming batch failed: %v", err)
+	}
+	if !killed {
+		t.Fatal("stream finished before the mid-batch kill fired — the kill path was never exercised")
+	}
+	if summaries != 1 {
+		t.Fatalf("stream carried %d summary frames, want exactly 1", summaries)
+	}
+	for i, r := range results {
+		if r == nil {
+			t.Errorf("index %d never received a frame", i)
+			continue
+		}
+		want := campaign.StatusForbidden
+		if wantOK[i] {
+			want = campaign.StatusOK
+		}
+		if r.Status != want {
+			t.Errorf("row %d (%s): status %s (reason %q), want %s", i, r.Name, r.Status, r.Reason, want)
+		}
+	}
+	if injected := proxies[1].Injected(); injected == 0 {
+		t.Error("the degraded backend never injected a 503 — the 5xx burst path was not exercised")
+	}
+
+	gw.Close()
+	gwFront.Close()
+	for _, s := range servers {
+		s.Close()
+	}
+	transport.CloseIdleConnections()
+	http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+	leakCheck(t)
 }

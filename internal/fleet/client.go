@@ -14,7 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"herdcats/internal/serve"
+	"herdcats/internal/wire"
 )
 
 // Policy tunes the client's resilience behaviour. The zero value retries
@@ -91,6 +91,11 @@ type Error struct {
 	Code   string // error-envelope code when the body carried one
 	Msg    string
 	Cause  error // underlying transport error, when any
+
+	// RetryAfter is the backend's verbatim Retry-After header on a shed
+	// (429) response, so a gateway can pass the backend's backoff hint
+	// through to the edge instead of inventing its own.
+	RetryAfter string
 
 	retryable bool
 }
@@ -174,12 +179,12 @@ func (c *Client) Stats() *Stats { return &c.stats }
 // Run simulates one litmus test via POST /v1/run, retrying transient
 // failures per the policy. The returned error, when non-nil, is an
 // *Error carrying the classification.
-func (c *Client) Run(ctx context.Context, req serve.RunRequest) (*serve.RunResponse, error) {
+func (c *Client) Run(ctx context.Context, req wire.RunRequest) (*wire.RunResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, classify(http.StatusBadRequest, "bad_request", err.Error(), err)
 	}
-	var resp serve.RunResponse
+	var resp wire.RunResponse
 	if err := c.do(ctx, "/v1/run", body, &resp); err != nil {
 		return nil, err
 	}
@@ -188,12 +193,12 @@ func (c *Client) Run(ctx context.Context, req serve.RunRequest) (*serve.RunRespo
 
 // Batch simulates many tests via POST /v1/batch with the same retry
 // discipline.
-func (c *Client) Batch(ctx context.Context, req serve.BatchRequest) (*serve.BatchResponse, error) {
+func (c *Client) Batch(ctx context.Context, req wire.BatchRequest) (*wire.BatchResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, classify(http.StatusBadRequest, "bad_request", err.Error(), err)
 	}
-	var resp serve.BatchResponse
+	var resp wire.BatchResponse
 	if err := c.do(ctx, "/v1/batch", body, &resp); err != nil {
 		return nil, err
 	}
@@ -305,13 +310,7 @@ func (c *Client) attempt(ctx context.Context, path string, body []byte, out any)
 		return classify(0, "", err.Error(), err)
 	}
 	req.Header.Set("Content-Type", "application/json")
-	if dl, ok := ctx.Deadline(); ok {
-		remaining := time.Until(dl).Milliseconds()
-		if remaining < 1 {
-			remaining = 1 // expired budgets are the backend's call to shed
-		}
-		req.Header.Set(serve.DeadlineHeader, strconv.FormatInt(remaining, 10))
-	}
+	stampHeaders(ctx, req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return classify(0, "", err.Error(), err)
@@ -332,6 +331,23 @@ func (c *Client) attempt(ctx context.Context, path string, body []byte, out any)
 	return nil
 }
 
+// stampHeaders propagates the hop-by-hop request metadata: the remaining
+// deadline budget (X-Deadline) so the backend can shed what cannot finish
+// in time, and the tenant quota account (X-Tenant) so the whole fleet
+// charges one ledger per tenant.
+func stampHeaders(ctx context.Context, req *http.Request) {
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl).Milliseconds()
+		if remaining < 1 {
+			remaining = 1 // expired budgets are the backend's call to shed
+		}
+		req.Header.Set(wire.DeadlineHeader, strconv.FormatInt(remaining, 10))
+	}
+	if tenant := wire.Tenant(ctx); tenant != "" {
+		req.Header.Set(wire.TenantHeader, tenant)
+	}
+}
+
 // maxResponseBytes bounds a response body read (a full batch report over
 // 256 tests fits comfortably).
 const maxResponseBytes = 64 << 20
@@ -341,13 +357,15 @@ const maxResponseBytes = 64 << 20
 func classifyResponse(resp *http.Response) *Error {
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	var env struct {
-		Error serve.ErrorBody `json:"error"`
+		Error wire.ErrorBody `json:"error"`
 	}
 	code, msg := "", strings.TrimSpace(string(raw))
 	if err := json.Unmarshal(raw, &env); err == nil && env.Error.Code != "" {
 		code, msg = env.Error.Code, env.Error.Message
 	}
-	return classify(resp.StatusCode, code, msg, nil)
+	e := classify(resp.StatusCode, code, msg, nil)
+	e.RetryAfter = resp.Header.Get(wire.RetryAfterHeader)
+	return e
 }
 
 // drain consumes and closes a response body so the underlying connection

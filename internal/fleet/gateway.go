@@ -16,7 +16,7 @@ import (
 	"herdcats/internal/litmus"
 	"herdcats/internal/memo"
 	"herdcats/internal/obs"
-	"herdcats/internal/serve"
+	"herdcats/internal/wire"
 )
 
 // GatewayConfig tunes a Gateway. Backends is required; everything else
@@ -43,6 +43,10 @@ type GatewayConfig struct {
 
 	// MaxRequestBytes bounds a request body (<= 0 selects 4 MiB).
 	MaxRequestBytes int64
+
+	// HeartbeatInterval spaces the heartbeat frames on an idle merged
+	// stream (<= 0 selects 10s).
+	HeartbeatInterval time.Duration
 
 	// HTTPClient overrides the transport shared by the backend clients
 	// (nil selects a pooling default) — tests inject httptest transports
@@ -71,6 +75,13 @@ func (c GatewayConfig) maxRequestBytes() int64 {
 	return c.MaxRequestBytes
 }
 
+func (c GatewayConfig) heartbeatInterval() time.Duration {
+	if c.HeartbeatInterval <= 0 {
+		return 10 * time.Second
+	}
+	return c.HeartbeatInterval
+}
+
 // gwBackend is one routed-to herdd: its client, its circuit breaker, and
 // the last probe's verdict.
 type gwBackend struct {
@@ -83,7 +94,7 @@ type gwBackend struct {
 // join it instead of hitting the fleet again.
 type gwCall struct {
 	done chan struct{}
-	resp *serve.RunResponse
+	resp *wire.RunResponse
 	err  error
 }
 
@@ -221,7 +232,7 @@ func (g *Gateway) probeLoop(ctx context.Context, b *gwBackend) {
 // as-sent (the gateway cannot know each backend's clamp). Used only for
 // placement and coalescing — the authoritative key comes back in the
 // response.
-func (g *Gateway) verdictKey(req serve.RunRequest) (string, *Error) {
+func (g *Gateway) verdictKey(req wire.RunRequest) (string, *Error) {
 	test, err := litmus.Parse(req.Litmus)
 	if err != nil {
 		return "", classify(http.StatusBadRequest, "bad_request", fmt.Sprintf("litmus: %v", err), err)
@@ -255,7 +266,7 @@ func (g *Gateway) verdictKey(req serve.RunRequest) (string, *Error) {
 
 // Run computes one verdict through the fleet: coalesce on the key, then
 // route along the key's rendezvous ranking with breaker-aware failover.
-func (g *Gateway) Run(ctx context.Context, req serve.RunRequest) (*serve.RunResponse, error) {
+func (g *Gateway) Run(ctx context.Context, req wire.RunRequest) (*wire.RunResponse, error) {
 	key, cerr := g.verdictKey(req)
 	if cerr != nil {
 		return nil, cerr
@@ -292,7 +303,7 @@ func (g *Gateway) Run(ctx context.Context, req serve.RunRequest) (*serve.RunResp
 // beats failing instantly when the whole fleet looks down). Permanent
 // errors return immediately: they are the request's fault and will
 // reproduce on any backend.
-func (g *Gateway) route(ctx context.Context, key string, req serve.RunRequest) (*serve.RunResponse, error) {
+func (g *Gateway) route(ctx context.Context, key string, req wire.RunRequest) (*wire.RunResponse, error) {
 	ranked := rendezvous(key, g.names)
 	var last error
 	tried := 0
@@ -343,12 +354,12 @@ func (g *Gateway) route(ctx context.Context, key string, req serve.RunRequest) (
 }
 
 func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
-	var req serve.RunRequest
+	var req wire.RunRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, g.cfg.maxRequestBytes())).Decode(&req); err != nil {
 		writeGatewayError(w, classify(http.StatusBadRequest, "bad_request", err.Error(), err))
 		return
 	}
-	resp, err := g.Run(r.Context(), req)
+	resp, err := g.Run(hopContext(r), req)
 	if err != nil {
 		writeGatewayError(w, err)
 		return
@@ -357,7 +368,7 @@ func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
 }
 
 func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
-	var req serve.BatchRequest
+	var req wire.BatchRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, g.cfg.maxRequestBytes())).Decode(&req); err != nil {
 		writeGatewayError(w, classify(http.StatusBadRequest, "bad_request", err.Error(), err))
 		return
@@ -366,21 +377,34 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeGatewayError(w, classify(http.StatusBadRequest, "bad_request", "tests: at least one litmus source is required", nil))
 		return
 	}
-	resp := g.RunBatch(r.Context(), req)
+	ctx := hopContext(r)
+	if wire.WantsStream(r) {
+		g.streamBatch(ctx, w, req)
+		return
+	}
+	resp := g.RunBatch(ctx, req)
 	writeGatewayJSON(w, resp)
+}
+
+// hopContext threads the per-hop request metadata into the context the
+// backend clients stamp back onto their upstream requests — today the
+// caller's tenant identity, so the backends' quotas see the edge tenant,
+// not the gateway.
+func hopContext(r *http.Request) context.Context {
+	return wire.WithTenant(r.Context(), r.Header.Get(wire.TenantHeader))
 }
 
 // RunBatch fans a batch out across the fleet, one upstream /v1/run per
 // test, each routed and failed over independently by its own key. The
 // report mirrors serve's batch semantics: a failed row costs that row,
 // never the batch.
-func (g *Gateway) RunBatch(ctx context.Context, req serve.BatchRequest) *serve.BatchResponse {
+func (g *Gateway) RunBatch(ctx context.Context, req wire.BatchRequest) *wire.BatchResponse {
 	n := len(req.Tests)
 	results := make([]campaign.JobResult, n)
 	cached := make([]bool, n)
 	keys := make([]string, n)
 	_ = campaign.ForEach(ctx, g.cfg.batchWorkers(), n, func(ctx context.Context, i int) error {
-		run := serve.RunRequest{
+		run := wire.RunRequest{
 			Litmus:     req.Tests[i],
 			Model:      req.Model,
 			Budget:     req.Budget,
@@ -407,7 +431,7 @@ func (g *Gateway) RunBatch(ctx context.Context, req serve.BatchRequest) *serve.B
 		}
 		rep.Add(results[i])
 	}
-	return &serve.BatchResponse{Report: rep, Cached: cached, Keys: keys}
+	return &wire.BatchResponse{Report: rep, Cached: cached, Keys: keys}
 }
 
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -444,9 +468,12 @@ func writeGatewayJSON(w http.ResponseWriter, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeGatewayError renders an error in serve's envelope, preserving an
-// upstream status/code when the error carries one and mapping transport
-// failures to 502 bad_gateway.
+// writeGatewayError renders an error in herdd's exact envelope —
+// {"error":{code,message}} — preserving an upstream status/code when the
+// error carries one and mapping transport failures to 502 bad_gateway. A
+// shed backend's Retry-After travels through verbatim: the backend knows
+// its own drain rate, and the gateway inventing a different hint would
+// desynchronise the caller's backoff from the fleet's actual headroom.
 func writeGatewayError(w http.ResponseWriter, err error) {
 	status, code, msg := http.StatusBadGateway, "bad_gateway", err.Error()
 	var e *Error
@@ -457,10 +484,9 @@ func writeGatewayError(w http.ResponseWriter, err error) {
 		} else {
 			code = "bad_gateway"
 		}
+		if e.RetryAfter != "" {
+			w.Header().Set(wire.RetryAfterHeader, e.RetryAfter)
+		}
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(map[string]serve.ErrorBody{"error": {Code: code, Message: msg}})
+	wire.WriteEnvelope(w, status, wire.ErrorBody{Code: code, Message: msg})
 }

@@ -1,0 +1,281 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"herdcats/internal/campaign"
+	"herdcats/internal/obs"
+	"herdcats/internal/wire"
+)
+
+// streamBatch answers POST /v1/batch in the NDJSON wire format by fanning
+// the tests out across the fleet as whole streaming sub-batches: each
+// test's verdict key picks its home backend (rendezvous order, skipping
+// backends whose breaker is not closed), rows sharing a home travel as
+// one upstream stream, and the gateway merges the returned frames —
+// remapped to the caller's request indices — onto a single downstream
+// encoder. Upstream heartbeats are absorbed (the gateway heartbeats the
+// merged stream's own idleness); upstream summaries fold into the single
+// terminal summary. Rows an upstream stream never delivered fall back to
+// buffered per-row Run along their failover ranking, so a lost backend
+// costs latency, not verdicts.
+func (g *Gateway) streamBatch(ctx context.Context, w http.ResponseWriter, req wire.BatchRequest) {
+	start := time.Now()
+	n := len(req.Tests)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Route every row before the first byte is written: parse/model
+	// failures surface as error frames, everything else joins its home
+	// backend's group.
+	rowErrs := make([]*Error, n)
+	groups := map[string][]int{}
+	for i := range req.Tests {
+		key, cerr := g.verdictKey(rowRunRequest(req, i))
+		if cerr != nil {
+			rowErrs[i] = cerr
+			continue
+		}
+		home := g.homeBackend(key)
+		groups[home] = append(groups[home], i)
+	}
+
+	w.Header().Set("Content-Type", wire.ContentTypeNDJSON)
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(http.StatusOK)
+	enc := wire.NewEncoder(w)
+	st := &gwStream{
+		merge:   wire.NewMerge(enc, req.Ordered),
+		cancel:  cancel,
+		emitted: make([]bool, n),
+		status:  make([]campaign.Status, n),
+		cached:  make([]bool, n),
+	}
+	stopHeartbeat := wire.Heartbeat(ctx, enc, g.cfg.heartbeatInterval(), start)
+	defer stopHeartbeat()
+
+	for i, cerr := range rowErrs {
+		if cerr != nil {
+			st.emitFleetError(i, cerr)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for name, rows := range groups {
+		wg.Add(1)
+		go func(name string, rows []int) {
+			defer wg.Done()
+			g.streamGroup(ctx, name, rows, req, st)
+		}(name, rows)
+	}
+	wg.Wait()
+
+	// Rows nothing delivered (the stream was cancelled first) still owe
+	// their frame, mirroring the backend's never-started classification.
+	for i := range st.emitted {
+		if !st.emitted[i] {
+			st.status[i] = campaign.StatusSkipped
+			st.emit(i, wire.NewError(i, fmt.Sprintf("tests[%d]", i),
+				wire.ErrorCode(http.StatusServiceUnavailable), "batch stopped before this test ran"))
+		}
+	}
+	stopHeartbeat()
+
+	sum := wire.NewSummary(n)
+	for i := range st.status {
+		sum.Counts[st.status[i]]++
+		if st.cached[i] {
+			sum.CacheHits++
+		}
+	}
+	sum.ElapsedMS = time.Since(start).Milliseconds()
+	sum.PhaseTotalsUS = st.phases
+	sum.Enum = st.enum
+	_ = enc.Encode(sum)
+}
+
+// homeBackend picks the first backend along key's rendezvous ranking
+// whose breaker is closed — the same placement route walks, but read via
+// State() so grouping never consumes a half-open trial. When no breaker
+// is closed the top-ranked backend is chosen anyway: failing open beats
+// failing instantly when the whole fleet looks down.
+func (g *Gateway) homeBackend(key string) string {
+	ranked := rendezvous(key, g.names)
+	for _, name := range ranked {
+		if g.backends[name].breaker.State() == BreakerClosed {
+			return name
+		}
+	}
+	return ranked[0]
+}
+
+// rowRunRequest projects one batch row onto the single-run wire shape
+// (the unit both routing and the buffered fallback work in).
+func rowRunRequest(req wire.BatchRequest, i int) wire.RunRequest {
+	return wire.RunRequest{
+		Litmus:     req.Tests[i],
+		Model:      req.Model,
+		Budget:     req.Budget,
+		DeadlineMS: req.DeadlineMS,
+	}
+}
+
+// gwStream is the shared downstream state of one merged batch stream.
+// The per-row slices are written exactly once, each by the row's owning
+// goroutine (its group, or the pre/post loops which run with no groups in
+// flight), so they need no lock; the fold fields do.
+type gwStream struct {
+	merge   *wire.Merge
+	cancel  context.CancelFunc
+	emitted []bool
+	status  []campaign.Status
+	cached  []bool
+
+	mu     sync.Mutex
+	phases map[string]int64
+	enum   *obs.EnumSnapshot
+}
+
+// emit writes row i's single frame; a write failure means the client is
+// gone, so the whole fan-out winds down.
+func (s *gwStream) emit(i int, frame any) {
+	s.emitted[i] = true
+	if s.merge.Emit(i, frame) != nil {
+		s.cancel()
+	}
+}
+
+func (s *gwStream) emitResult(i int, key string, cached bool, res campaign.JobResult) {
+	s.status[i] = res.Status
+	s.cached[i] = cached
+	s.emit(i, wire.NewResult(i, key, cached, res))
+}
+
+func (s *gwStream) emitErrorBody(i int, body wire.ErrorBody) {
+	s.status[i] = campaign.StatusError
+	s.emit(i, &wire.ErrorFrame{
+		Type:  wire.FrameError,
+		Index: i,
+		Name:  fmt.Sprintf("tests[%d]", i),
+		Error: body,
+	})
+}
+
+// emitFleetError renders a routing or fallback failure as the row's
+// error frame, carrying the upstream envelope code when the error has
+// one.
+func (s *gwStream) emitFleetError(i int, err error) {
+	s.emitErrorBody(i, errorBodyOf(err))
+}
+
+// foldSummary accumulates one upstream summary's trace aggregates.
+func (s *gwStream) foldSummary(f *wire.SummaryFrame) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for ph, us := range f.PhaseTotalsUS {
+		if s.phases == nil {
+			s.phases = map[string]int64{}
+		}
+		s.phases[ph] += us
+	}
+	if f.Enum != nil {
+		if s.enum == nil {
+			s.enum = &obs.EnumSnapshot{}
+		}
+		s.enum.Add(*f.Enum)
+	}
+}
+
+// streamGroup runs one home backend's rows as a single upstream stream,
+// remapping its group-local frame indices onto the caller's, then
+// sweeps up anything the stream did not deliver via buffered per-row
+// Run — which routes along each key's own failover ranking, so the rows
+// of a dead home backend land elsewhere.
+func (g *Gateway) streamGroup(ctx context.Context, backend string, rows []int, req wire.BatchRequest, st *gwStream) {
+	b := g.backends[backend]
+	sub := wire.BatchRequest{
+		Model:      req.Model,
+		Budget:     req.Budget,
+		DeadlineMS: req.DeadlineMS,
+		Tests:      make([]string, len(rows)),
+	}
+	for gi, i := range rows {
+		sub.Tests[gi] = req.Tests[i]
+	}
+	done := make([]bool, len(rows))
+	g.reg.Counter(`gw_backend_requests_total{backend="` + backend + `"}`).Inc()
+	err := b.client.BatchStream(ctx, sub, func(frame any) error {
+		switch f := frame.(type) {
+		case *wire.ResultFrame:
+			if f.Index < 0 || f.Index >= len(rows) || done[f.Index] {
+				return fmt.Errorf("gateway: backend %s: bogus frame index %d", backend, f.Index)
+			}
+			done[f.Index] = true
+			st.emitResult(rows[f.Index], f.Key, f.Cached, f.Result)
+		case *wire.ErrorFrame:
+			if f.Index < 0 {
+				// The whole upstream batch died mid-flight; abort the
+				// stream and let the fallback sweep cover what is left.
+				return fmt.Errorf("gateway: backend %s: stream error: %s", backend, f.Error.Message)
+			}
+			if f.Index >= len(rows) || done[f.Index] {
+				return fmt.Errorf("gateway: backend %s: bogus frame index %d", backend, f.Index)
+			}
+			done[f.Index] = true
+			st.emitErrorBody(rows[f.Index], f.Error)
+		case *wire.SummaryFrame:
+			st.foldSummary(f)
+		case *wire.HeartbeatFrame:
+			// Absorbed: the gateway heartbeats the merged stream itself,
+			// and forwarding per-backend pulses would just be noise.
+		}
+		return nil
+	})
+	switch {
+	case err == nil:
+		b.breaker.Success()
+	case Retryable(err):
+		b.breaker.Failure()
+		g.reg.Counter(`gw_backend_failures_total{backend="` + backend + `"}`).Inc()
+	}
+
+	for gi, i := range rows {
+		if done[gi] {
+			continue
+		}
+		if ctx.Err() != nil {
+			return // the post-sweep in streamBatch owes these their frame
+		}
+		if err != nil {
+			g.reg.Counter("gw_reroutes_total").Inc()
+		}
+		resp, rerr := g.Run(ctx, rowRunRequest(req, i))
+		if rerr != nil {
+			st.emitFleetError(i, rerr)
+			continue
+		}
+		st.emitResult(i, resp.Key, resp.Cached, jobResultFromRun(resp))
+	}
+}
+
+// errorBodyOf projects a fleet error onto the wire envelope body,
+// defaulting to bad_gateway for transport-class failures.
+func errorBodyOf(err error) wire.ErrorBody {
+	body := wire.ErrorBody{Code: "bad_gateway", Message: err.Error()}
+	var e *Error
+	if errors.As(err, &e) {
+		body.Message = e.Msg
+		switch {
+		case e.Code != "":
+			body.Code = e.Code
+		case e.Status != 0:
+			body.Code = wire.ErrorCode(e.Status)
+		}
+	}
+	return body
+}

@@ -7,15 +7,15 @@ import (
 
 	"herdcats/internal/campaign"
 	"herdcats/internal/exec"
-	"herdcats/internal/serve"
 	"herdcats/internal/sim"
+	"herdcats/internal/wire"
 )
 
 // Runner is anything that can answer a /v1/run request: a single-backend
 // *Client or a routing *Gateway. Campaigns built by Jobs are agnostic to
 // which sits behind them.
 type Runner interface {
-	Run(ctx context.Context, req serve.RunRequest) (*serve.RunResponse, error)
+	Run(ctx context.Context, req wire.RunRequest) (*wire.RunResponse, error)
 }
 
 // Jobs turns litmus sources into campaign jobs whose simulation happens
@@ -24,7 +24,7 @@ type Runner interface {
 // classification, so the campaign's own retry loop (and its full-jitter
 // backoff) composes with the client's: transport blips retry, parse
 // errors settle at once.
-func Jobs(r Runner, tests []string, model serve.ModelSpec, budget serve.BudgetSpec) []campaign.Job {
+func Jobs(r Runner, tests []string, model wire.ModelSpec, budget wire.BudgetSpec) []campaign.Job {
 	jobs := make([]campaign.Job, len(tests))
 	for i, src := range tests {
 		name := fmt.Sprintf("tests[%d]", i)
@@ -32,12 +32,12 @@ func Jobs(r Runner, tests []string, model serve.ModelSpec, budget serve.BudgetSp
 		jobs[i] = campaign.Job{
 			Name: name,
 			Run: func(ctx context.Context, jb exec.Budget) (*sim.Outcome, error) {
-				req := serve.RunRequest{Litmus: src, Model: model, Budget: budget}
+				req := wire.RunRequest{Litmus: src, Model: model, Budget: budget}
 				// The campaign's (possibly retry-scaled) budget wins
 				// over the static spec when it is tighter or set at all:
 				// the pool owns budget policy once a job is scheduled.
 				if jb.MaxCandidates > 0 || jb.MaxTracesPerThread > 0 || jb.Timeout > 0 {
-					req.Budget = serve.BudgetSpec{
+					req.Budget = wire.BudgetSpec{
 						MaxCandidates:      jb.MaxCandidates,
 						MaxTracesPerThread: jb.MaxTracesPerThread,
 						TimeoutMS:          jb.Timeout.Milliseconds(),
@@ -82,7 +82,7 @@ func outcomeFromJSON(o sim.OutcomeJSON) *sim.Outcome {
 
 // jobResultFromRun folds one gateway-routed run into a campaign row for
 // the batch report.
-func jobResultFromRun(resp *serve.RunResponse) campaign.JobResult {
+func jobResultFromRun(resp *wire.RunResponse) campaign.JobResult {
 	res := campaign.JobResult{
 		Name:       resp.Outcome.Test,
 		Model:      resp.Outcome.Model,

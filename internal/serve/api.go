@@ -2,13 +2,11 @@ package serve
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
-	"strings"
 	"time"
 
 	"herdcats/internal/campaign"
@@ -18,72 +16,39 @@ import (
 	"herdcats/internal/memo"
 	"herdcats/internal/obs"
 	"herdcats/internal/sim"
+	"herdcats/internal/wire"
 )
 
-// ModelSpec selects the model of a request: exactly one of Name (a
-// built-in cat model, see GET /v1/models) or Cat (an inline cat source,
-// compiled once and memoised by content).
-type ModelSpec struct {
-	Name string `json:"name,omitempty"`
-	Cat  string `json:"cat,omitempty"`
-}
+// The request/response schemas live in internal/wire — one definition
+// shared by this server, the fleet client, the gateway and cmd/herd. The
+// aliases keep serve's historical names working for embedders and tests.
+type (
+	// ModelSpec selects the model of a request (see wire.ModelSpec).
+	ModelSpec = wire.ModelSpec
+	// BudgetSpec maps onto exec.Budget (see wire.BudgetSpec).
+	BudgetSpec = wire.BudgetSpec
+	// RunRequest is the body of POST /v1/run.
+	RunRequest = wire.RunRequest
+	// RunResponse is the body of a successful POST /v1/run.
+	RunResponse = wire.RunResponse
+	// BatchRequest is the body of POST /v1/batch.
+	BatchRequest = wire.BatchRequest
+	// BatchResponse is the body of a successful buffered POST /v1/batch.
+	BatchResponse = wire.BatchResponse
+	// EffectiveOptions echoes the options a request actually ran under.
+	EffectiveOptions = wire.EffectiveOptions
+	// ModelInfo describes one built-in model in GET /v1/models.
+	ModelInfo = wire.ModelInfo
+	// ErrorBody is the payload of the error envelope.
+	ErrorBody = wire.ErrorBody
 
-func (m ModelSpec) validate() error {
-	switch {
-	case m.Name == "" && m.Cat == "":
-		return errors.New("model: one of name or cat is required")
-	case m.Name != "" && m.Cat != "":
-		return errors.New("model: name and cat are mutually exclusive")
-	}
-	return nil
-}
-
-// BudgetSpec maps onto exec.Budget; zero fields mean unlimited (subject to
-// the server's MaxSimTimeout cap).
-type BudgetSpec struct {
-	MaxCandidates      int   `json:"max_candidates,omitempty"`
-	MaxTracesPerThread int   `json:"max_traces_per_thread,omitempty"`
-	TimeoutMS          int64 `json:"timeout_ms,omitempty"`
-}
-
-func (b BudgetSpec) validate() error {
-	if b.MaxCandidates < 0 || b.MaxTracesPerThread < 0 || b.TimeoutMS < 0 {
-		return errors.New("budget: bounds must be non-negative")
-	}
-	return nil
-}
-
-// RunRequest is the body of POST /v1/run.
-type RunRequest struct {
-	Litmus string     `json:"litmus"`
-	Model  ModelSpec  `json:"model"`
-	Budget BudgetSpec `json:"budget"`
-
-	// DeadlineMS is the whole-request deadline budget in milliseconds
-	// (0 = none). The X-Deadline header carries the same budget
-	// hop-by-hop; when both are present the tighter one wins.
-	DeadlineMS int64 `json:"deadline_ms,omitempty"`
-}
-
-func (r *RunRequest) validate() error {
-	if strings.TrimSpace(r.Litmus) == "" {
-		return errors.New("litmus: a litmus test source is required")
-	}
-	if r.DeadlineMS < 0 {
-		return errors.New("deadline_ms: must be non-negative")
-	}
-	if err := r.Model.validate(); err != nil {
-		return err
-	}
-	return r.Budget.validate()
-}
+	// apiError is the JSON error envelope (documented in README.md).
+	apiError = wire.ErrorEnvelope
+)
 
 // DeadlineHeader carries a request's remaining deadline budget in
-// milliseconds. A gateway decrements it hop-by-hop (subtracting its own
-// queueing and transfer time), so a deadline set once at the edge bounds
-// the whole call tree; a request arriving with no budget left is shed
-// before any work happens.
-const DeadlineHeader = "X-Deadline"
+// milliseconds (see wire.DeadlineHeader).
+const DeadlineHeader = wire.DeadlineHeader
 
 // errDeadlineExpired: the request arrived with its deadline budget
 // already spent.
@@ -109,127 +74,18 @@ func deadlineBudget(r *http.Request, bodyMS int64) (time.Duration, error) {
 	return time.Duration(ms) * time.Millisecond, nil
 }
 
-// EffectiveOptions echoes the options a request actually ran under, after
-// server-side defaults and clamps — so a client can see, e.g., that its
-// timeout was capped or which prune level applied.
-type EffectiveOptions struct {
-	Workers int        `json:"workers"` // enumeration workers (0/1 = sequential)
-	Prune   bool       `json:"prune"`   // early SC-per-location pruning enabled
-	Budget  BudgetSpec `json:"budget"`  // effective budget, post-clamp
-}
-
-// RunResponse is the body of a successful POST /v1/run.
-type RunResponse struct {
-	// Key is the verdict's content address (cache-key semantics are
-	// documented in README.md).
-	Key string `json:"key"`
-	// Cached is true when the verdict came from the cache or from an
-	// in-flight duplicate simulation rather than a fresh enumeration.
-	Cached    bool             `json:"cached"`
-	Verdict   string           `json:"verdict"` // "Allowed" | "Forbidden" | "Unknown"
-	Outcome   sim.OutcomeJSON  `json:"outcome"`
-	Options   EffectiveOptions `json:"options"`
-	ElapsedMS int64            `json:"elapsed_ms"`
-	// Trace breaks the request's wall clock into phases (parse → compile
-	// → enumerate → check → verdict) with the enumeration counters. A
-	// cached verdict reports only the parse span: the rest came for free.
-	Trace *obs.TraceJSON `json:"trace,omitempty"`
-}
-
-// BatchRequest is the body of POST /v1/batch: many tests under one model
-// and budget, swept on the campaign pool.
-type BatchRequest struct {
-	Tests  []string   `json:"tests"`
-	Model  ModelSpec  `json:"model"`
-	Budget BudgetSpec `json:"budget"`
-
-	// DeadlineMS bounds the whole batch in milliseconds (0 = none);
-	// see RunRequest.DeadlineMS and the X-Deadline header.
-	DeadlineMS int64 `json:"deadline_ms,omitempty"`
-}
-
-// BatchResponse is the body of a successful POST /v1/batch. Report.Jobs,
-// Cached and Keys are all in request order.
-type BatchResponse struct {
-	Report  *campaign.Report `json:"report"`
-	Cached  []bool           `json:"cached"`
-	Keys    []string         `json:"keys"`
-	Options EffectiveOptions `json:"options"`
-}
-
-// ModelInfo describes one built-in model in GET /v1/models.
-type ModelInfo struct {
-	Name        string `json:"name"`
-	Fingerprint string `json:"fingerprint"`
-}
-
-// ErrorBody is the payload of the error envelope: a stable machine-
-// readable code (derived from the HTTP status) plus a human-readable
-// message. Every non-2xx response is `{"error": ErrorBody}`.
-type ErrorBody struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-}
-
-// apiError is the JSON error envelope (documented in README.md).
-type apiError struct {
-	Error ErrorBody `json:"error"`
-}
-
-// errorCode names an HTTP status for the envelope; clients switch on the
-// code, not the message text.
-func errorCode(status int) string {
-	switch status {
-	case http.StatusBadRequest:
-		return "bad_request"
-	case http.StatusNotFound:
-		return "not_found"
-	case http.StatusMethodNotAllowed:
-		return "method_not_allowed"
-	case http.StatusRequestEntityTooLarge:
-		return "too_large"
-	case http.StatusUnprocessableEntity:
-		return "unprocessable"
-	case http.StatusTooManyRequests:
-		return "overloaded"
-	case http.StatusInternalServerError:
-		return "internal"
-	case http.StatusBadGateway:
-		return "bad_gateway"
-	case http.StatusServiceUnavailable:
-		return "unavailable"
-	case http.StatusGatewayTimeout:
-		return "deadline_exceeded"
-	}
-	return "error"
-}
-
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	wire.WriteJSON(w, status, v)
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, apiError{Error: ErrorBody{
-		Code:    errorCode(status),
-		Message: fmt.Sprintf(format, args...),
-	}})
+	wire.WriteError(w, status, format, args...)
 }
 
 // decodeBody decodes one JSON value into v, rejecting trailing garbage.
 // It never panics on malformed input (see fuzz_test.go).
 func decodeBody(r io.Reader, v any) error {
-	dec := json.NewDecoder(r)
-	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("body: %w", err)
-	}
-	if dec.More() {
-		return errors.New("body: trailing data after the request object")
-	}
-	return nil
+	return wire.DecodeBody(r, v)
 }
 
 // decodeStatus maps a decode error to its HTTP status: 413 when the body
@@ -311,7 +167,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, decodeStatus(err), "%v", err)
 		return
 	}
-	if err := req.validate(); err != nil {
+	if err := req.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -324,6 +180,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", derr)
 		return
 	}
+	tenant := r.Header.Get(wire.TenantHeader)
 	tr := obs.NewTrace()
 	stopParse := tr.Phase(obs.PhaseParse)
 	test, err := litmus.Parse(req.Litmus)
@@ -342,8 +199,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	// Brownout fast path: a resident verdict is served without an
-	// admission slot, so a saturated server still answers warm traffic
-	// at full speed — only work that needs CPU queues for it.
+	// admission slot (or a tenant token), so a saturated server still
+	// answers warm traffic at full speed — only work that needs CPU
+	// queues or pays quota for it.
 	if out, ok := s.cache.Lookup(memo.Request{Key: key, Test: test, Model: checker, Budget: b}); ok {
 		writeJSON(w, http.StatusOK, RunResponse{
 			Key:       key,
@@ -362,7 +220,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, deadline)
 		defer cancel()
 	}
-	release, oerr := s.adm.acquire(ctx)
+	release, oerr := s.admit(ctx, tenant)
 	if oerr != nil {
 		writeOverloaded(w, oerr)
 		return
@@ -389,31 +247,103 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// admit claims a tenant quota token, then an admission slot. The token is
+// charged first — quota is the cheaper check, and a tenant over its rate
+// should not occupy queue space other tenants could use.
+func (s *Server) admit(ctx context.Context, tenant string) (release func(), err *overloadError) {
+	if oerr := s.tenants.take(tenant); oerr != nil {
+		return nil, oerr
+	}
+	return s.adm.acquire(ctx)
+}
+
+// batchPlan is the shared front half of both /v1/batch wire formats: the
+// per-test jobs, keys and cache flags, identical whether the verdicts are
+// buffered into one response or streamed frame by frame — which is what
+// makes the two formats answer with the same verdict set by construction.
+type batchPlan struct {
+	jobs   []campaign.Job
+	keys   []string
+	cached []bool
+	errs   []error      // per-test parse errors (nil rows parsed)
+	traces []*obs.Trace // per-test phase traces (streaming only)
+	tests  []*litmus.Test
+}
+
+// buildBatch compiles a batch request into its plan. A test that fails to
+// parse costs only its own row, like an unreadable file in a cmd/herd
+// batch; its error is kept for streaming error/v1 frames.
+func (s *Server) buildBatch(req *BatchRequest, checker sim.Checker, b exec.Budget, tenant string, trace bool) *batchPlan {
+	n := len(req.Tests)
+	p := &batchPlan{
+		jobs:   make([]campaign.Job, n),
+		keys:   make([]string, n),
+		cached: make([]bool, n),
+		errs:   make([]error, n),
+		traces: make([]*obs.Trace, n),
+		tests:  make([]*litmus.Test, n),
+	}
+	modelID := memo.ModelID(checker)
+	for i, src := range req.Tests {
+		i := i
+		test, perr := litmus.Parse(src)
+		if perr != nil {
+			perr := fmt.Errorf("litmus: %w", perr)
+			p.errs[i] = perr
+			p.jobs[i] = campaign.Job{
+				Name: fmt.Sprintf("tests[%d]", i),
+				Run: func(context.Context, exec.Budget) (*sim.Outcome, error) {
+					return nil, perr
+				},
+			}
+			continue
+		}
+		p.tests[i] = test
+		p.keys[i] = memo.Key(memo.CanonicalTest(test), modelID, b)
+		if trace {
+			p.traces[i] = obs.NewTrace()
+		}
+		p.jobs[i] = campaign.Job{
+			Name:  test.Name,
+			Model: checker,
+			Run: func(ctx context.Context, jb exec.Budget) (*sim.Outcome, error) {
+				// Batch jobs share the admission slots (and tenant
+				// tokens) with /v1/run — one concurrency envelope for
+				// the whole server — with the same brownout fast path
+				// for resident verdicts.
+				if out, ok := s.cache.Lookup(memo.Request{Key: p.keys[i], Test: test, Model: checker, Budget: jb}); ok {
+					p.cached[i] = true
+					return out, nil
+				}
+				release, oerr := s.admit(ctx, tenant)
+				if oerr != nil {
+					return nil, oerr
+				}
+				defer release()
+				out, hit, err := s.cache.Simulate(ctx, memo.Request{
+					Key: p.keys[i], Test: test, Model: checker, Budget: jb, Obs: p.traces[i],
+				})
+				p.cached[i] = hit
+				return out, err
+			},
+		}
+	}
+	return p
+}
+
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
 	if err := decodeBody(http.MaxBytesReader(w, r.Body, s.cfg.maxRequestBytes()), &req); err != nil {
 		writeError(w, decodeStatus(err), "%v", err)
 		return
 	}
-	if len(req.Tests) == 0 {
-		writeError(w, http.StatusBadRequest, "tests: at least one litmus source is required")
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if len(req.Tests) > s.cfg.maxBatchTests() {
 		writeError(w, http.StatusRequestEntityTooLarge,
 			"tests: %d exceeds the batch limit of %d", len(req.Tests), s.cfg.maxBatchTests())
-		return
-	}
-	if err := req.Model.validate(); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	if err := req.Budget.validate(); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	if req.DeadlineMS < 0 {
-		writeError(w, http.StatusBadRequest, "deadline_ms: must be non-negative")
 		return
 	}
 	deadline, derr := deadlineBudget(r, req.DeadlineMS)
@@ -431,62 +361,28 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	b := s.budget(req.Budget)
-	modelID := memo.ModelID(checker)
+	tenant := r.Header.Get(wire.TenantHeader)
 
-	// A test that fails to parse costs only its own row, like an
-	// unreadable file in a cmd/herd batch.
-	cached := make([]bool, len(req.Tests))
-	keys := make([]string, len(req.Tests))
-	jobs := make([]campaign.Job, len(req.Tests))
-	for i, src := range req.Tests {
-		i := i
-		test, perr := litmus.Parse(src)
-		if perr != nil {
-			perr := fmt.Errorf("litmus: %w", perr)
-			jobs[i] = campaign.Job{
-				Name: fmt.Sprintf("tests[%d]", i),
-				Run: func(context.Context, exec.Budget) (*sim.Outcome, error) {
-					return nil, perr
-				},
-			}
-			continue
-		}
-		keys[i] = memo.Key(memo.CanonicalTest(test), modelID, b)
-		jobs[i] = campaign.Job{
-			Name:  test.Name,
-			Model: checker,
-			Run: func(ctx context.Context, jb exec.Budget) (*sim.Outcome, error) {
-				// Batch jobs share the admission slots with /v1/run —
-				// one concurrency envelope for the whole server — with
-				// the same brownout fast path for resident verdicts.
-				if out, ok := s.cache.Lookup(memo.Request{Key: keys[i], Test: test, Model: checker, Budget: jb}); ok {
-					cached[i] = true
-					return out, nil
-				}
-				release, oerr := s.adm.acquire(ctx)
-				if oerr != nil {
-					return nil, oerr
-				}
-				defer release()
-				out, hit, err := s.cache.RunKeyed(ctx, keys[i], test, checker, jb)
-				cached[i] = hit
-				return out, err
-			},
-		}
-	}
 	ctx := r.Context()
 	if deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, deadline)
 		defer cancel()
 	}
+
+	if wire.WantsStream(r) {
+		s.streamBatch(ctx, w, &req, checker, b, tenant)
+		return
+	}
+
+	p := s.buildBatch(&req, checker, b, tenant, false)
 	rep := campaign.Run(ctx, campaign.Config{
 		Workers: s.cfg.Workers,
 		Budget:  b,
 		Retries: -1, // the client's budget is a hard bound, and keys must match
-	}, jobs)
+	}, p.jobs)
 	writeJSON(w, http.StatusOK, BatchResponse{
-		Report: rep, Cached: cached, Keys: keys,
+		Report: rep, Cached: p.cached, Keys: p.keys,
 		Options: s.effectiveOptions(b),
 	})
 }

@@ -81,6 +81,20 @@ type Config struct {
 	// MaxQueueWait bounds how long one request may wait for a slot
 	// before it is shed with 429 + Retry-After (<= 0 selects 1s).
 	MaxQueueWait time.Duration
+
+	// TenantRate meters admission per tenant (X-Tenant header): each
+	// tenant accrues this many simulation admissions per second, up to
+	// TenantBurst, and is shed with 429 + Retry-After beyond that.
+	// <= 0 disables per-tenant metering (the default).
+	TenantRate float64
+
+	// TenantBurst caps a tenant's token bucket (<= 0 selects one
+	// second of TenantRate, floor 1).
+	TenantBurst int
+
+	// HeartbeatInterval spaces the heartbeat frames on an idle NDJSON
+	// batch stream (<= 0 selects 10s).
+	HeartbeatInterval time.Duration
 }
 
 func (c Config) maxRequestBytes() int64 {
@@ -104,10 +118,11 @@ type Server struct {
 	mux   *http.ServeMux
 	http  *http.Server
 
-	reg   *obs.Registry    // /metrics exposition
-	enum  *obs.EnumStats   // process-wide enumeration counters (via memo)
-	prune *exec.PruneStats // process-lifetime pruned-subtree counter (via memo)
-	adm   *admission       // concurrency slots + bounded queue + shedding
+	reg     *obs.Registry    // /metrics exposition
+	enum    *obs.EnumStats   // process-wide enumeration counters (via memo)
+	prune   *exec.PruneStats // process-lifetime pruned-subtree counter (via memo)
+	adm     *admission       // concurrency slots + bounded queue + shedding
+	tenants *tenantLimiter   // per-tenant token buckets (X-Tenant header)
 
 	requests atomic.Int64 // requests completed
 	errors   atomic.Int64 // requests answered with a 4xx/5xx status
@@ -118,6 +133,7 @@ type Server struct {
 func New(cfg Config) *Server {
 	s := &Server{cfg: cfg, reg: obs.NewRegistry(), enum: &obs.EnumStats{}, prune: &exec.PruneStats{}}
 	s.adm = newAdmission(cfg, s.reg)
+	s.tenants = newTenantLimiter(cfg, s.reg)
 	s.cache = memo.NewWithOptions(cfg.CacheEntries,
 		memo.Options{Workers: cfg.EnumWorkers, Prune: cfg.Prune, Obs: s.enum, PruneStats: s.prune})
 	s.mux = http.NewServeMux()
@@ -251,6 +267,16 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 		w.status = http.StatusOK
 	}
 	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards per-frame flushes to the wrapped writer. Embedding the
+// ResponseWriter interface hides the concrete writer's Flush from type
+// assertions, and without this the NDJSON stream silently degrades to
+// one buffered document delivered at the end.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // HTTPStats is the herdd_http expvar payload.

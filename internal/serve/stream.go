@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"time"
+
+	"herdcats/internal/campaign"
+	"herdcats/internal/exec"
+	"herdcats/internal/obs"
+	"herdcats/internal/sim"
+	"herdcats/internal/wire"
+)
+
+// streamBatch answers POST /v1/batch in the NDJSON wire format: one
+// result/v1 or error/v1 frame per test as the campaign pool completes it
+// (request order when req.Ordered, completion order otherwise), heartbeat
+// frames while every in-flight job is still grinding, and a terminal
+// summary/v1 with the batch totals — so a million-test campaign is
+// delivered incrementally instead of buffered whole on both sides.
+//
+// Cancellation: the request context dies when the client disconnects, and
+// a frame-write failure (the disconnect signal once streaming has begun)
+// cancels the campaign explicitly — either way the in-flight simulations
+// wind down and their admission slots are released promptly.
+func (s *Server) streamBatch(ctx context.Context, w http.ResponseWriter, req *BatchRequest, checker sim.Checker, b exec.Budget, tenant string) {
+	start := time.Now()
+	p := s.buildBatch(req, checker, b, tenant, true)
+	n := len(p.jobs)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	w.Header().Set("Content-Type", wire.ContentTypeNDJSON)
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(http.StatusOK)
+	enc := wire.NewEncoder(w)
+	merge := wire.NewMerge(enc, req.Ordered)
+	stopHeartbeat := wire.Heartbeat(ctx, enc, s.cfg.heartbeatInterval(), start)
+	defer stopHeartbeat()
+
+	// emit writes index i's single frame. Indices are distinct per call
+	// site, so the emitted bookkeeping is race-free; the merge serialises
+	// the actual writes.
+	emitted := make([]bool, n)
+	emit := func(i int, res campaign.JobResult) {
+		emitted[i] = true
+		var err error
+		if res.Failed() || res.Status == campaign.StatusSkipped {
+			err = merge.Emit(i, wire.NewError(i, res.Name, streamErrorCode(p, i, res), res.Reason))
+		} else {
+			err = merge.Emit(i, wire.NewResult(i, p.keys[i], p.cached[i], res))
+		}
+		if err != nil {
+			// The client is gone (or the pipe broke): stop the campaign
+			// now so simulations stop burning slots for nobody.
+			cancel()
+		}
+	}
+
+	rep := campaign.Run(ctx, campaign.Config{
+		Workers:  s.cfg.Workers,
+		Budget:   b,
+		Retries:  -1, // the client's budget is a hard bound, and keys must match
+		OnResult: emit,
+	}, p.jobs)
+
+	// Rows the pool never started (the stream was cancelled first) still
+	// owe their frame; campaign.Run has already classified them Skipped.
+	for i := range rep.Jobs {
+		if !emitted[i] {
+			emit(i, rep.Jobs[i])
+		}
+	}
+	stopHeartbeat()
+
+	sum := wire.NewSummary(n)
+	for st, c := range rep.Counts {
+		sum.Counts[st] = c
+	}
+	for _, hit := range p.cached {
+		if hit {
+			sum.CacheHits++
+		}
+	}
+	sum.ElapsedMS = time.Since(start).Milliseconds()
+	opts := s.effectiveOptions(b)
+	sum.Options = &opts
+	for _, tr := range p.traces {
+		tj := tr.Summary()
+		if tj == nil {
+			continue
+		}
+		if sum.PhaseTotalsUS == nil {
+			sum.PhaseTotalsUS = map[string]int64{}
+		}
+		for _, ph := range tj.Phases {
+			sum.PhaseTotalsUS[ph.Phase] += ph.DurationUS
+		}
+		if sum.Enum == nil {
+			sum.Enum = &obs.EnumSnapshot{}
+		}
+		sum.Enum.Add(tj.Enum)
+	}
+	_ = enc.Encode(sum)
+}
+
+// streamErrorCode names the envelope code of one failed row, mirroring
+// the status the buffered wire format would have used for the same
+// failure.
+func streamErrorCode(p *batchPlan, i int, res campaign.JobResult) string {
+	switch {
+	case p.errs[i] != nil: // the row never parsed
+		return wire.ErrorCode(http.StatusBadRequest)
+	case res.Status == campaign.StatusPanicked:
+		return wire.ErrorCode(http.StatusInternalServerError)
+	case res.Status == campaign.StatusSkipped:
+		return wire.ErrorCode(http.StatusServiceUnavailable)
+	case strings.HasPrefix(res.Reason, "overloaded"):
+		return wire.ErrorCode(http.StatusTooManyRequests)
+	}
+	return wire.ErrorCode(http.StatusUnprocessableEntity)
+}
+
+// heartbeatInterval spaces the idle heartbeat frames (<= 0 selects 10s).
+func (c Config) heartbeatInterval() time.Duration {
+	if c.HeartbeatInterval > 0 {
+		return c.HeartbeatInterval
+	}
+	return 10 * time.Second
+}

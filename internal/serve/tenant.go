@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"herdcats/internal/obs"
+)
+
+// shedTenant is the shed reason for a tenant that outran its token
+// bucket; it joins queue_full/queue_wait/deadline in the 429 envelope.
+const shedTenant = "tenant_quota"
+
+// anonTenant is the quota account of requests that carry no X-Tenant
+// header: untagged traffic shares one bucket instead of escaping
+// metering.
+const anonTenant = "anonymous"
+
+// maxTrackedTenants bounds the tenant label set (and the bucket map): a
+// probing client minting fresh tenant names cannot grow memory or
+// /metrics without bound. Tenants beyond the cap share one overflow
+// bucket — still metered, just not individually.
+const maxTrackedTenants = 64
+
+// overflowTenant is the shared account for tenants beyond the cap.
+const overflowTenant = "__overflow__"
+
+// tenantLimiter meters admission per tenant with classic token buckets:
+// each tenant accrues Rate tokens per second up to Burst, and each
+// simulation admission spends one. It sits in front of the slot pool —
+// quota is the cheaper check, and a tenant over its rate should not
+// occupy queue space other tenants could use. Cache hits bypass it the
+// same way they bypass admission: served warm, they cost neither CPU nor
+// quota.
+type tenantLimiter struct {
+	rate  float64 // tokens per second per tenant; <= 0 disables metering
+	burst float64
+
+	reg *obs.Registry
+
+	mu      sync.Mutex
+	buckets map[string]*tenantBucket
+}
+
+type tenantBucket struct {
+	tokens   float64
+	last     time.Time
+	admitted *obs.Counter
+	shed     *obs.Counter
+}
+
+func newTenantLimiter(cfg Config, reg *obs.Registry) *tenantLimiter {
+	t := &tenantLimiter{
+		rate:    cfg.TenantRate,
+		burst:   float64(cfg.tenantBurst()),
+		reg:     reg,
+		buckets: map[string]*tenantBucket{},
+	}
+	reg.GaugeFunc("herdd_tenant_tracked", func() int64 {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		return int64(len(t.buckets))
+	})
+	return t
+}
+
+func (c Config) tenantBurst() int {
+	if c.TenantBurst > 0 {
+		return c.TenantBurst
+	}
+	// One second of rate, floor 1: small enough that a burst cannot
+	// starve the fleet, large enough that a paced client never sheds.
+	if b := int(c.TenantRate); b > 1 {
+		return b
+	}
+	return 1
+}
+
+// sanitizeTenant maps an arbitrary header value onto the bounded
+// character set the metric labels use.
+func sanitizeTenant(tenant string) string {
+	if tenant == "" {
+		return anonTenant
+	}
+	if len(tenant) > 64 {
+		tenant = tenant[:64]
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		case r == '-' || r == '_' || r == '.' || r == ':' || r == '/':
+			return r
+		}
+		return '_'
+	}, tenant)
+}
+
+// bucket returns (creating on first sight) the tenant's bucket.
+func (t *tenantLimiter) bucket(tenant string, now time.Time) *tenantBucket {
+	b, ok := t.buckets[tenant]
+	if !ok && len(t.buckets) >= maxTrackedTenants && tenant != overflowTenant {
+		return t.bucket(overflowTenant, now)
+	}
+	if !ok {
+		b = &tenantBucket{
+			tokens:   t.burst,
+			last:     now,
+			admitted: t.reg.Counter(`herdd_tenant_admitted_total{tenant="` + tenant + `"}`),
+			shed:     t.reg.Counter(`herdd_tenant_shed_total{tenant="` + tenant + `"}`),
+		}
+		t.buckets[tenant] = b
+	}
+	return b
+}
+
+// take spends one token from the tenant's bucket, or returns the
+// overload verdict with a Retry-After hint sized to the refill time.
+func (t *tenantLimiter) take(tenant string) *overloadError {
+	if t.rate <= 0 {
+		return nil
+	}
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.bucket(sanitizeTenant(tenant), now)
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * t.rate
+		if b.tokens > t.burst {
+			b.tokens = t.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		b.admitted.Inc()
+		return nil
+	}
+	b.shed.Inc()
+	wait := time.Duration((1 - b.tokens) / t.rate * float64(time.Second))
+	return &overloadError{reason: shedTenant, retryAfter: wait}
+}

@@ -1,0 +1,323 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"herdcats/internal/campaign"
+	"herdcats/internal/obs"
+)
+
+// Frame type tags. The version suffix is part of the wire contract: a
+// field-incompatible change mints result/v2 rather than mutating v1, so
+// old decoders skip what they do not know (UnknownFrame) instead of
+// misreading it.
+const (
+	FrameResult    = "result/v1"
+	FrameError     = "error/v1"
+	FrameSummary   = "summary/v1"
+	FrameHeartbeat = "heartbeat/v1"
+)
+
+// ResultFrame carries one test's verdict: its index in the request, the
+// verdict's cache key, whether it was served warm, and the same campaign
+// row a buffered BatchResponse would hold at Report.Jobs[Index].
+type ResultFrame struct {
+	Type   string             `json:"type"`
+	Index  int                `json:"index"`
+	Key    string             `json:"key,omitempty"`
+	Cached bool               `json:"cached,omitempty"`
+	Result campaign.JobResult `json:"result"`
+}
+
+// NewResult builds a result/v1 frame.
+func NewResult(index int, key string, cached bool, res campaign.JobResult) *ResultFrame {
+	return &ResultFrame{Type: FrameResult, Index: index, Key: key, Cached: cached, Result: res}
+}
+
+// ErrorFrame carries one test's hard failure in the same envelope body a
+// buffered error response would use. Index -1 means the stream itself
+// failed (e.g. the node shed the whole batch mid-flight); per-test
+// failures carry their request index and cost only their row.
+type ErrorFrame struct {
+	Type  string    `json:"type"`
+	Index int       `json:"index"`
+	Name  string    `json:"name,omitempty"`
+	Error ErrorBody `json:"error"`
+}
+
+// NewError builds an error/v1 frame.
+func NewError(index int, name, code, message string) *ErrorFrame {
+	return &ErrorFrame{Type: FrameError, Index: index, Name: name, Error: ErrorBody{Code: code, Message: message}}
+}
+
+// SummaryFrame is the terminal frame of a well-formed stream: the batch
+// totals a buffered BatchResponse's report would carry, plus the cache-hit
+// count and (when the node traced) the phase aggregates.
+type SummaryFrame struct {
+	Type      string                  `json:"type"`
+	Tests     int                     `json:"tests"`
+	Counts    map[campaign.Status]int `json:"counts"`
+	CacheHits int                     `json:"cache_hits"`
+	ElapsedMS int64                   `json:"elapsed_ms"`
+
+	// PhaseTotalsUS sums the per-test phase durations (parse → compile →
+	// enumerate → check → verdict), in microseconds.
+	PhaseTotalsUS map[string]int64 `json:"phase_totals_us,omitempty"`
+	// Enum sums the per-test enumeration counters.
+	Enum *obs.EnumSnapshot `json:"enum,omitempty"`
+	// Options echoes the effective options (absent on gateway-merged
+	// streams, where each backend clamps independently).
+	Options *EffectiveOptions `json:"options,omitempty"`
+}
+
+// NewSummary builds a summary/v1 frame with its counts map allocated.
+func NewSummary(tests int) *SummaryFrame {
+	return &SummaryFrame{Type: FrameSummary, Tests: tests, Counts: map[campaign.Status]int{}}
+}
+
+// HeartbeatFrame keeps an idle stream visibly alive: a campaign can sit
+// for minutes in one giant enumeration, and without traffic every proxy
+// and client timeout in the path starts counting.
+type HeartbeatFrame struct {
+	Type      string `json:"type"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+}
+
+// UnknownFrame preserves a frame whose type this decoder does not know —
+// a newer schema version streaming through an older reader. Callers skip
+// it (or log it); the stream stays decodable.
+type UnknownFrame struct {
+	Type string
+	Raw  json.RawMessage
+}
+
+// ErrTruncated reports a stream cut mid-frame: everything decoded before
+// it is intact, but the producer went away without finishing. Callers
+// treat it as "incomplete", not "corrupt" — the streaming analogue of the
+// mining journal's torn-line tolerance.
+var ErrTruncated = errors.New("wire: stream truncated mid-frame")
+
+// Encoder writes frames as NDJSON, one compact JSON object per line,
+// flushing after every frame when the writer supports it (an
+// http.ResponseWriter does) so each verdict reaches the client as it is
+// produced. Encode is safe for concurrent use; after the first write
+// error the encoder is poisoned and every call returns that error, so a
+// producer fanning out across goroutines stops promptly when the client
+// goes away.
+type Encoder struct {
+	mu    sync.Mutex
+	w     io.Writer
+	flush func()
+	err   error
+	last  time.Time
+}
+
+// NewEncoder builds an encoder over w, detecting per-frame flush support.
+func NewEncoder(w io.Writer) *Encoder {
+	e := &Encoder{w: w, last: time.Now()}
+	if f, ok := w.(interface{ Flush() }); ok {
+		e.flush = f.Flush
+	}
+	return e
+}
+
+// Encode writes one frame.
+func (e *Encoder) Encode(frame any) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.encodeLocked(frame)
+}
+
+// EncodeIdle writes frame only if the stream has been idle for at least
+// idle — the heartbeat primitive: a stream making progress never carries
+// filler.
+func (e *Encoder) EncodeIdle(idle time.Duration, frame any) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if time.Since(e.last) < idle {
+		return nil
+	}
+	return e.encodeLocked(frame)
+}
+
+func (e *Encoder) encodeLocked(frame any) error {
+	if e.err != nil {
+		return e.err
+	}
+	buf, err := json.Marshal(frame)
+	if err != nil {
+		e.err = err
+		return err
+	}
+	buf = append(buf, '\n')
+	if _, err := e.w.Write(buf); err != nil {
+		e.err = err
+		return err
+	}
+	if e.flush != nil {
+		e.flush()
+	}
+	e.last = time.Now()
+	return nil
+}
+
+// Err returns the error that poisoned the encoder, if any.
+func (e *Encoder) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Heartbeat emits heartbeat/v1 frames on enc whenever the stream has been
+// idle for roughly interval (worst-case gap just under 2×interval), until
+// ctx is done or stop is called. start anchors the frames' elapsed_ms.
+func Heartbeat(ctx context.Context, enc *Encoder, interval time.Duration, start time.Time) (stop func()) {
+	ctx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				_ = enc.EncodeIdle(interval, &HeartbeatFrame{
+					Type:      FrameHeartbeat,
+					ElapsedMS: time.Since(start).Milliseconds(),
+				})
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}
+
+// Merge serialises per-test frames from concurrent producers onto one
+// encoder. Unordered, a frame is written the moment its test completes;
+// ordered, frames are held until every lower index has been emitted, so
+// the stream replays in request order at the cost of head-of-line
+// buffering. Each index must be emitted exactly once.
+type Merge struct {
+	enc     *Encoder
+	ordered bool
+
+	mu      sync.Mutex
+	next    int
+	pending map[int]any
+}
+
+// NewMerge builds a merge over enc.
+func NewMerge(enc *Encoder, ordered bool) *Merge {
+	return &Merge{enc: enc, ordered: ordered, pending: map[int]any{}}
+}
+
+// Emit hands index's frame to the merge.
+func (m *Merge) Emit(index int, frame any) error {
+	if !m.ordered {
+		return m.enc.Encode(frame)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pending[index] = frame
+	for {
+		f, ok := m.pending[m.next]
+		if !ok {
+			return m.enc.Err()
+		}
+		delete(m.pending, m.next)
+		m.next++
+		if err := m.enc.Encode(f); err != nil {
+			return err
+		}
+	}
+}
+
+// Decoder reads an NDJSON frame stream. It tolerates a truncated tail:
+// a torn final line that no longer parses yields ErrTruncated after the
+// intact frames, while a final line missing only its newline still
+// parses and is delivered. Unknown frame types are preserved as
+// UnknownFrame.
+type Decoder struct {
+	r *bufio.Reader
+}
+
+// NewDecoder builds a decoder over r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Next returns the next frame — *ResultFrame, *ErrorFrame, *SummaryFrame,
+// *HeartbeatFrame or *UnknownFrame — io.EOF at a clean end of stream, or
+// ErrTruncated when the stream was cut mid-frame.
+func (d *Decoder) Next() (any, error) {
+	for {
+		line, err := d.r.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return nil, err
+		}
+		atEOF := err == io.EOF
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			if atEOF {
+				return nil, io.EOF
+			}
+			continue
+		}
+		frame, ferr := decodeFrame(line)
+		if ferr != nil {
+			// A garbled line at the very end of the stream is a cut, not
+			// corruption; anywhere else it is a protocol error.
+			if atEOF || d.atEOF() {
+				return nil, ErrTruncated
+			}
+			return nil, ferr
+		}
+		return frame, nil
+	}
+}
+
+// atEOF reports whether the underlying reader has no more bytes.
+func (d *Decoder) atEOF() bool {
+	_, err := d.r.Peek(1)
+	return err == io.EOF
+}
+
+func decodeFrame(line []byte) (any, error) {
+	var head struct {
+		Type string `json:"type"`
+	}
+	if err := json.Unmarshal(line, &head); err != nil {
+		return nil, fmt.Errorf("wire: bad frame: %w", err)
+	}
+	var frame any
+	switch head.Type {
+	case FrameResult:
+		frame = &ResultFrame{}
+	case FrameError:
+		frame = &ErrorFrame{}
+	case FrameSummary:
+		frame = &SummaryFrame{}
+	case FrameHeartbeat:
+		frame = &HeartbeatFrame{}
+	case "":
+		return nil, fmt.Errorf("wire: frame missing type: %s", line)
+	default:
+		return &UnknownFrame{Type: head.Type, Raw: append(json.RawMessage(nil), line...)}, nil
+	}
+	if err := json.Unmarshal(line, frame); err != nil {
+		return nil, fmt.Errorf("wire: bad %s frame: %w", head.Type, err)
+	}
+	return frame, nil
+}

@@ -1,0 +1,101 @@
+package wire
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"herdcats/internal/campaign"
+	"herdcats/internal/obs"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_stream.ndjson from the current encoder")
+
+// goldenFrames is a deterministic stream exercising every frame schema
+// and every optional field: the bytes these encode to ARE the v1 wire
+// contract.
+func goldenFrames() []any {
+	res := NewResult(0, "sha256:aaaa", true, campaign.JobResult{
+		Name:       "mp",
+		Status:     campaign.StatusOK,
+		Model:      "tso",
+		Candidates: 12,
+		Valid:      6,
+		Attempts:   1,
+		ElapsedMS:  3,
+		States:     map[string]int{"0:EAX=0; 1:EAX=0;": 1, "0:EAX=1; 1:EAX=1;": 2},
+	})
+	forbidden := NewResult(1, "sha256:bbbb", false, campaign.JobResult{
+		Name:     "sb+fences",
+		Status:   campaign.StatusForbidden,
+		Model:    "sc",
+		Attempts: 1,
+	})
+	sum := NewSummary(3)
+	sum.Counts[campaign.StatusOK] = 1
+	sum.Counts[campaign.StatusForbidden] = 1
+	sum.Counts[campaign.StatusError] = 1
+	sum.CacheHits = 1
+	sum.ElapsedMS = 41
+	sum.PhaseTotalsUS = map[string]int64{"enumerate": 3200}
+	sum.Enum = &obs.EnumSnapshot{}
+	return []any{
+		res,
+		&HeartbeatFrame{Type: FrameHeartbeat, ElapsedMS: 10},
+		forbidden,
+		NewError(2, "tests[2]", "bad_request", "litmus: line 1: unknown arch \"Z80\""),
+		NewError(-1, "", "overloaded", "node draining"),
+		sum,
+	}
+}
+
+// TestGoldenStreamBytes is the wire-contract test: the NDJSON encoding
+// of the golden frames must be byte-identical to the recorded stream. A
+// diff here means the v1 wire format changed — which is only legal as a
+// new frame version (result/v2, ...), never as a mutation of v1. Run
+// with -update-golden only when adding NEW frames to the contract.
+func TestGoldenStreamBytes(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	for _, f := range goldenFrames() {
+		if err := enc.Encode(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join("testdata", "golden_stream.ndjson")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("wire format drifted from the recorded v1 contract:\n got: %s\nwant: %s", buf.Bytes(), want)
+	}
+
+	// The recorded bytes must also decode back to the same frames — the
+	// contract binds both directions.
+	dec := NewDecoder(bytes.NewReader(want))
+	n := 0
+	for {
+		frame, err := dec.Next()
+		if err != nil {
+			break
+		}
+		if u, ok := frame.(*UnknownFrame); ok {
+			t.Fatalf("golden frame %d decodes as unknown type %q", n, u.Type)
+		}
+		n++
+	}
+	if n != len(goldenFrames()) {
+		t.Fatalf("golden stream decodes to %d frames, want %d", n, len(goldenFrames()))
+	}
+}
